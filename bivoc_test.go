@@ -1,0 +1,119 @@
+package bivoc_test
+
+import (
+	"strings"
+	"testing"
+
+	"bivoc"
+	"bivoc/internal/rng"
+)
+
+// These tests exercise the public facade end to end — what a downstream
+// user of the library sees.
+
+func TestFacadeCallAnalysis(t *testing.T) {
+	cfg := bivoc.DefaultCallAnalysisConfig()
+	cfg.UseASR = false
+	cfg.World.NumAgents = 20
+	cfg.World.NumCustomers = 80
+	cfg.World.CallsPerDay = 100
+	cfg.World.Days = 3
+	ca, err := bivoc.RunCallAnalysis(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3 := ca.IntentOutcomeTable()
+	if t3.Cells[0][0].RowShare <= t3.Cells[1][0].RowShare {
+		t.Error("facade Table III shape broken")
+	}
+	if out := t3.Render(); !strings.Contains(out, "strong start") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestFacadeChurn(t *testing.T) {
+	cfg := bivoc.DefaultChurnExperimentConfig()
+	cfg.World.NumCustomers = 300
+	cfg.World.Emails = 800
+	cfg.World.SMS = 0
+	res, err := bivoc.RunChurnExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Linked == 0 || res.Spam == 0 {
+		t.Errorf("facade churn pipeline incomplete: %+v", res)
+	}
+}
+
+func TestFacadeRecognizerAndSpotter(t *testing.T) {
+	rec, err := bivoc.NewCarRentalRecognizer(bivoc.ChannelConfig{}, bivoc.DefaultDecoderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := strings.Fields("i want to book a car today")
+	hyp, err := rec.Transcribe(rng.New(1), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(hyp, " ") != strings.Join(ref, " ") {
+		t.Errorf("clean decode through facade: %v", hyp)
+	}
+	sp := bivoc.NewSpotter(rec.Lex)
+	sp.Threshold = 0.7
+	phones, err := rec.Lex.Phones(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := sp.Find("book", phones); len(hits) != 1 {
+		t.Errorf("spotter through facade: %v", hits)
+	}
+}
+
+func TestFacadeLinker(t *testing.T) {
+	cfg := bivoc.DefaultCarRentalConfig()
+	cfg.NumCustomers = 50
+	world, err := bivoc.NewCarRentalWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := bivoc.NewCustomerLinker(world.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotators := bivoc.NewCarRentalAnnotators()
+	c := world.Customers[0]
+	tokens := annotators.Extract("name is " + c.Given + " " + c.Surname + " phone " + c.Phone)
+	m := engine.LinkTable(tokens, "customers", 1)
+	if len(m) != 1 {
+		t.Fatal("facade linking failed")
+	}
+	if world.DB.MustTable("customers").GetString(m[0].Row, "id") != c.ID {
+		t.Errorf("linked to wrong customer")
+	}
+}
+
+func TestFacadeDriverDetector(t *testing.T) {
+	d := bivoc.NewChurnDriverDetector()
+	drivers := d.Detect("the network is always down and my bill is too high")
+	if len(drivers) < 2 {
+		t.Errorf("facade driver detection: %v", drivers)
+	}
+}
+
+func TestFacadeDims(t *testing.T) {
+	if bivoc.ConceptDim("c", "v").Label() != "v[c]" {
+		t.Error("ConceptDim label")
+	}
+	if bivoc.FieldDim("f", "v").Label() != "f=v" {
+		t.Error("FieldDim label")
+	}
+	if bivoc.CategoryDim("c").Label() != "c" {
+		t.Error("CategoryDim label")
+	}
+}
+
+func TestFacadeVersion(t *testing.T) {
+	if bivoc.Version == "" {
+		t.Error("version empty")
+	}
+}

@@ -1,0 +1,132 @@
+// Command bivoc runs the full BIVoC pipeline on a synthetic car-rental
+// engagement and prints the business-intelligence reports of §IV.D/§V:
+// the intent and agent-utterance association tables, the location ×
+// vehicle matrix, relevancy analysis, trends, and a Figure 4-style
+// drill-down from a selected cell to individual calls.
+//
+// Usage:
+//
+//	bivoc [-asr] [-seed N] [-calls N] [-days N] [-drill row,col]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bivoc"
+	"bivoc/internal/mining"
+	"bivoc/internal/report"
+	"bivoc/internal/synth"
+)
+
+func main() {
+	useASR := flag.Bool("asr", false, "transcribe calls with the ASR substrate (slower, noisier)")
+	useNotes := flag.Bool("notes", false, "analyze agent wrap-up notes instead of transcripts")
+	seed := flag.Uint64("seed", 2009, "master random seed")
+	calls := flag.Int("calls", 400, "calls per day")
+	days := flag.Int("days", 10, "days of traffic")
+	drill := flag.String("drill", "weak start,reservation", "drill-down cell: intent,outcome")
+	flag.Parse()
+
+	cfg := bivoc.DefaultCallAnalysisConfig()
+	cfg.World.Seed = *seed
+	cfg.World.CallsPerDay = *calls
+	cfg.World.Days = *days
+	cfg.UseASR = *useASR
+	cfg.UseNotes = *useNotes
+	if *useASR && *calls > 100 {
+		fmt.Fprintln(os.Stderr, "note: ASR mode decodes every call; consider -calls 60")
+	}
+
+	ca, err := bivoc.RunCallAnalysis(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bivoc: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("analyzed %d calls across %d agents (channel: %s)\n\n",
+		ca.Index.Len(), len(ca.World.Agents), channelKind(cfg.UseASR, cfg.UseNotes))
+
+	fmt.Println("— contact-centre KPIs (the operational view BIVoC extends) —")
+	fmt.Print(report.RenderCenterDashboard(report.CenterKPIs(ca.World.Calls)))
+	fmt.Println()
+	fmt.Print(report.RenderAgentDashboard(report.AgentKPIs(ca.World, ca.World.Calls), 3))
+	fmt.Println()
+
+	fmt.Println("— customer intention × outcome (Table III) —")
+	fmt.Print(ca.IntentOutcomeTable().Render())
+
+	fmt.Println("\n— agent utterance × outcome (Table IV) —")
+	fmt.Print(ca.AgentUtteranceTable().Render())
+
+	fmt.Println("\n— revenue rollup from the structured side (booking cost by vehicle) —")
+	resTab := ca.World.DB.MustTable("reservations")
+	agg := resTab.Aggregate("vehicle", "cost")
+	for _, vt := range synth.VehicleTypes() {
+		st := agg[vt]
+		fmt.Printf("  %-12s bookings=%4d  total=$%-7.0f avg=$%.0f\n", vt, st.Count, st.Sum, st.Mean())
+	}
+
+	fmt.Println("\n— location × vehicle type (Table II), strongest associations —")
+	for i, cell := range ca.LocationVehicleTable().StrongestCells() {
+		if i >= 5 || cell.Ncell == 0 {
+			break
+		}
+		fmt.Printf("  %-26s × %-14s joint=%d lower-index=%.2f\n",
+			cell.Row.Label(), cell.Col.Label(), cell.Ncell, cell.LowerIndex)
+	}
+
+	fmt.Println("\n— relevancy: concepts over-represented in converted calls —")
+	for _, r := range ca.Index.RelativeFrequency("discount", bivoc.FieldDim("outcome", synth.OutcomeReservation)) {
+		fmt.Printf("  %-24s ratio %.2f (%d/%d in subset vs %d/%d overall)\n",
+			r.Concept, r.Ratio, r.InSubset, r.SubsetSize, r.InAll, r.N)
+	}
+
+	fmt.Println("\n— trend: weak-start volume per day —")
+	points := ca.Index.Trend(bivoc.ConceptDim("customer intention", "weak start"))
+	for _, p := range points {
+		fmt.Printf("  day %2d %s (%d)\n", p.Time, strings.Repeat("#", p.Count/5+1), p.Count)
+	}
+	fmt.Printf("  slope: %+.2f calls/day\n", mining.TrendSlope(points))
+
+	parts := strings.SplitN(*drill, ",", 2)
+	if len(parts) == 2 {
+		row := bivoc.ConceptDim("customer intention", strings.TrimSpace(parts[0]))
+		col := bivoc.FieldDim("outcome", strings.TrimSpace(parts[1]))
+		docs := ca.Index.DrillDown(row, col)
+		fmt.Printf("\n— drill-down: %s × %s → %d calls (Figure 4 view) —\n", row.Label(), col.Label(), len(docs))
+		for i, d := range docs {
+			if i >= 5 {
+				fmt.Printf("  ... and %d more\n", len(docs)-5)
+				break
+			}
+			fmt.Printf("  %s agent=%s concepts=%s\n", d.ID, d.Fields["agent"], summarize(d))
+		}
+	}
+}
+
+func transcriptKind(asr bool) string {
+	if asr {
+		return "ASR"
+	}
+	return "reference"
+}
+
+func channelKind(asr, notes bool) string {
+	if notes {
+		return "agent notes"
+	}
+	return transcriptKind(asr)
+}
+
+func summarize(d mining.Document) string {
+	var parts []string
+	for _, c := range d.Concepts {
+		parts = append(parts, c.Canonical)
+	}
+	if len(parts) > 5 {
+		parts = parts[:5]
+	}
+	return strings.Join(parts, ", ")
+}

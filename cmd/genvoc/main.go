@@ -1,0 +1,238 @@
+// Command genvoc generates the synthetic Voice-of-Customer corpora and
+// structured tables to disk, or prints Figure 1-style samples.
+//
+// Usage:
+//
+//	genvoc -out DIR [-seed N] [-calls N] [-emails N] [-sms N]   write corpora
+//	genvoc -show                                                 print samples
+//
+// Outputs under DIR:
+//
+//	customers.csv, reservations.csv    car-rental warehouse tables
+//	calls.jsonl                        calls with reference transcripts
+//	subscribers.csv                    telecom subscriber table
+//	emails.jsonl, sms.jsonl            raw messages with hidden labels
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bivoc/internal/noise"
+	"bivoc/internal/rng"
+	"bivoc/internal/synth"
+	"bivoc/internal/warehouse"
+)
+
+func main() {
+	out := flag.String("out", "", "output directory (required unless -show)")
+	show := flag.Bool("show", false, "print Figure 1-style noisy VoC samples and exit")
+	seed := flag.Uint64("seed", 2009, "master random seed")
+	calls := flag.Int("calls", 1200, "number of car-rental calls")
+	emails := flag.Int("emails", 2400, "number of telecom emails")
+	sms := flag.Int("sms", 6000, "number of telecom sms")
+	flag.Parse()
+
+	if *show {
+		showSamples(*seed)
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "genvoc: -out DIR is required (or use -show)")
+		os.Exit(2)
+	}
+	if err := run(*out, *seed, *calls, *emails, *sms); err != nil {
+		fmt.Fprintf(os.Stderr, "genvoc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, seed uint64, calls, emails, sms int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// Car-rental world.
+	carCfg := synth.DefaultCarRentalConfig()
+	carCfg.Seed = seed
+	carCfg.CallsPerDay = calls / carCfg.Days
+	if carCfg.CallsPerDay < 1 {
+		carCfg.CallsPerDay = 1
+	}
+	world, err := synth.NewCarRentalWorld(carCfg)
+	if err != nil {
+		return err
+	}
+	generated := world.GenerateCalls(0, carCfg.Days)
+	if err := exportTable(world.DB, "customers", filepath.Join(dir, "customers.csv")); err != nil {
+		return err
+	}
+	if err := exportTable(world.DB, "reservations", filepath.Join(dir, "reservations.csv")); err != nil {
+		return err
+	}
+	if err := exportCalls(generated, world, filepath.Join(dir, "calls.jsonl")); err != nil {
+		return err
+	}
+	if err := exportNotes(generated, world, filepath.Join(dir, "agent_notes.jsonl")); err != nil {
+		return err
+	}
+
+	// Telecom world.
+	telCfg := synth.DefaultTelecomConfig()
+	telCfg.Seed = seed
+	telCfg.Emails = emails
+	telCfg.SMS = sms
+	tworld, err := synth.NewTelecomWorld(telCfg)
+	if err != nil {
+		return err
+	}
+	if err := exportTable(tworld.DB, "subscribers", filepath.Join(dir, "subscribers.csv")); err != nil {
+		return err
+	}
+	if err := exportMessages(tworld.Emails, filepath.Join(dir, "emails.jsonl")); err != nil {
+		return err
+	}
+	if err := exportMessages(tworld.SMS, filepath.Join(dir, "sms.jsonl")); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d calls, %d emails, %d sms and 3 tables to %s\n",
+		len(generated), len(tworld.Emails), len(tworld.SMS), dir)
+	return nil
+}
+
+func exportTable(db *warehouse.DB, name, path string) error {
+	tab, ok := db.Table(name)
+	if !ok {
+		return fmt.Errorf("missing table %s", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tab.ExportCSV(f)
+}
+
+// callRecord is the JSONL schema for one call.
+type callRecord struct {
+	ID         string `json:"id"`
+	Day        int    `json:"day"`
+	Agent      string `json:"agent"`
+	Customer   string `json:"customer"`
+	Intent     string `json:"intent"`
+	Outcome    string `json:"outcome"`
+	Transcript string `json:"transcript"`
+}
+
+func exportCalls(calls []synth.Call, world *synth.CarRentalWorld, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, c := range calls {
+		rec := callRecord{
+			ID:         c.ID,
+			Day:        c.Day,
+			Agent:      world.Agents[c.AgentIdx].ID,
+			Customer:   world.Customers[c.CustIdx].ID,
+			Intent:     c.Intent,
+			Outcome:    c.Outcome,
+			Transcript: strings.Join(c.Transcript, " "),
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// noteRecord is the JSONL schema for one agent wrap-up note.
+type noteRecord struct {
+	CallID string `json:"call_id"`
+	Note   string `json:"note"`
+}
+
+func exportNotes(calls []synth.Call, world *synth.CarRentalWorld, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, c := range calls {
+		if err := enc.Encode(noteRecord{CallID: c.ID, Note: world.AgentNote(c)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// messageRecord is the JSONL schema for one email/sms.
+type messageRecord struct {
+	ID          string `json:"id"`
+	Channel     string `json:"channel"`
+	Month       int    `json:"month"`
+	Customer    string `json:"customer,omitempty"`
+	Spam        bool   `json:"spam,omitempty"`
+	FromChurner bool   `json:"from_churner,omitempty"`
+	Raw         string `json:"raw"`
+}
+
+func exportMessages(msgs []synth.Message, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, m := range msgs {
+		rec := messageRecord{
+			ID: m.ID, Channel: m.Channel, Month: m.Month,
+			Spam: m.Spam, FromChurner: m.FromChurner, Raw: m.Raw,
+		}
+		if m.CustIdx >= 0 {
+			rec.Customer = fmt.Sprintf("S%05d", m.CustIdx)
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// showSamples prints Figure 1-style sanitized VoC examples from each
+// channel: agent notes, emails, SMS, and an (uppercased) ASR transcript.
+func showSamples(seed uint64) {
+	r := rng.New(seed)
+	fmt.Println("Contact center notes:")
+	n := noise.New(noise.AgentNoteNoise)
+	for i, s := range []string{
+		"the customer secretary called up and he informed that he was not able to access gprs and he told that he will call back with other details later and disconnected the call",
+		"customer was charged sms for rs 2013 but customer did not give request for deactivation of sms pack since system down not able to check active or not",
+	} {
+		fmt.Printf("%d. %s\n", i+1, n.Apply(r.Split(uint64(i)), s))
+	}
+	fmt.Println("\nEmails:")
+	e := noise.New(noise.EmailNoise)
+	for i, s := range []string{
+		"call center officer assured that request will be carried out within 2 to 3 days but it seems that nothing has been initiated till date in this regard",
+		"i have a postpaid connection as of now and feel my bill is too high as per my understanding i almost feel robbed when paying my bill maybe the plan is not appropriate",
+	} {
+		fmt.Printf("%d. %s\n", i+1, e.Apply(r.Split(uint64(100+i)), s))
+	}
+	fmt.Println("\nSMS:")
+	s := noise.New(noise.SMSNoise)
+	for i, msg := range []string{
+		"please confirm the receipt of payment of rs 500 paid on 19.05.07 thanks",
+		"no care for customer is what you focus on i have to leave as it is not solving my problem goodbye keep not caring for customers",
+	} {
+		fmt.Printf("%d. %s\n", i+1, s.Apply(r.Split(uint64(200+i)), msg))
+	}
+	fmt.Println("\nCall transcripts (ASR output is conventionally uppercased):")
+	fmt.Println("1.", strings.ToUpper("me check because of which is charges ultimate i want to discontinue with auto debit facility"))
+}

@@ -1,0 +1,74 @@
+// Agent productivity improvement — the §V use case end to end:
+//
+//  1. mine the associations between call behaviour and outcomes,
+//
+//  2. derive the actionable insights (offer discounts to weak starts,
+//     use value-selling phrases),
+//
+//  3. train 20 of 90 agents on the insights,
+//
+//  4. measure the booking-ratio uplift against the control group with a
+//     Welch t-test (the paper reports +3%, p ≈ 0.0675).
+//
+//     go run ./examples/agentproductivity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bivoc"
+)
+
+func main() {
+	// Step 1-2: the mining phase (see examples/quickstart for the full
+	// report). Here we go straight to the intervention.
+	fmt.Println("insights from mining (§V.B):")
+	fmt.Println("  * weak-start customers rarely book unless offered a discount")
+	fmt.Println("  * value-selling phrases lift conversion in every segment")
+	fmt.Println()
+
+	// Steps 3-4: the training experiment.
+	cfg := bivoc.DefaultTrainingConfig()
+	cfg.TrainedCount = 20
+	res, err := bivoc.RunTrainingExperiment(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("trained group:  %.1f%% → %.1f%% conversion\n",
+		100*res.TrainedBefore, 100*res.TrainedAfter)
+	fmt.Printf("control group:  %.1f%% → %.1f%% conversion\n",
+		100*res.ControlBefore, 100*res.ControlAfter)
+	fmt.Printf("uplift: %+.1f points (before-gap %+.1f)\n",
+		100*res.Uplift, 100*res.BeforeGap)
+	fmt.Printf("Welch t-test: t=%.2f df=%.1f one-sided p=%.4f\n",
+		res.TTest.T, res.TTest.DF, res.TTest.POneSided)
+
+	// Per-agent view of the biggest movers.
+	fmt.Println("\nbiggest improvements among trained agents:")
+	type delta struct {
+		id   string
+		gain float64
+	}
+	byID := map[string]float64{}
+	for _, a := range res.Before {
+		byID[a.AgentID] = a.ConversionRate()
+	}
+	var best delta
+	count := 0
+	for _, a := range res.After {
+		if !a.Trained {
+			continue
+		}
+		g := a.ConversionRate() - byID[a.AgentID]
+		if g > best.gain || best.id == "" {
+			best = delta{a.AgentID, g}
+		}
+		if g > 0 {
+			count++
+		}
+	}
+	fmt.Printf("  %d of %d trained agents improved; best: %s (%+.1f points)\n",
+		count, len(res.After), best.id, 100*best.gain)
+}

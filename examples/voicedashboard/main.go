@@ -1,0 +1,71 @@
+// Voice dashboard — the operational-monitoring view (§II) side by side
+// with BIVoC's business-insight view, plus the two auxiliary signals the
+// paper discusses: keyword spotting (how commercial tools index audio)
+// and sentiment (the "(dis)satisfaction" of §III).
+//
+//	go run ./examples/voicedashboard
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bivoc"
+	"bivoc/internal/report"
+	"bivoc/internal/rng"
+	"bivoc/internal/sentiment"
+)
+
+func main() {
+	cfg := bivoc.DefaultCallAnalysisConfig()
+	cfg.UseASR = false
+	cfg.World.CallsPerDay = 200
+	cfg.World.Days = 5
+	ca, err := bivoc.RunCallAnalysis(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("═══ operational view (what KPI tools show) ═══")
+	fmt.Print(report.RenderCenterDashboard(report.CenterKPIs(ca.World.Calls)))
+	fmt.Println()
+	fmt.Print(report.RenderAgentDashboard(report.AgentKPIs(ca.World, ca.World.Calls), 3))
+
+	fmt.Println("\n═══ keyword spotting (how monitoring tools index audio) ═══")
+	rec, err := bivoc.NewCarRentalRecognizer(bivoc.CallCenterChannel, bivoc.DefaultDecoderConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp := bivoc.NewSpotter(rec.Lex)
+	sp.Threshold = 0.55
+	r := rng.New(99)
+	spotted := 0
+	const sample = 40
+	for i, call := range ca.World.Calls {
+		if i >= sample {
+			break
+		}
+		phones, err := rec.Lex.Phones(call.Transcript)
+		if err != nil {
+			continue
+		}
+		obs := rec.Channel.Corrupt(r.SplitString(call.ID), phones)
+		if len(sp.Find("discount", obs)) > 0 {
+			spotted++
+		}
+	}
+	fmt.Printf("'discount' spotted in %d of %d noisy calls — a keyword index,\n", spotted, sample)
+	fmt.Println("but no link to outcomes. BIVoC's association view supplies that:")
+	fmt.Print(ca.AgentUtteranceTable().Render())
+
+	fmt.Println("\n═══ sentiment (§III: dissatisfaction marks churn propensity) ═══")
+	texts := []string{
+		"the agent was very helpful thank you so much",
+		"i was not happy with the rate but the agent offered a discount",
+		"this is the worst service i am leaving goodbye",
+	}
+	for _, t := range texts {
+		res := sentiment.Analyze(t)
+		fmt.Printf("  %-58q %-8s (%+.2f)\n", t, res.Label, res.Score)
+	}
+}

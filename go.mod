@@ -1,0 +1,3 @@
+module bivoc
+
+go 1.22

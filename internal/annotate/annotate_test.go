@@ -1,0 +1,249 @@
+package annotate
+
+import (
+	"reflect"
+	"testing"
+)
+
+func carRentalDict() *Dictionary {
+	d := NewDictionary()
+	d.AddAll([]Entry{
+		{Surface: "child seat", PoS: PoSNoun, Canonical: "child seat", Category: "vehicle feature"},
+		{Surface: "ny", PoS: PoSProperNoun, Canonical: "new york", Category: "place"},
+		{Surface: "new york", PoS: PoSProperNoun, Canonical: "new york", Category: "place"},
+		{Surface: "master card", PoS: PoSNoun, Canonical: "credit card", Category: "payment methods"},
+		{Surface: "visa", PoS: PoSNoun, Canonical: "credit card", Category: "payment methods"},
+		{Surface: "suv", PoS: PoSNoun, Canonical: "suv", Category: "vehicle type"},
+		{Surface: "seven seater", PoS: PoSNoun, Canonical: "suv", Category: "vehicle type"},
+		{Surface: "chevy impala", PoS: PoSNoun, Canonical: "full-size", Category: "vehicle type"},
+		{Surface: "discount", PoS: PoSNoun, Canonical: "discount", Category: "discount"},
+		{Surface: "corporate program", PoS: PoSNoun, Canonical: "discount", Category: "discount"},
+		{Surface: "rate", PoS: PoSNoun, Canonical: "rate", Category: "rate"},
+	})
+	return d
+}
+
+func TestDictionaryLookup(t *testing.T) {
+	d := carRentalDict()
+	e, ok := d.Lookup("Master Card")
+	if !ok || e.Canonical != "credit card" || e.Category != "payment methods" {
+		t.Errorf("lookup = %+v %v", e, ok)
+	}
+	if _, ok := d.Lookup("zebra"); ok {
+		t.Error("absent surface resolved")
+	}
+	if d.Len() != 11 {
+		t.Errorf("len = %d", d.Len())
+	}
+}
+
+func TestDictionaryIgnoresEmptySurface(t *testing.T) {
+	d := NewDictionary()
+	d.Add(Entry{Surface: "   "})
+	if d.Len() != 0 {
+		t.Error("blank surface added")
+	}
+}
+
+func TestDictionaryCategories(t *testing.T) {
+	cats := carRentalDict().Categories()
+	want := []string{"discount", "payment methods", "place", "rate", "vehicle feature", "vehicle type"}
+	if !reflect.DeepEqual(cats, want) {
+		t.Errorf("categories = %v", cats)
+	}
+}
+
+func TestTagWordPoS(t *testing.T) {
+	d := NewDictionary()
+	cases := map[string]PoS{
+		"book":      PoSVerb,
+		"wonderful": PoSAdjective,
+		"quickly":   PoSAdverb,
+		"renting":   PoSVerb,
+		"charged":   PoSVerb,
+		"500":       PoSNumeric,
+		"i":         PoSPronoun,
+		"car":       PoSNoun,
+	}
+	for w, want := range cases {
+		if got := d.TagWord(w); got != want {
+			t.Errorf("TagWord(%q) = %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestTagMultiWordLongestMatch(t *testing.T) {
+	d := carRentalDict()
+	tagged := d.Tag("i need a child seat in new york")
+	var surfaces []string
+	for _, tw := range tagged {
+		surfaces = append(surfaces, tw.Word)
+	}
+	want := []string{"i", "need", "a", "child seat", "in", "new york"}
+	if !reflect.DeepEqual(surfaces, want) {
+		t.Errorf("surfaces = %v", surfaces)
+	}
+	if tagged[3].Category != "vehicle feature" {
+		t.Errorf("child seat category = %q", tagged[3].Category)
+	}
+}
+
+func TestDictionaryCanonicalization(t *testing.T) {
+	d := carRentalDict()
+	en := NewEngine(d)
+	// "seven seater" and "suv" should both yield canonical "suv" — the
+	// paper's indicator-expression mechanism for Table II.
+	c1 := en.Annotate("looking for a seven seater")
+	c2 := en.Annotate("looking for an suv")
+	if len(c1) != 1 || len(c2) != 1 {
+		t.Fatalf("concepts: %v %v", c1, c2)
+	}
+	if c1[0].Canonical != "suv" || c2[0].Canonical != "suv" {
+		t.Errorf("canonicals: %q %q", c1[0].Canonical, c2[0].Canonical)
+	}
+}
+
+func TestPatternPleaseVerb(t *testing.T) {
+	en := NewEngine(NewDictionary())
+	en.AddPattern(Pattern{
+		Name:     "request",
+		Elems:    []Elem{Lit("please"), Tag(PoSVerb)},
+		Category: "request",
+	})
+	cs := en.Annotate("please confirm my booking")
+	if len(cs) != 1 || cs[0].Category != "request" || cs[0].Canonical != "please confirm" {
+		t.Errorf("concepts = %v", cs)
+	}
+	if cs := en.Annotate("please the noun"); len(cs) != 0 {
+		t.Errorf("please + noun should not match: %v", cs)
+	}
+}
+
+func TestPatternJustNumericDollars(t *testing.T) {
+	en := NewEngine(NewDictionary())
+	en.AddPattern(Pattern{
+		Name:     "good-rate",
+		Elems:    []Elem{Lit("just"), Tag(PoSNumeric), Lit("dollars")},
+		Label:    "mention of good rate",
+		Category: "value selling",
+	})
+	cs := en.Annotate("it is just 45 dollars a day")
+	if len(cs) != 1 || cs[0].Canonical != "mention of good rate" || cs[0].Category != "value selling" {
+		t.Errorf("concepts = %v", cs)
+	}
+}
+
+func TestPatternWithCategoryElem(t *testing.T) {
+	d := carRentalDict()
+	en := NewEngine(d)
+	en.AddPattern(Pattern{
+		Name:     "rate-praise",
+		Elems:    []Elem{Lit("wonderful"), Cat("rate")},
+		Label:    "mention of good rate",
+		Category: "value selling",
+	})
+	cs := en.Annotate("we have a wonderful rate today")
+	found := false
+	for _, c := range cs {
+		if c.Category == "value selling" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("value selling concept missing: %v", cs)
+	}
+}
+
+func TestPolarityRuleThreeWays(t *testing.T) {
+	en := NewEngine(NewDictionary())
+	en.AddPolarityRule(PolarityRule{
+		Keyword:          "rude",
+		AssertCategory:   "complaint",
+		NegatedCategory:  "commendation",
+		QuestionCategory: "question",
+	})
+	assertCs := en.Annotate("the agent was rude to me")
+	if !HasCategory(assertCs, "complaint") {
+		t.Errorf("assertion: %v", assertCs)
+	}
+	negCs := en.Annotate("the agent was not rude at all")
+	if !HasCategory(negCs, "commendation") || HasCategory(negCs, "complaint") {
+		t.Errorf("negation: %v", negCs)
+	}
+	if got := CanonicalsIn(negCs, "commendation"); len(got) != 1 || got[0] != "not rude" {
+		t.Errorf("negated canonical = %v", got)
+	}
+	qCs := en.Annotate("was the agent rude?")
+	if !HasCategory(qCs, "question") {
+		t.Errorf("question: %v", qCs)
+	}
+}
+
+func TestPolarityWithoutQuestionMarkIsAssertion(t *testing.T) {
+	en := NewEngine(NewDictionary())
+	en.AddPolarityRule(PolarityRule{
+		Keyword: "rude", AssertCategory: "complaint",
+		NegatedCategory: "commendation", QuestionCategory: "question",
+	})
+	cs := en.Annotate("he was rude")
+	if !HasCategory(cs, "complaint") {
+		t.Errorf("no question mark should assert: %v", cs)
+	}
+}
+
+func TestAnnotateOrdersByPosition(t *testing.T) {
+	d := carRentalDict()
+	en := NewEngine(d)
+	cs := en.Annotate("suv with child seat and discount in ny")
+	for i := 1; i < len(cs); i++ {
+		if cs[i].Start < cs[i-1].Start {
+			t.Errorf("concepts out of order: %v", cs)
+		}
+	}
+	if len(cs) != 4 {
+		t.Errorf("expected 4 concepts, got %v", cs)
+	}
+}
+
+func TestAnnotateEmptyText(t *testing.T) {
+	en := NewEngine(carRentalDict())
+	if cs := en.Annotate(""); len(cs) != 0 {
+		t.Errorf("empty text produced %v", cs)
+	}
+}
+
+func TestCategoriesHelper(t *testing.T) {
+	cs := []Concept{
+		{Category: "b"}, {Category: "a"}, {Category: "b"},
+	}
+	if got := Categories(cs); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("got %v", got)
+	}
+	if HasCategory(cs, "c") {
+		t.Error("phantom category")
+	}
+}
+
+func TestEngineNilDictionary(t *testing.T) {
+	en := NewEngine(nil)
+	if en.Dictionary() == nil {
+		t.Fatal("nil dictionary not defaulted")
+	}
+	if cs := en.Annotate("hello world"); len(cs) != 0 {
+		t.Errorf("bare engine annotated %v", cs)
+	}
+}
+
+func TestPoSString(t *testing.T) {
+	if PoSNoun.String() != "noun" || PoSAny.String() != "any" || PoS(200).String() != "other" {
+		t.Error("PoS names wrong")
+	}
+}
+
+func TestEmptyPatternIgnored(t *testing.T) {
+	en := NewEngine(NewDictionary())
+	en.AddPattern(Pattern{Name: "empty"})
+	if cs := en.Annotate("anything at all"); len(cs) != 0 {
+		t.Errorf("empty pattern matched: %v", cs)
+	}
+}

@@ -1,0 +1,244 @@
+package annotate
+
+import (
+	"sort"
+	"strings"
+)
+
+// Elem is one position of a phrase pattern. Exactly one of Literal,
+// Category or PoS-matching is used, checked in that priority order:
+// a non-empty Literal matches the surface word; a non-empty Category
+// matches the dictionary category of the tagged unit; otherwise PoS is
+// compared (PoSAny matches everything).
+type Elem struct {
+	Literal  string
+	Category string
+	PoS      PoS
+}
+
+// Lit returns a literal-word element.
+func Lit(w string) Elem { return Elem{Literal: strings.ToLower(w), PoS: PoSAny} }
+
+// Cat returns a category element.
+func Cat(c string) Elem { return Elem{Category: c, PoS: PoSAny} }
+
+// Tag returns a PoS element ("please + VERB").
+func Tag(p PoS) Elem { return Elem{PoS: p} }
+
+// Pattern is a user-defined phrase pattern: when the element sequence
+// matches consecutive tagged units, a concept with the given canonical
+// label and semantic category is produced. The paper's examples:
+//
+//	please + VERB            → VERB[request]
+//	just + NUMERIC + dollars → mention of good rate[value selling]
+//	wonderful + rate         → mention of good rate[value selling]
+type Pattern struct {
+	Name     string
+	Elems    []Elem
+	Label    string // canonical concept text; "" = use matched surface
+	Category string
+}
+
+func (e Elem) matches(tw TaggedWord) bool {
+	if e.Literal != "" {
+		return tw.Word == e.Literal || tw.Canonical == e.Literal
+	}
+	if e.Category != "" {
+		return tw.Category == e.Category
+	}
+	return e.PoS == PoSAny || e.PoS == tw.PoS
+}
+
+// negators flip a predicate pattern's polarity when found immediately
+// before the keyword (within two tokens).
+var negators = map[string]bool{
+	"not": true, "never": true, "no": true, "dont": true, "don't": true,
+	"didnt": true, "didn't": true, "wasnt": true, "wasn't": true,
+	"isnt": true, "isn't": true,
+}
+
+// questionLeads start a question form when they open the clause.
+var questionLeads = map[string]bool{
+	"was": true, "is": true, "are": true, "were": true, "did": true,
+	"does": true, "do": true, "can": true, "could": true, "will": true,
+	"would": true,
+}
+
+// PolarityRule implements the paper's predicate analysis:
+//
+//	X was rude.     → rude[complaint]
+//	X was not rude. → not rude[commendation]
+//	Was X rude?     → rude[question]
+//
+// The keyword is matched anywhere; polarity is decided by a preceding
+// negator and question lead.
+type PolarityRule struct {
+	Keyword string
+	// Categories per polarity.
+	AssertCategory   string
+	NegatedCategory  string
+	QuestionCategory string
+}
+
+// Concept is one extracted unit of meaning: a canonical representation
+// plus its semantic category and the token span it came from.
+type Concept struct {
+	Canonical string
+	Category  string
+	Start     int // index into the tagged-unit sequence
+	End       int // one past the last tagged unit
+}
+
+// Engine bundles a dictionary, phrase patterns and polarity rules.
+type Engine struct {
+	dict     *Dictionary
+	patterns []Pattern
+	polarity []PolarityRule
+}
+
+// NewEngine returns an annotation engine over the dictionary.
+func NewEngine(dict *Dictionary) *Engine {
+	if dict == nil {
+		dict = NewDictionary()
+	}
+	return &Engine{dict: dict}
+}
+
+// Dictionary returns the engine's dictionary.
+func (en *Engine) Dictionary() *Dictionary { return en.dict }
+
+// AddPattern registers a phrase pattern.
+func (en *Engine) AddPattern(p Pattern) { en.patterns = append(en.patterns, p) }
+
+// AddPolarityRule registers a predicate polarity rule.
+func (en *Engine) AddPolarityRule(r PolarityRule) { en.polarity = append(en.polarity, r) }
+
+// Annotate extracts all concepts from text: dictionary concepts (one per
+// tagged unit carrying a category), phrase-pattern concepts, and
+// polarity-rule concepts. Results are ordered by start position.
+func (en *Engine) Annotate(text string) []Concept {
+	tagged := en.dict.Tag(text)
+	var out []Concept
+	// 1. Dictionary concepts.
+	for i, tw := range tagged {
+		if tw.Category != "" {
+			canonical := tw.Canonical
+			if canonical == "" {
+				canonical = tw.Word
+			}
+			out = append(out, Concept{Canonical: canonical, Category: tw.Category, Start: i, End: i + 1})
+		}
+	}
+	// 2. Phrase patterns.
+	for _, p := range en.patterns {
+		if len(p.Elems) == 0 {
+			continue
+		}
+		for i := 0; i+len(p.Elems) <= len(tagged); i++ {
+			ok := true
+			for j, e := range p.Elems {
+				if !e.matches(tagged[i+j]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			label := p.Label
+			if label == "" {
+				parts := make([]string, len(p.Elems))
+				for j := range p.Elems {
+					parts[j] = tagged[i+j].Word
+				}
+				label = strings.Join(parts, " ")
+			}
+			out = append(out, Concept{Canonical: label, Category: p.Category, Start: i, End: i + len(p.Elems)})
+		}
+	}
+	// 3. Polarity rules.
+	isQuestion := strings.Contains(text, "?")
+	for _, r := range en.polarity {
+		kw := strings.ToLower(r.Keyword)
+		for i, tw := range tagged {
+			if tw.Word != kw && tw.Canonical != kw {
+				continue
+			}
+			negated := false
+			for back := 1; back <= 2 && i-back >= 0; back++ {
+				if negators[tagged[i-back].Word] {
+					negated = true
+					break
+				}
+			}
+			questioned := false
+			if !negated && isQuestion {
+				// Question form: a question lead earlier in the clause.
+				for back := i - 1; back >= 0 && back >= i-6; back-- {
+					if questionLeads[tagged[back].Word] {
+						questioned = true
+						break
+					}
+				}
+			}
+			switch {
+			case negated:
+				out = append(out, Concept{Canonical: "not " + kw, Category: r.NegatedCategory, Start: i, End: i + 1})
+			case questioned:
+				out = append(out, Concept{Canonical: kw, Category: r.QuestionCategory, Start: i, End: i + 1})
+			default:
+				out = append(out, Concept{Canonical: kw, Category: r.AssertCategory, Start: i, End: i + 1})
+			}
+		}
+	}
+	sortConcepts(out)
+	return out
+}
+
+func sortConcepts(cs []Concept) {
+	sort.Slice(cs, func(i, j int) bool {
+		a, b := cs[i], cs[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Category != b.Category {
+			return a.Category < b.Category
+		}
+		return a.Canonical < b.Canonical
+	})
+}
+
+// Categories returns the distinct categories of a concept list, sorted.
+func Categories(cs []Concept) []string {
+	set := map[string]bool{}
+	for _, c := range cs {
+		set[c.Category] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasCategory reports whether any concept carries the category.
+func HasCategory(cs []Concept, category string) bool {
+	for _, c := range cs {
+		if c.Category == category {
+			return true
+		}
+	}
+	return false
+}
+
+// CanonicalsIn returns the canonical forms of concepts in a category.
+func CanonicalsIn(cs []Concept, category string) []string {
+	var out []string
+	for _, c := range cs {
+		if c.Category == category {
+			out = append(out, c.Canonical)
+		}
+	}
+	return out
+}

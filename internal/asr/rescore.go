@@ -1,0 +1,182 @@
+package asr
+
+import (
+	"errors"
+
+	"bivoc/internal/phonetics"
+)
+
+// Span is the half-open observation range [Start, End) a decoded word is
+// aligned to.
+type Span struct {
+	Start, End int
+}
+
+// AlignWordSpans force-aligns a decoded word sequence to the observed
+// phone sequence, returning one span per word. The alignment minimizes
+// the weighted phone edit distance between the concatenated lexicon
+// pronunciations and the observation. Out-of-lexicon words fail.
+func (l *Lexicon) AlignWordSpans(words []string, observed []phonetics.Phone) ([]Span, error) {
+	if len(words) == 0 {
+		return nil, nil
+	}
+	// Flatten pronunciations, remembering word boundaries.
+	var flat []phonetics.Phone
+	bounds := make([]int, 0, len(words)+1)
+	bounds = append(bounds, 0)
+	for _, w := range words {
+		p, ok := l.Pronunciation(w)
+		if !ok {
+			return nil, errors.New("asr: cannot align out-of-lexicon word " + w)
+		}
+		flat = append(flat, p...)
+		bounds = append(bounds, len(flat))
+	}
+	la, lb := len(flat), len(observed)
+	const indel = 0.7
+	// dp[i][j]: cost of aligning flat[:i] with observed[:j].
+	dp := make([][]float64, la+1)
+	for i := range dp {
+		dp[i] = make([]float64, lb+1)
+	}
+	for i := 1; i <= la; i++ {
+		dp[i][0] = float64(i) * indel
+	}
+	for j := 1; j <= lb; j++ {
+		dp[0][j] = float64(j) * indel
+	}
+	for i := 1; i <= la; i++ {
+		for j := 1; j <= lb; j++ {
+			sub := dp[i-1][j-1]
+			if flat[i-1] != observed[j-1] {
+				if phonetics.ClassOf(flat[i-1]) == phonetics.ClassOf(observed[j-1]) {
+					sub += 0.5
+				} else {
+					sub += 1.0
+				}
+			}
+			best := sub
+			if v := dp[i-1][j] + indel; v < best {
+				best = v
+			}
+			if v := dp[i][j-1] + indel; v < best {
+				best = v
+			}
+			dp[i][j] = best
+		}
+	}
+	// Backtrace, recording for each flat index the observation index it
+	// was consumed at.
+	obsAt := make([]int, la+1) // obsAt[i] = obs position after aligning flat[:i]
+	i, j := la, lb
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && equalsStep(dp, flat, observed, i, j):
+			obsAt[i] = j
+			i--
+			j--
+		case i > 0 && dp[i][j] == dp[i-1][j]+indel:
+			obsAt[i] = j
+			i--
+		default:
+			j--
+		}
+	}
+	// Convert word boundaries to observation spans.
+	spans := make([]Span, len(words))
+	for w := range words {
+		startFlat, endFlat := bounds[w], bounds[w+1]
+		var s, e int
+		if startFlat == 0 {
+			s = 0
+		} else {
+			s = obsAt[startFlat]
+		}
+		e = obsAt[endFlat]
+		if e < s {
+			e = s
+		}
+		if e > lb {
+			e = lb
+		}
+		spans[w] = Span{Start: s, End: e}
+	}
+	return spans, nil
+}
+
+func equalsStep(dp [][]float64, flat, observed []phonetics.Phone, i, j int) bool {
+	sub := dp[i-1][j-1]
+	if flat[i-1] != observed[j-1] {
+		if phonetics.ClassOf(flat[i-1]) == phonetics.ClassOf(observed[j-1]) {
+			sub += 0.5
+		} else {
+			sub += 1.0
+		}
+	}
+	return dp[i][j] == sub
+}
+
+// RescoreNames is the slot-level constrained second pass of §IV.A.1:
+// given the first-pass transcript, the observed phones, and the
+// candidate name inventory from database linking, each name-class word
+// is re-decoded in isolation — the observation span it aligns to is
+// matched against every allowed name's pronunciation, and the
+// phonetically closest wins (the incumbent word competes too, so the
+// rescoring never makes an aligned span worse under the phone metric).
+func (r *Recognizer) RescoreNames(first []string, observed []phonetics.Phone, allowed map[string]bool) []string {
+	if len(allowed) == 0 || len(first) == 0 {
+		return first
+	}
+	spans, err := r.Lex.AlignWordSpans(first, observed)
+	if err != nil {
+		return first
+	}
+	// Deterministic candidate order.
+	candidates := make([]string, 0, len(allowed))
+	for n := range allowed {
+		if r.Lex.Contains(n) {
+			candidates = append(candidates, n)
+		}
+	}
+	sortStrings(candidates)
+	out := make([]string, len(first))
+	copy(out, first)
+	for i, w := range first {
+		if r.Lex.ClassOfWord(w) != ClassName {
+			continue
+		}
+		span := observed[spans[i].Start:spans[i].End]
+		if len(span) == 0 {
+			continue
+		}
+		bestWord := w
+		bestDist := phoneDistTo(r.Lex, w, span)
+		for _, cand := range candidates {
+			if cand == w {
+				continue
+			}
+			if d := phoneDistTo(r.Lex, cand, span); d < bestDist {
+				bestDist = d
+				bestWord = cand
+			}
+		}
+		out[i] = bestWord
+	}
+	return out
+}
+
+func phoneDistTo(lex *Lexicon, word string, span []phonetics.Phone) float64 {
+	pron, ok := lex.Pronunciation(word)
+	if !ok {
+		return 1e9
+	}
+	return phonetics.PhoneDistance(pron, span)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package asr
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"bivoc/internal/lm"
+	"bivoc/internal/phonetics"
+	"bivoc/internal/rng"
+)
+
+func rescoreSetup(t *testing.T) *Recognizer {
+	t.Helper()
+	lex, model := testSetup(t)
+	_ = model
+	tr := lm.NewTrainer(2)
+	tr.Add(strings.Fields("my name is smith"))
+	tr.Add(strings.Fields("i want to book a car"))
+	m, err := tr.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRecognizer(lex, m, NewChannel(CallCenterChannel), DefaultDecoderConfig())
+}
+
+func TestAlignWordSpansExact(t *testing.T) {
+	rec := rescoreSetup(t)
+	words := []string{"my", "name", "is", "smith"}
+	obs, err := rec.Lex.Phones(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := rec.Lex.AlignWordSpans(words, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != len(words) {
+		t.Fatalf("%d spans for %d words", len(spans), len(words))
+	}
+	// Spans must be contiguous, ordered and cover the observation.
+	if spans[0].Start != 0 || spans[len(spans)-1].End != len(obs) {
+		t.Errorf("spans do not cover observation: %v", spans)
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start != spans[i-1].End {
+			t.Errorf("spans not contiguous: %v", spans)
+		}
+	}
+	// With a clean observation each span length equals the word's
+	// pronunciation length.
+	for i, w := range words {
+		p, _ := rec.Lex.Pronunciation(w)
+		if spans[i].End-spans[i].Start != len(p) {
+			t.Errorf("word %q span %v, pron length %d", w, spans[i], len(p))
+		}
+	}
+}
+
+func TestAlignWordSpansNoisy(t *testing.T) {
+	rec := rescoreSetup(t)
+	words := []string{"my", "name", "is", "smith"}
+	clean, err := rec.Lex.Phones(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := rec.Channel.Corrupt(rng.New(3), clean)
+	spans, err := rec.Lex.AlignWordSpans(words, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != len(words) {
+		t.Fatalf("spans = %v", spans)
+	}
+	for i := range spans {
+		if spans[i].Start > spans[i].End || spans[i].End > len(obs) {
+			t.Errorf("invalid span %v for obs length %d", spans[i], len(obs))
+		}
+	}
+}
+
+func TestAlignWordSpansErrors(t *testing.T) {
+	rec := rescoreSetup(t)
+	if _, err := rec.Lex.AlignWordSpans([]string{"zzznotaword"}, nil); err == nil {
+		t.Error("out-of-lexicon word should fail alignment")
+	}
+	spans, err := rec.Lex.AlignWordSpans(nil, nil)
+	if err != nil || spans != nil {
+		t.Error("empty words should align to nothing")
+	}
+}
+
+func TestRescoreNamesFixesSubstitutedName(t *testing.T) {
+	rec := rescoreSetup(t)
+	// Observation is clean phones for "my name is smith", but the first
+	// pass (simulated) substituted the confusable "smyth"... rescoring
+	// with the truth allowed should pick the candidate closest to the
+	// observation. Here the observation IS smith, so smith must win.
+	obs, err := rec.Lex.Phones([]string{"my", "name", "is", "smith"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := []string{"my", "name", "is", "jones"}
+	out := rec.RescoreNames(first, obs, map[string]bool{"smith": true, "davis": true})
+	if out[3] != "smith" {
+		t.Errorf("rescore picked %q, want smith", out[3])
+	}
+	// Non-name words are untouched.
+	if !reflect.DeepEqual(out[:3], first[:3]) {
+		t.Errorf("non-name words changed: %v", out)
+	}
+}
+
+func TestRescoreNamesKeepsIncumbentWhenClosest(t *testing.T) {
+	rec := rescoreSetup(t)
+	obs, err := rec.Lex.Phones([]string{"my", "name", "is", "jones"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := []string{"my", "name", "is", "jones"}
+	out := rec.RescoreNames(first, obs, map[string]bool{"smith": true, "miller": true})
+	if out[3] != "jones" {
+		t.Errorf("incumbent lost to farther candidate: %v", out)
+	}
+}
+
+func TestRescoreNamesNoCandidatesNoChange(t *testing.T) {
+	rec := rescoreSetup(t)
+	first := []string{"my", "name", "is", "jones"}
+	if got := rec.RescoreNames(first, nil, nil); !reflect.DeepEqual(got, first) {
+		t.Errorf("empty candidate set changed output: %v", got)
+	}
+	if got := rec.RescoreNames(nil, nil, map[string]bool{"smith": true}); got != nil {
+		t.Errorf("empty transcript rescored: %v", got)
+	}
+}
+
+func TestRescoreNamesIgnoresUnknownCandidates(t *testing.T) {
+	rec := rescoreSetup(t)
+	obs, err := rec.Lex.Phones([]string{"my", "name", "is", "jones"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := []string{"my", "name", "is", "jones"}
+	out := rec.RescoreNames(first, obs, map[string]bool{"zzznotinlexicon": true})
+	if !reflect.DeepEqual(out, first) {
+		t.Errorf("unknown candidate affected output: %v", out)
+	}
+}
+
+func TestRescoreNamesDeterministicTie(t *testing.T) {
+	rec := rescoreSetup(t)
+	// Homophones "smith"/"smyth" (identical pronunciations): allowed set
+	// containing both must resolve deterministically across runs.
+	obs, err := rec.Lex.Phones([]string{"my", "name", "is", "smith"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := []string{"my", "name", "is", "jones"}
+	allowed := map[string]bool{"smith": true, "smyth": true}
+	a := rec.RescoreNames(first, obs, allowed)
+	b := rec.RescoreNames(first, obs, allowed)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("tie resolution nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestDecodeDeterministic(t *testing.T) {
+	lex, model := testSetup(t)
+	rec := NewRecognizer(lex, model, NewChannel(CallCenterChannel), DefaultDecoderConfig())
+	ref := strings.Fields("my name is smith i want to book a car")
+	phones, err := lex.Phones(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := rec.Channel.Corrupt(rng.New(77), phones)
+	a := rec.TranscribePhones(obs)
+	b := rec.TranscribePhones(obs)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("decode nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestTrieEdgesSorted(t *testing.T) {
+	lex := NewLexicon()
+	lex.AddAll([]string{"zebra", "apple", "mango", "book", "cat", "dog"}, ClassGeneric)
+	for i, n := range lex.nodes {
+		for j := 1; j < len(n.edges); j++ {
+			if n.edges[j].phone <= n.edges[j-1].phone {
+				t.Fatalf("node %d edges unsorted: %v", i, n.edges)
+			}
+		}
+	}
+}
+
+func TestTrieChildLookup(t *testing.T) {
+	lex := NewLexicon()
+	if err := lex.Add("cat", ClassGeneric); err != nil {
+		t.Fatal(err)
+	}
+	root := &lex.nodes[0]
+	if root.child(phonetics.K) < 0 {
+		t.Error("missing K edge at root")
+	}
+	if root.child(phonetics.ZH) >= 0 {
+		t.Error("phantom edge at root")
+	}
+}

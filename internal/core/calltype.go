@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"bivoc/internal/classify"
+	"bivoc/internal/synth"
+	"bivoc/internal/textproc"
+)
+
+// Call-type classification (§II background, refs [21] and [10] of the
+// paper: "call type classification for the purpose of categorizing
+// calls" and "automatic call routing"). BIVoC uses the call type as a
+// structured dimension; in engagements where the CRM does not record
+// it, this classifier derives it from the transcript.
+
+// Call-type labels.
+const (
+	CallTypeSales   = "sales"
+	CallTypeService = "service"
+)
+
+// CallTypeClassifier labels calls as reservation-seeking or service.
+type CallTypeClassifier struct {
+	nb *classify.NaiveBayes
+}
+
+// NewCallTypeClassifier returns an untrained classifier.
+func NewCallTypeClassifier() *CallTypeClassifier {
+	return &CallTypeClassifier{nb: classify.NewNaiveBayes()}
+}
+
+func callTypeFeatures(transcript []string) []string {
+	// Use the opening region only: routing must decide early, and the
+	// tail of a sales call (identity, closing) looks like any other call.
+	n := len(transcript)
+	if n > 30 {
+		n = 30
+	}
+	text := strings.Join(transcript[:n], " ")
+	return textproc.ContentWords(text)
+}
+
+// Train adds one labeled call.
+func (c *CallTypeClassifier) Train(transcript []string, callType string) {
+	c.nb.Train(callType, callTypeFeatures(transcript))
+}
+
+// TrainFromCalls trains on a generated corpus using the hidden truth.
+func (c *CallTypeClassifier) TrainFromCalls(calls []synth.Call) {
+	for _, call := range calls {
+		label := CallTypeSales
+		if call.Intent == synth.IntentService {
+			label = CallTypeService
+		}
+		c.Train(call.Transcript, label)
+	}
+}
+
+// Classify returns the predicted call type.
+func (c *CallTypeClassifier) Classify(transcript []string) string {
+	return c.nb.Predict(callTypeFeatures(transcript))
+}
+
+// Evaluate measures accuracy over labeled calls.
+func (c *CallTypeClassifier) Evaluate(calls []synth.Call) (accuracy float64, err error) {
+	if len(calls) == 0 {
+		return 0, fmt.Errorf("core: no calls to evaluate")
+	}
+	correct := 0
+	for _, call := range calls {
+		want := CallTypeSales
+		if call.Intent == synth.IntentService {
+			want = CallTypeService
+		}
+		if c.Classify(call.Transcript) == want {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(calls)), nil
+}

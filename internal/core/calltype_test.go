@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bivoc/internal/asr"
+	"bivoc/internal/rng"
+	"bivoc/internal/synth"
+)
+
+func TestCallTypeClassifierOnReferenceTranscripts(t *testing.T) {
+	cfg := fastWorld()
+	world, err := synth.NewCarRentalWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := world.GenerateCalls(0, 2)
+	test := world.GenerateCalls(2, 2)
+
+	c := NewCallTypeClassifier()
+	c.TrainFromCalls(train)
+	acc, err := c.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("call-type accuracy %v on clean transcripts, want >= 0.9", acc)
+	}
+}
+
+func TestCallTypeClassifierOnNoisyTranscripts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ASR decoding is slow")
+	}
+	cfg := fastWorld()
+	cfg.CallsPerDay = 40
+	world, err := synth.NewCarRentalWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := synth.BuildRecognizer(asr.CallCenterChannel, asr.DecoderConfig{BeamWidth: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := world.GenerateCalls(0, 2)
+	r := rng.New(11)
+	c := NewCallTypeClassifier()
+	// Train on the first half of noisy transcripts, evaluate on the rest.
+	var noisy []synth.Call
+	for _, call := range calls {
+		hyp, err := rec.Transcribe(r.SplitString(call.ID), call.Transcript)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc := call
+		nc.Transcript = hyp
+		noisy = append(noisy, nc)
+	}
+	half := len(noisy) / 2
+	c.TrainFromCalls(noisy[:half])
+	acc, err := c.Evaluate(noisy[half:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.6 {
+		t.Errorf("call-type accuracy %v on noisy transcripts, want >= 0.6", acc)
+	}
+}
+
+func TestCallTypeClassifierDirectLabels(t *testing.T) {
+	c := NewCallTypeClassifier()
+	c.Train(strings.Fields("i want to book a car today"), CallTypeSales)
+	c.Train(strings.Fields("i want to change my booking"), CallTypeService)
+	c.Train(strings.Fields("i need to pick up a car"), CallTypeSales)
+	c.Train(strings.Fields("please cancel my reservation"), CallTypeService)
+	if got := c.Classify(strings.Fields("i want to book a full size car")); got != CallTypeSales {
+		t.Errorf("sales call classified as %q", got)
+	}
+	if got := c.Classify(strings.Fields("cancel my reservation please")); got != CallTypeService {
+		t.Errorf("service call classified as %q", got)
+	}
+}
+
+func TestCallTypeEvaluateEmpty(t *testing.T) {
+	c := NewCallTypeClassifier()
+	if _, err := c.Evaluate(nil); err == nil {
+		t.Error("empty evaluation should error")
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"bivoc/internal/mining"
+	"bivoc/internal/synth"
+)
+
+func TestRunEmailCategoryAnalysis(t *testing.T) {
+	cfg := DefaultEmailAssociationConfig()
+	cfg.World.NumCustomers = 400
+	cfg.World.Emails = 1500
+	ea, err := RunEmailCategoryAnalysis(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea.Index.Len() == 0 {
+		t.Fatal("no emails indexed")
+	}
+	if len(ea.Table.Rows) != len(synth.Competitors()) {
+		t.Errorf("rows = %d", len(ea.Table.Rows))
+	}
+	if len(ea.Table.Cols) != len(synth.EmailCategories()) {
+		t.Errorf("cols = %d", len(ea.Table.Cols))
+	}
+	// Some competitor mentions must survive cleaning and noise.
+	totalMentions := 0
+	for _, comp := range synth.Competitors() {
+		totalMentions += ea.Index.Count(mining.ConceptDim(CatCompetitor, comp))
+	}
+	if totalMentions == 0 {
+		t.Fatal("no competitor mentions detected")
+	}
+	// The designed association: competitor mentions are enriched in the
+	// cancellation category relative to its base rate.
+	cancellation := mining.FieldDim("category", synth.CategoryCancellation)
+	baseRate := float64(ea.Index.Count(cancellation)) / float64(ea.Index.Len())
+	withComp, cancelComp := 0, 0
+	for _, comp := range synth.Competitors() {
+		d := mining.ConceptDim(CatCompetitor, comp)
+		withComp += ea.Index.Count(d)
+		cancelComp += ea.Index.CountBoth(d, cancellation)
+	}
+	compRate := float64(cancelComp) / float64(withComp)
+	if compRate <= baseRate {
+		t.Errorf("competitor mentions should be enriched in cancellations: %v vs base %v", compRate, baseRate)
+	}
+}
+
+func TestEmailCategoriesAssigned(t *testing.T) {
+	cfg := synth.DefaultTelecomConfig()
+	cfg.NumCustomers = 200
+	cfg.Emails = 400
+	cfg.SMS = 0
+	w, err := synth.NewTelecomWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, m := range w.Emails {
+		if m.Spam {
+			continue
+		}
+		if m.Category == "" {
+			t.Fatalf("message %s has no category", m.ID)
+		}
+		seen[m.Category]++
+	}
+	if len(seen) < 3 {
+		t.Errorf("category diversity too low: %v", seen)
+	}
+}
+
+func TestCompetitorMentionsConcentrateInChurners(t *testing.T) {
+	cfg := synth.DefaultTelecomConfig()
+	cfg.NumCustomers = 500
+	cfg.Emails = 2500
+	cfg.SMS = 0
+	w, err := synth.NewTelecomWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churnComp, churnN, stayComp, stayN := 0, 0, 0, 0
+	for _, m := range w.Emails {
+		if m.Spam || m.CustIdx < 0 {
+			continue
+		}
+		if m.FromChurner {
+			churnN++
+			if m.Competitor != "" {
+				churnComp++
+			}
+		} else {
+			stayN++
+			if m.Competitor != "" {
+				stayComp++
+			}
+		}
+	}
+	if churnN == 0 || stayN == 0 {
+		t.Fatal("degenerate corpus")
+	}
+	churnRate := float64(churnComp) / float64(churnN)
+	stayRate := float64(stayComp) / float64(stayN)
+	if churnRate <= stayRate*2 {
+		t.Errorf("competitor mentions should concentrate in churners: churn %v vs stay %v", churnRate, stayRate)
+	}
+}
+
+func TestStratifiedPickRepresentative(t *testing.T) {
+	// Agents with conversion 0.00 .. 0.89; picking 10 of 90 should give a
+	// group whose mean is close to the population mean.
+	var stats []AgentWindowStats
+	for i := 0; i < 90; i++ {
+		stats = append(stats, AgentWindowStats{
+			AgentID:      "A",
+			Reservations: i,
+			Unbooked:     89,
+		})
+	}
+	picked := stratifiedPick(stats, 10)
+	if len(picked) != 10 {
+		t.Fatalf("picked %d", len(picked))
+	}
+	popMean, pickMean := 0.0, 0.0
+	for _, s := range stats {
+		popMean += s.ConversionRate()
+	}
+	popMean /= float64(len(stats))
+	seen := map[int]bool{}
+	for _, idx := range picked {
+		if seen[idx] {
+			t.Fatal("duplicate pick")
+		}
+		seen[idx] = true
+		pickMean += stats[idx].ConversionRate()
+	}
+	pickMean /= float64(len(picked))
+	if diff := pickMean - popMean; diff < -0.03 || diff > 0.03 {
+		t.Errorf("stratified mean %v far from population %v", pickMean, popMean)
+	}
+}
+
+func TestStratifiedPickEdgeCases(t *testing.T) {
+	if got := stratifiedPick(nil, 5); len(got) != 0 {
+		t.Errorf("empty stats picked %v", got)
+	}
+	stats := []AgentWindowStats{{Reservations: 1, Unbooked: 1}}
+	if got := stratifiedPick(stats, 5); len(got) != 1 {
+		t.Errorf("n>len picked %v", got)
+	}
+	if got := stratifiedPick(stats, 0); len(got) != 0 {
+		t.Errorf("n=0 picked %v", got)
+	}
+}

@@ -1,0 +1,383 @@
+// Package fuzzy implements the attribute similarity measures plugged into
+// the BIVoC data-linking engine (§IV.B of the paper). The scoring
+// framework there is measure-agnostic — "the best similarity measure
+// available for specific attributes can be readily plugged into our
+// architecture" — so this package provides the standard family: edit
+// distances (Levenshtein, Damerau), Jaro-Winkler for short names,
+// character n-gram overlap for longer strings, digit-sequence similarity
+// for phone numbers and amounts, and token-set similarity for multi-word
+// attributes.
+//
+// All similarities are in [0, 1] with 1 meaning identical.
+package fuzzy
+
+import (
+	"strings"
+)
+
+// Levenshtein returns the unit-cost edit distance between a and b,
+// operating on bytes (inputs are expected to be normalized ASCII-ish
+// tokens; noisy VoC text is lowercased before matching).
+func Levenshtein(a, b string) int {
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev := make([]int, lb+1)
+	curr := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		curr[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if v := prev[j] + 1; v < m {
+				m = v
+			}
+			if v := curr[j-1] + 1; v < m {
+				m = v
+			}
+			curr[j] = m
+		}
+		prev, curr = curr, prev
+	}
+	return prev[lb]
+}
+
+// DamerauLevenshtein returns the edit distance allowing adjacent
+// transpositions (the restricted/optimal-string-alignment variant), which
+// matters for keyboard typos in email and SMS ("teh" → "the").
+func DamerauLevenshtein(a, b string) int {
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	rows := make([][]int, la+1)
+	for i := range rows {
+		rows[i] = make([]int, lb+1)
+		rows[i][0] = i
+	}
+	for j := 0; j <= lb; j++ {
+		rows[0][j] = j
+	}
+	for i := 1; i <= la; i++ {
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := rows[i-1][j-1] + cost
+			if v := rows[i-1][j] + 1; v < m {
+				m = v
+			}
+			if v := rows[i][j-1] + 1; v < m {
+				m = v
+			}
+			if i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+				if v := rows[i-2][j-2] + 1; v < m {
+					m = v
+				}
+			}
+			rows[i][j] = m
+		}
+	}
+	return rows[la][lb]
+}
+
+// LevenshteinSimilarity maps edit distance into [0, 1] by normalizing
+// with the longer length.
+func LevenshteinSimilarity(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(n)
+}
+
+// Jaro returns the Jaro similarity of a and b.
+func Jaro(a, b string) float64 {
+	la, lb := len(a), len(b)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	aMatch := make([]bool, la)
+	bMatch := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if bMatch[j] || a[i] != b[j] {
+				continue
+			}
+			aMatch[i] = true
+			bMatch[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched characters.
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !aMatch[i] {
+			continue
+		}
+		for !bMatch[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler boosts Jaro similarity for strings sharing a prefix (up to
+// 4 characters) with the standard scaling factor 0.1. It is the default
+// measure for person and place names.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	for prefix < len(a) && prefix < len(b) && prefix < 4 && a[prefix] == b[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// NGramSet returns the set of character n-grams of s, padding with
+// (n-1) boundary markers so short strings still produce grams.
+func NGramSet(s string, n int) map[string]struct{} {
+	if n <= 0 {
+		n = 2
+	}
+	pad := strings.Repeat("#", n-1)
+	p := pad + s + pad
+	out := make(map[string]struct{})
+	for i := 0; i+n <= len(p); i++ {
+		out[p[i:i+n]] = struct{}{}
+	}
+	return out
+}
+
+// JaccardNGram returns the Jaccard coefficient between the character
+// n-gram sets of a and b.
+func JaccardNGram(a, b string, n int) float64 {
+	sa, sb := NGramSet(a, n), NGramSet(b, n)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for g := range sa {
+		if _, ok := sb[g]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// DiceNGram returns the Sørensen-Dice coefficient between the character
+// n-gram sets of a and b.
+func DiceNGram(a, b string, n int) float64 {
+	sa, sb := NGramSet(a, n), NGramSet(b, n)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for g := range sa {
+		if _, ok := sb[g]; ok {
+			inter++
+		}
+	}
+	denom := len(sa) + len(sb)
+	if denom == 0 {
+		return 1
+	}
+	return 2 * float64(inter) / float64(denom)
+}
+
+// DigitSimilarity compares two digit strings the way a partially
+// recognized telephone number should be compared with a database value:
+// it extracts the digits from both, then scores the longest common
+// subsequence of digits relative to the reference length. Recognizing 6
+// of 10 digits correctly (the paper's example) yields 0.6.
+func DigitSimilarity(observed, reference string) float64 {
+	od := digitsOf(observed)
+	rd := digitsOf(reference)
+	if len(rd) == 0 {
+		if len(od) == 0 {
+			return 1
+		}
+		return 0
+	}
+	l := lcsLen(od, rd)
+	return float64(l) / float64(len(rd))
+}
+
+func digitsOf(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] >= '0' && s[i] <= '9' {
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+func lcsLen(a, b string) int {
+	la, lb := len(a), len(b)
+	prev := make([]int, lb+1)
+	curr := make([]int, lb+1)
+	for i := 1; i <= la; i++ {
+		for j := 1; j <= lb; j++ {
+			if a[i-1] == b[j-1] {
+				curr[j] = prev[j-1] + 1
+			} else if prev[j] >= curr[j-1] {
+				curr[j] = prev[j]
+			} else {
+				curr[j] = curr[j-1]
+			}
+		}
+		prev, curr = curr, prev
+		for j := range curr {
+			curr[j] = 0
+		}
+	}
+	return prev[lb]
+}
+
+// NumericProximity scores two numeric magnitudes: 1 when equal, decaying
+// linearly to 0 at a relative difference of tol (e.g. tol = 0.5 means a
+// 50% discrepancy scores 0). Customers misremember amounts; the paper
+// notes "the customer may mention a different transaction amount in her
+// email".
+func NumericProximity(a, b, tol float64) float64 {
+	if tol <= 0 {
+		if a == b {
+			return 1
+		}
+		return 0
+	}
+	den := a
+	if den < 0 {
+		den = -den
+	}
+	if bb := b; bb < 0 {
+		bb = -bb
+		if bb > den {
+			den = bb
+		}
+	} else if bb > den {
+		den = bb
+	}
+	if den == 0 {
+		return 1 // both zero
+	}
+	rel := (a - b) / den
+	if rel < 0 {
+		rel = -rel
+	}
+	v := 1 - rel/tol
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// TokenSetSimilarityBest compares a (usually single-word) document token
+// against a stored attribute value that may hold several words ("john p
+// smith"): a single-word token scores its best Jaro-Winkler match against
+// any word of the value, while a multi-word token falls back to the full
+// token-set alignment. This is the right shape for ASR output, where a
+// call usually surfaces one fragment of a multi-word database value.
+func TokenSetSimilarityBest(token, value string) float64 {
+	token = strings.ToLower(strings.TrimSpace(token))
+	if strings.ContainsRune(token, ' ') {
+		return TokenSetSimilarity(token, value)
+	}
+	best := 0.0
+	for _, w := range strings.Fields(strings.ToLower(value)) {
+		if s := JaroWinkler(token, w); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// TokenSetSimilarity compares two multi-word strings by greedily aligning
+// their tokens with JaroWinkler and averaging over the larger token
+// count. It tolerates word reordering ("john p smith" vs "smith, john").
+func TokenSetSimilarity(a, b string) float64 {
+	ta := strings.Fields(strings.ToLower(a))
+	tb := strings.Fields(strings.ToLower(b))
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	if len(ta) > len(tb) {
+		ta, tb = tb, ta
+	}
+	used := make([]bool, len(tb))
+	total := 0.0
+	for _, wa := range ta {
+		best, bestJ := 0.0, -1
+		for j, wb := range tb {
+			if used[j] {
+				continue
+			}
+			if s := JaroWinkler(wa, wb); s > best {
+				best, bestJ = s, j
+			}
+		}
+		if bestJ >= 0 {
+			used[bestJ] = true
+			total += best
+		}
+	}
+	return total / float64(len(tb))
+}

@@ -1,0 +1,289 @@
+package fuzzy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+		{"book", "back", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinMetricProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		d := Levenshtein(a, b)
+		// Symmetry, identity, and bounds.
+		if d != Levenshtein(b, a) {
+			return false
+		}
+		if (d == 0) != (a == b) {
+			return false
+		}
+		max := len(a)
+		if len(b) > max {
+			max = len(b)
+		}
+		min := len(a) - len(b)
+		if min < 0 {
+			min = -min
+		}
+		return d >= min && d <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDamerauTransposition(t *testing.T) {
+	if got := DamerauLevenshtein("teh", "the"); got != 1 {
+		t.Errorf("transposition should cost 1, got %d", got)
+	}
+	if got := Levenshtein("teh", "the"); got != 2 {
+		t.Errorf("plain Levenshtein transposition = %d, want 2", got)
+	}
+	if got := DamerauLevenshtein("abcd", "abcd"); got != 0 {
+		t.Errorf("self distance = %d", got)
+	}
+	if got := DamerauLevenshtein("", "xy"); got != 2 {
+		t.Errorf("empty distance = %d", got)
+	}
+}
+
+func TestDamerauNeverExceedsLevenshtein(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		return DamerauLevenshtein(a, b) <= Levenshtein(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinSimilarityRange(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		v := LevenshteinSimilarity(a, b)
+		return v >= 0 && v <= 1 && (v == 1) == (a == b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroKnown(t *testing.T) {
+	// Canonical examples from the literature.
+	if got := Jaro("MARTHA", "MARHTA"); math.Abs(got-0.944444) > 1e-5 {
+		t.Errorf("Jaro(MARTHA,MARHTA) = %v, want 0.944444", got)
+	}
+	if got := Jaro("DIXON", "DICKSONX"); math.Abs(got-0.766667) > 1e-5 {
+		t.Errorf("Jaro(DIXON,DICKSONX) = %v, want 0.766667", got)
+	}
+	if Jaro("", "") != 1 || Jaro("a", "") != 0 {
+		t.Error("Jaro empty-string handling wrong")
+	}
+	if Jaro("abc", "xyz") != 0 {
+		t.Error("disjoint strings should score 0")
+	}
+}
+
+func TestJaroWinklerKnown(t *testing.T) {
+	if got := JaroWinkler("MARTHA", "MARHTA"); math.Abs(got-0.961111) > 1e-5 {
+		t.Errorf("JW(MARTHA,MARHTA) = %v, want 0.961111", got)
+	}
+	if got := JaroWinkler("DWAYNE", "DUANE"); math.Abs(got-0.84) > 1e-2 {
+		t.Errorf("JW(DWAYNE,DUANE) = %v, want ~0.84", got)
+	}
+}
+
+func TestJaroWinklerPrefixBoost(t *testing.T) {
+	// Same Jaro backbone, shared prefix should never hurt.
+	f := func(a, b string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		jw := JaroWinkler(a, b)
+		j := Jaro(a, b)
+		return jw >= j-1e-12 && jw <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroSymmetryProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		return math.Abs(Jaro(a, b)-Jaro(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNGramSet(t *testing.T) {
+	s := NGramSet("ab", 2)
+	for _, g := range []string{"#a", "ab", "b#"} {
+		if _, ok := s[g]; !ok {
+			t.Errorf("missing gram %q", g)
+		}
+	}
+	if len(s) != 3 {
+		t.Errorf("got %d grams", len(s))
+	}
+	if got := NGramSet("", 2); len(got) != 1 { // "##"
+		t.Errorf("empty-string grams: %v", got)
+	}
+}
+
+func TestJaccardDiceAgreement(t *testing.T) {
+	// Dice >= Jaccard always; equal only at 0 or 1.
+	f := func(a, b string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		j := JaccardNGram(a, b, 2)
+		d := DiceNGram(a, b, 2)
+		if j < 0 || j > 1 || d < 0 || d > 1 {
+			return false
+		}
+		return d >= j-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaccardIdentity(t *testing.T) {
+	if JaccardNGram("reservation", "reservation", 3) != 1 {
+		t.Error("identical strings should score 1")
+	}
+	if JaccardNGram("abc", "xyz", 2) != 0 {
+		t.Error("disjoint strings should score 0")
+	}
+}
+
+func TestDigitSimilarityPartialRecognition(t *testing.T) {
+	// The paper's example: 6 of 10 digits recognized.
+	if got := DigitSimilarity("987654", "9876543210"); got != 0.6 {
+		t.Errorf("partial digits = %v, want 0.6", got)
+	}
+	if got := DigitSimilarity("9876543210", "9876543210"); got != 1 {
+		t.Errorf("full digits = %v", got)
+	}
+	if got := DigitSimilarity("phone 98-76", "9876"); got != 1 {
+		t.Errorf("embedded digits = %v", got)
+	}
+	if got := DigitSimilarity("", ""); got != 1 {
+		t.Errorf("both empty = %v", got)
+	}
+	if got := DigitSimilarity("123", ""); got != 0 {
+		t.Errorf("observed vs empty ref = %v", got)
+	}
+	if got := DigitSimilarity("", "123"); got != 0 {
+		t.Errorf("empty observed = %v", got)
+	}
+}
+
+func TestDigitSimilarityOrderMatters(t *testing.T) {
+	// LCS-based: reversed digits should score poorly.
+	fwd := DigitSimilarity("123456", "123456")
+	rev := DigitSimilarity("654321", "123456")
+	if rev >= fwd {
+		t.Errorf("reversed digits score %v should be below %v", rev, fwd)
+	}
+}
+
+func TestNumericProximity(t *testing.T) {
+	if NumericProximity(100, 100, 0.5) != 1 {
+		t.Error("equal values should score 1")
+	}
+	if got := NumericProximity(100, 150, 0.5); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("got %v", got)
+	}
+	if NumericProximity(100, 300, 0.5) != 0 {
+		t.Error("huge discrepancy should score 0")
+	}
+	if NumericProximity(0, 0, 0.5) != 1 {
+		t.Error("both zero should score 1")
+	}
+	if NumericProximity(5, 5, 0) != 1 || NumericProximity(5, 6, 0) != 0 {
+		t.Error("zero tolerance should be exact match")
+	}
+}
+
+func TestNumericProximityRangeProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		v := NumericProximity(a, b, 0.5)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenSetSimilarity(t *testing.T) {
+	if got := TokenSetSimilarity("john smith", "smith john"); got < 0.99 {
+		t.Errorf("reordered tokens = %v, want ~1", got)
+	}
+	if got := TokenSetSimilarity("john smith", "john q smith"); got < 0.6 {
+		t.Errorf("extra middle token = %v", got)
+	}
+	one := TokenSetSimilarity("john smith", "jon smith")
+	two := TokenSetSimilarity("john smith", "peter jones")
+	if one <= two {
+		t.Errorf("near-name %v should beat far name %v", one, two)
+	}
+	if TokenSetSimilarity("", "") != 1 {
+		t.Error("both empty should score 1")
+	}
+	if TokenSetSimilarity("a", "") != 0 {
+		t.Error("one empty should score 0")
+	}
+}

@@ -1,0 +1,228 @@
+// Package linker implements the data-linking engine of BIVoC (§IV.B) —
+// the paper's core technical contribution: identifying, for a noisy
+// unstructured document, the structured-database entity (and entity
+// type) the document is about.
+//
+// The pipeline is exactly the paper's: annotators extract typed tokens
+// from the document; each token is fuzzily matched against a small
+// subset of entity attributes; per-token ranked candidate lists are
+// merged with a Fagin/Threshold-Algorithm top-k merge (Eqn 2 for the
+// single-type problem); for the multi-type problem the score carries
+// per-(attribute, entity-type) weights (Eqn 3), learned unsupervised
+// with an EM-style procedure when no labeled documents exist.
+package linker
+
+import (
+	"strconv"
+	"strings"
+
+	"bivoc/internal/phonetics"
+	"bivoc/internal/textproc"
+)
+
+// TokenType is the annotator that produced a token — it determines which
+// entity attributes the token is matched against ("we use annotators to
+// extract relevant tokens ... and then map each extracted token to a
+// small subset of the attributes").
+type TokenType uint8
+
+// Token types produced by the built-in annotators.
+const (
+	TokName   TokenType = iota // person name mention
+	TokDigits                  // phone/card/receipt number fragment
+	TokAmount                  // monetary amount
+	TokPlace                   // location mention
+	TokWord                    // other content word (rarely used for linking)
+)
+
+func (t TokenType) String() string {
+	switch t {
+	case TokName:
+		return "name"
+	case TokDigits:
+		return "digits"
+	case TokAmount:
+		return "amount"
+	case TokPlace:
+		return "place"
+	default:
+		return "word"
+	}
+}
+
+// Token is an annotated span from a document.
+type Token struct {
+	Text string
+	Type TokenType
+}
+
+// Annotators holds the dictionaries the token extractor uses. The paper
+// builds these per engagement ("using a Name annotator, for example, we
+// can extract all the names from the document").
+type Annotators struct {
+	// Names is the lowercase name lexicon (given names and surnames).
+	Names map[string]bool
+	// Places is the lowercase location lexicon.
+	Places map[string]bool
+	// CurrencyMarkers are words that mark a following (or preceding)
+	// number as an amount: "rs", "rupees", "dollars", "$".
+	CurrencyMarkers map[string]bool
+	// MinDigits is the minimum digit-run length treated as an identifier
+	// fragment (defaults to 3).
+	MinDigits int
+}
+
+// NewAnnotators returns annotators with the given lexicons and standard
+// currency markers.
+func NewAnnotators(names, places []string) *Annotators {
+	a := &Annotators{
+		Names:  make(map[string]bool, len(names)),
+		Places: make(map[string]bool, len(places)),
+		CurrencyMarkers: map[string]bool{
+			"rs": true, "rs.": true, "rupees": true, "dollars": true,
+			"$": true, "inr": true, "usd": true,
+		},
+		MinDigits: 3,
+	}
+	for _, n := range names {
+		a.Names[strings.ToLower(n)] = true
+	}
+	for _, p := range places {
+		a.Places[strings.ToLower(p)] = true
+	}
+	return a
+}
+
+// Extract runs the annotators over text, producing typed tokens.
+// Consecutive spoken digit words ("five five five one...") are rejoined
+// into digit strings first, because ASR transcripts spell numbers out.
+// Multi-word names are emitted token-by-token; the scorer's token-set
+// similarity reassembles them against full name attributes.
+func (a *Annotators) Extract(text string) []Token {
+	words := rejoinSpokenDigits(textproc.Words(text))
+	var out []Token
+	for i := 0; i < len(words); i++ {
+		w := words[i]
+		switch {
+		case textproc.IsNumeric(w):
+			digits := len(w)
+			min := a.MinDigits
+			if min <= 0 {
+				min = 3
+			}
+			switch {
+			case a.isAmountContext(words, i):
+				out = append(out, Token{Text: w, Type: TokAmount})
+			case digits >= min:
+				out = append(out, Token{Text: w, Type: TokDigits})
+			}
+		case a.Names[w]:
+			out = append(out, Token{Text: w, Type: TokName})
+		case a.Places[w]:
+			out = append(out, Token{Text: w, Type: TokPlace})
+		}
+	}
+	return out
+}
+
+// isAmountContext reports whether the numeric word at index i sits next
+// to a currency marker.
+func (a *Annotators) isAmountContext(words []string, i int) bool {
+	if i > 0 && a.CurrencyMarkers[words[i-1]] {
+		return true
+	}
+	if i+1 < len(words) && a.CurrencyMarkers[words[i+1]] {
+		return true
+	}
+	return false
+}
+
+// ExtractIdentity extracts only identity-bearing tokens, using dialogue
+// anchors: name tokens must follow a "name" mention within a short
+// window, digit tokens must sit near a "number"/"phone"/"account"
+// mention. On conversational transcripts this is far more precise than
+// Extract — ASR hallucinates name words freely (names are the
+// highest-WER class, Table I), and identity linking must not let those
+// hallucinations outvote the customer's actual self-identification.
+// When the text contains no anchors (or no entities near them), it
+// returns nothing: no identity evidence is better than fabricated
+// evidence when the caller will act on the link (e.g. constrain a
+// second decoding pass).
+func (a *Annotators) ExtractIdentity(text string) []Token {
+	words := rejoinSpokenDigits(textproc.Words(text))
+	const nameWindow = 4
+	const digitWindow = 14
+	var out []Token
+	for i, w := range words {
+		switch w {
+		case "name":
+			for j := i + 1; j < len(words) && j <= i+nameWindow; j++ {
+				if a.Names[words[j]] {
+					out = append(out, Token{Text: words[j], Type: TokName})
+				}
+			}
+		case "number", "phone", "account", "birth":
+			for j := i + 1; j < len(words) && j <= i+digitWindow; j++ {
+				if textproc.IsNumeric(words[j]) && len(words[j]) >= 3 {
+					out = append(out, Token{Text: words[j], Type: TokDigits})
+				}
+			}
+		}
+		// Place mentions need no anchor: the location inventory is small
+		// and distinctive, and a location is corroborating (never
+		// identifying) evidence.
+		if a.Places[w] {
+			out = append(out, Token{Text: w, Type: TokPlace})
+		}
+	}
+	return dedupeTokens(out)
+}
+
+func dedupeTokens(toks []Token) []Token {
+	seen := map[Token]bool{}
+	out := toks[:0]
+	for _, t := range toks {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// rejoinSpokenDigits collapses runs of spoken digit words into digit
+// strings: ["five","five","five","one"] → ["5551"]. Runs shorter than 3
+// are left as words ("one car" stays "one car").
+func rejoinSpokenDigits(words []string) []string {
+	var out []string
+	i := 0
+	for i < len(words) {
+		var digits []byte
+		j := i
+		for j < len(words) {
+			d, ok := phonetics.WordForDigitWord(words[j])
+			if !ok {
+				break
+			}
+			digits = append(digits, d)
+			j++
+		}
+		if len(digits) >= 3 {
+			out = append(out, string(digits))
+			i = j
+			continue
+		}
+		out = append(out, words[i])
+		i++
+	}
+	return out
+}
+
+// ParseAmount extracts the numeric value of an amount token.
+func ParseAmount(text string) (float64, bool) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(text), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

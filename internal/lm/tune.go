@@ -1,0 +1,92 @@
+package lm
+
+import (
+	"errors"
+	"math"
+)
+
+// TuneInterpolationWeights estimates linear-interpolation weights for
+// component models by expectation-maximization on held-out text — the
+// standard way the paper's "linearly combined with high weight given to
+// call-center specific model" weights are actually chosen. Each EM
+// iteration computes, for every held-out token, the posterior
+// responsibility of each component, then re-normalizes.
+//
+// It returns the weight vector (summing to 1) and the final held-out
+// log-likelihood per token.
+func TuneInterpolationWeights(models []Model, heldout [][]string, iterations int) ([]float64, float64, error) {
+	if len(models) == 0 {
+		return nil, 0, errors.New("lm: no models to tune")
+	}
+	if len(heldout) == 0 {
+		return nil, 0, errors.New("lm: no held-out data")
+	}
+	if iterations <= 0 {
+		iterations = 10
+	}
+	k := len(models)
+	weights := make([]float64, k)
+	for i := range weights {
+		weights[i] = 1 / float64(k)
+	}
+	// Pre-compute per-token component probabilities once; EM then only
+	// re-weights them.
+	type tokenProbs []float64 // one per component
+	var probs []tokenProbs
+	for _, sentence := range heldout {
+		for pos := 0; pos <= len(sentence); pos++ {
+			word := EOS
+			if pos < len(sentence) {
+				word = sentence[pos]
+			}
+			tp := make(tokenProbs, k)
+			for ci, m := range models {
+				tp[ci] = math.Exp(m.LogProb(sentence[:pos], word))
+			}
+			probs = append(probs, tp)
+		}
+	}
+	var ll float64
+	for it := 0; it < iterations; it++ {
+		counts := make([]float64, k)
+		ll = 0
+		for _, tp := range probs {
+			total := 0.0
+			for ci := range tp {
+				total += weights[ci] * tp[ci]
+			}
+			if total <= 0 {
+				continue
+			}
+			ll += math.Log(total)
+			for ci := range tp {
+				counts[ci] += weights[ci] * tp[ci] / total
+			}
+		}
+		sum := 0.0
+		for _, c := range counts {
+			sum += c
+		}
+		if sum <= 0 {
+			break
+		}
+		for ci := range weights {
+			weights[ci] = counts[ci] / sum
+		}
+	}
+	return weights, ll / float64(len(probs)), nil
+}
+
+// NewTunedInterpolated tunes weights on held-out data and returns the
+// resulting interpolated model along with the learned weights.
+func NewTunedInterpolated(models []Model, heldout [][]string, iterations int) (*Interpolated, []float64, error) {
+	weights, _, err := TuneInterpolationWeights(models, heldout, iterations)
+	if err != nil {
+		return nil, nil, err
+	}
+	ip, err := NewInterpolated(models, weights)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ip, weights, nil
+}

@@ -1,0 +1,107 @@
+package lm
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func corpusFrom(text string) [][]string {
+	var out [][]string
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		out = append(out, strings.Fields(line))
+	}
+	return out
+}
+
+func buildModel(t *testing.T, corpus [][]string) *NGram {
+	t.Helper()
+	tr := NewTrainer(2)
+	tr.AddCorpus(corpus)
+	m, err := tr.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTuneWeightsPrefersDomainModel(t *testing.T) {
+	domainCorpus := corpusFrom(`
+i want to book a car
+book a car for me please
+a good rate for a car
+i want a discount
+`)
+	generalCorpus := corpusFrom(`
+the weather is nice today
+we watched a movie last night
+the train was late again
+`)
+	domain := buildModel(t, domainCorpus)
+	general := buildModel(t, generalCorpus)
+	// Held-out call-centre text: EM should put most weight on the domain
+	// model — "high weight given to call-center specific model".
+	heldout := corpusFrom(`
+i want to book a good car
+a discount rate for me please
+`)
+	weights, ll, err := TuneInterpolationWeights([]Model{domain, general}, heldout, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weights) != 2 {
+		t.Fatalf("weights = %v", weights)
+	}
+	if math.Abs(weights[0]+weights[1]-1) > 1e-9 {
+		t.Errorf("weights not normalized: %v", weights)
+	}
+	if weights[0] <= weights[1] {
+		t.Errorf("domain weight %v should dominate general %v", weights[0], weights[1])
+	}
+	if weights[0] < 0.7 {
+		t.Errorf("domain weight %v unexpectedly low", weights[0])
+	}
+	if math.IsNaN(ll) || ll >= 0 {
+		t.Errorf("held-out log-likelihood %v implausible", ll)
+	}
+}
+
+func TestTuneWeightsImprovesPerplexity(t *testing.T) {
+	domain := buildModel(t, corpusFrom("i want to book a car\na good rate please"))
+	general := buildModel(t, corpusFrom("the weather is nice\nthe market fell again"))
+	heldout := corpusFrom("i want a good car\nbook a rate please")
+
+	tuned, weights, err := NewTunedInterpolated([]Model{domain, general}, heldout, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := NewInterpolated([]Model{domain, general}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, pu := Perplexity(tuned, heldout), Perplexity(uniform, heldout)
+	if pt > pu+1e-9 {
+		t.Errorf("tuned perplexity %v should not exceed uniform %v (weights %v)", pt, pu, weights)
+	}
+}
+
+func TestTuneWeightsErrors(t *testing.T) {
+	m := buildModel(t, corpusFrom("a b c"))
+	if _, _, err := TuneInterpolationWeights(nil, corpusFrom("a"), 5); err == nil {
+		t.Error("no models accepted")
+	}
+	if _, _, err := TuneInterpolationWeights([]Model{m}, nil, 5); err == nil {
+		t.Error("no held-out accepted")
+	}
+}
+
+func TestTuneWeightsSingleModel(t *testing.T) {
+	m := buildModel(t, corpusFrom("a b c\nc b a"))
+	weights, _, err := TuneInterpolationWeights([]Model{m}, corpusFrom("a b"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(weights[0]-1) > 1e-9 {
+		t.Errorf("single-model weight = %v", weights[0])
+	}
+}

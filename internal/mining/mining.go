@@ -1,0 +1,480 @@
+// Package mining implements the indexing-and-reporting layer of BIVoC
+// (§IV.D): documents annotated with concepts and linked structured
+// fields are indexed by semantic classification, then analyzed with
+//
+//   - relevancy analysis with relative frequency (§IV.D.1): compare a
+//     concept's density inside a featured subset with its density in the
+//     whole collection;
+//   - two-dimensional association analysis (§IV.D.2): cross-tabulate two
+//     concept/field dimensions and rank cells by the point estimate of
+//     the exponential mutual information, Ncell·N / (Nver·Nhor) (Eqn 4),
+//     replaced by the left terminal of an interval estimate to stay
+//     robust when counts are small;
+//   - trend analysis over time buckets;
+//   - drill-down from any table cell to the underlying documents
+//     (Figure 4's view).
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bivoc/internal/annotate"
+	"bivoc/internal/stats"
+)
+
+// Document is one indexed VoC item: its extracted concepts, the
+// structured fields attached by the linking engine, and a time bucket.
+type Document struct {
+	ID       string
+	Concepts []annotate.Concept
+	// Fields holds structured dimensions from the linked warehouse
+	// record, e.g. "outcome" → "reservation", "agent" → "A17".
+	Fields map[string]string
+	// Time is an arbitrary bucket index (day, week) for trend analysis.
+	Time int
+}
+
+// Dim identifies one dimension value: either a concept (category +
+// canonical form) from the unstructured side, or a structured field
+// value. "Some of these concepts could be dimensions from unstructured
+// data and others could be from structured data."
+type Dim struct {
+	// Concept dimension: Category must be non-empty.
+	Category  string
+	Canonical string // "" means "any concept in Category"
+	// Field dimension: Field must be non-empty (and Category empty).
+	Field string
+	Value string
+	// And, when non-empty, makes this a conjunction: a document matches
+	// only if it matches every child dimension. Conjunctions power the
+	// drill-downs of Figure 4 ("weak-start calls that converted") and
+	// compose freely with the other analyses.
+	And []Dim
+}
+
+// ConceptDim returns a concept dimension.
+func ConceptDim(category, canonical string) Dim {
+	return Dim{Category: category, Canonical: canonical}
+}
+
+// CategoryDim returns a dimension matching any concept of a category.
+func CategoryDim(category string) Dim { return Dim{Category: category} }
+
+// FieldDim returns a structured-field dimension.
+func FieldDim(field, value string) Dim { return Dim{Field: field, Value: value} }
+
+// AndDim returns the conjunction of dimensions.
+func AndDim(dims ...Dim) Dim { return Dim{And: dims} }
+
+// Label renders the dimension for reports.
+func (d Dim) Label() string {
+	if len(d.And) > 0 {
+		parts := make([]string, len(d.And))
+		for i, c := range d.And {
+			parts[i] = c.Label()
+		}
+		return strings.Join(parts, " ∧ ")
+	}
+	if d.Field != "" {
+		return d.Field + "=" + d.Value
+	}
+	if d.Canonical == "" {
+		return d.Category
+	}
+	return d.Canonical + "[" + d.Category + "]"
+}
+
+// Index stores documents with inverted lists per concept and field.
+type Index struct {
+	docs      []Document
+	byConcept map[[2]string][]int // {category, canonical} → doc positions
+	byCat     map[string][]int    // category → doc positions
+	byField   map[[2]string][]int // {field, value} → doc positions
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		byConcept: make(map[[2]string][]int),
+		byCat:     make(map[string][]int),
+		byField:   make(map[[2]string][]int),
+	}
+}
+
+// Add indexes a document. Inverted lists record each document at most
+// once per key (documents often repeat a concept).
+func (ix *Index) Add(doc Document) {
+	pos := len(ix.docs)
+	ix.docs = append(ix.docs, doc)
+	seenC := map[[2]string]bool{}
+	seenCat := map[string]bool{}
+	for _, c := range doc.Concepts {
+		k := [2]string{c.Category, c.Canonical}
+		if !seenC[k] {
+			seenC[k] = true
+			ix.byConcept[k] = append(ix.byConcept[k], pos)
+		}
+		if !seenCat[c.Category] {
+			seenCat[c.Category] = true
+			ix.byCat[c.Category] = append(ix.byCat[c.Category], pos)
+		}
+	}
+	for f, v := range doc.Fields {
+		ix.byField[[2]string{f, v}] = append(ix.byField[[2]string{f, v}], pos)
+	}
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int { return len(ix.docs) }
+
+// Doc returns the i-th document.
+func (ix *Index) Doc(i int) Document { return ix.docs[i] }
+
+// postings returns the document positions matching a dimension.
+func (ix *Index) postings(d Dim) []int {
+	if len(d.And) > 0 {
+		return ix.intersect(d.And)
+	}
+	switch {
+	case d.Field != "":
+		return ix.byField[[2]string{d.Field, d.Value}]
+	case d.Canonical != "":
+		return ix.byConcept[[2]string{d.Category, d.Canonical}]
+	default:
+		return ix.byCat[d.Category]
+	}
+}
+
+// intersect returns document positions matching every dimension,
+// smallest-list-first for efficiency.
+func (ix *Index) intersect(dims []Dim) []int {
+	if len(dims) == 0 {
+		return nil
+	}
+	lists := make([][]int, len(dims))
+	for i, d := range dims {
+		lists[i] = ix.postings(d)
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	current := map[int]bool{}
+	for _, p := range lists[0] {
+		current[p] = true
+	}
+	for _, list := range lists[1:] {
+		next := map[int]bool{}
+		for _, p := range list {
+			if current[p] {
+				next[p] = true
+			}
+		}
+		current = next
+		if len(current) == 0 {
+			break
+		}
+	}
+	out := make([]int, 0, len(current))
+	for p := range current {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Count returns how many documents match the dimension.
+func (ix *Index) Count(d Dim) int { return len(ix.postings(d)) }
+
+// CountBoth returns how many documents match both dimensions.
+func (ix *Index) CountBoth(a, b Dim) int {
+	pa, pb := ix.postings(a), ix.postings(b)
+	if len(pa) > len(pb) {
+		pa, pb = pb, pa
+	}
+	set := make(map[int]bool, len(pa))
+	for _, p := range pa {
+		set[p] = true
+	}
+	n := 0
+	for _, p := range pb {
+		if set[p] {
+			n++
+		}
+	}
+	return n
+}
+
+// DrillDown returns the documents matching both dimensions — the
+// cell-to-documents navigation of Figure 4 ("one can drill down through
+// table cells right upto individual documents").
+func (ix *Index) DrillDown(a, b Dim) []Document {
+	pa, pb := ix.postings(a), ix.postings(b)
+	set := make(map[int]bool, len(pa))
+	for _, p := range pa {
+		set[p] = true
+	}
+	var out []Document
+	for _, p := range pb {
+		if set[p] {
+			out = append(out, ix.docs[p])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ConceptsInCategory returns the distinct canonical forms of a category,
+// sorted by document frequency (descending, ties lexicographic).
+func (ix *Index) ConceptsInCategory(category string) []string {
+	type cc struct {
+		canon string
+		n     int
+	}
+	var all []cc
+	for k, posts := range ix.byConcept {
+		if k[0] == category {
+			all = append(all, cc{k[1], len(posts)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].canon < all[j].canon
+	})
+	out := make([]string, len(all))
+	for i, c := range all {
+		out[i] = c.canon
+	}
+	return out
+}
+
+// FieldValues returns the distinct values of a structured field, sorted.
+func (ix *Index) FieldValues(field string) []string {
+	var out []string
+	for k := range ix.byField {
+		if k[0] == field {
+			out = append(out, k[1])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Relevance is one row of a relative-frequency report.
+type Relevance struct {
+	Concept string
+	// InSubset and InAll are document frequencies.
+	InSubset, SubsetSize int
+	InAll, N             int
+	// Ratio is (InSubset/SubsetSize) / (InAll/N) — how over-represented
+	// the concept is inside the featured subset.
+	Ratio float64
+}
+
+// RelativeFrequency compares the distribution of category's concepts
+// inside the subset defined by featured with their distribution in the
+// entire data set, returning rows sorted by descending ratio ("by
+// sorting phrases in a category based on the relative frequencies,
+// relevant concepts for a specific data set are revealed").
+func (ix *Index) RelativeFrequency(category string, featured Dim) []Relevance {
+	subset := ix.postings(featured)
+	subSet := make(map[int]bool, len(subset))
+	for _, p := range subset {
+		subSet[p] = true
+	}
+	n := len(ix.docs)
+	var out []Relevance
+	for k, posts := range ix.byConcept {
+		if k[0] != category {
+			continue
+		}
+		inSub := 0
+		for _, p := range posts {
+			if subSet[p] {
+				inSub++
+			}
+		}
+		r := Relevance{
+			Concept:  k[1],
+			InSubset: inSub, SubsetSize: len(subset),
+			InAll: len(posts), N: n,
+		}
+		if len(subset) > 0 && len(posts) > 0 && n > 0 {
+			pSub := float64(inSub) / float64(len(subset))
+			pAll := float64(len(posts)) / float64(n)
+			r.Ratio = pSub / pAll
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ratio != out[j].Ratio {
+			return out[i].Ratio > out[j].Ratio
+		}
+		return out[i].Concept < out[j].Concept
+	})
+	return out
+}
+
+// Cell is one cell of a two-dimensional association table.
+type Cell struct {
+	Row, Col Dim
+	// Ncell, Nver, Nhor, N are the counts of Eqn 4.
+	Ncell, Nver, Nhor, N int
+	// PointIndex is Ncell·N / (Nver·Nhor) — the point estimate of the
+	// exponential mutual information.
+	PointIndex float64
+	// LowerIndex replaces each density with the conservative end of its
+	// Wilson interval ("we use the left terminal value (smallest value)
+	// of the interval estimation instead of the point estimation").
+	LowerIndex float64
+	// RowShare is Ncell over the row's total across the table's columns —
+	// the within-row percentage the paper's Tables III and IV report
+	// (each row of those tables sums to 100% across the outcome columns;
+	// documents matching the row but none of the listed columns, e.g.
+	// service calls in an outcome table, do not dilute the percentages).
+	RowShare float64
+}
+
+// AssocTable is a full two-dimensional association analysis.
+type AssocTable struct {
+	Rows, Cols []Dim
+	Cells      [][]Cell // [row][col]
+	Confidence float64
+}
+
+// Associate builds the two-dimensional association table between row
+// and column dimensions at the given confidence level for the interval
+// estimate (0 < confidence < 1; 0.95 is typical).
+func (ix *Index) Associate(rows, cols []Dim, confidence float64) *AssocTable {
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	n := len(ix.docs)
+	tbl := &AssocTable{Rows: rows, Cols: cols, Confidence: confidence}
+	tbl.Cells = make([][]Cell, len(rows))
+	for i, rd := range rows {
+		tbl.Cells[i] = make([]Cell, len(cols))
+		nver := ix.Count(rd)
+		for j, cd := range cols {
+			nhor := ix.Count(cd)
+			ncell := ix.CountBoth(rd, cd)
+			cell := Cell{
+				Row: rd, Col: cd,
+				Ncell: ncell, Nver: nver, Nhor: nhor, N: n,
+			}
+			if n > 0 && nver > 0 && nhor > 0 {
+				pCell := float64(ncell) / float64(n)
+				pVer := float64(nver) / float64(n)
+				pHor := float64(nhor) / float64(n)
+				if pVer > 0 && pHor > 0 {
+					cell.PointIndex = pCell / (pVer * pHor)
+				}
+				// Conservative (smallest) value of the index: lower bound
+				// of the cell density over upper bounds of the marginals.
+				cellIv := stats.WilsonInterval(ncell, n, confidence)
+				verIv := stats.WilsonInterval(nver, n, confidence)
+				horIv := stats.WilsonInterval(nhor, n, confidence)
+				if verIv.Hi > 0 && horIv.Hi > 0 {
+					cell.LowerIndex = cellIv.Lo / (verIv.Hi * horIv.Hi)
+				}
+			}
+			tbl.Cells[i][j] = cell
+		}
+		rowTotal := 0
+		for j := range cols {
+			rowTotal += tbl.Cells[i][j].Ncell
+		}
+		if rowTotal > 0 {
+			for j := range cols {
+				tbl.Cells[i][j].RowShare = float64(tbl.Cells[i][j].Ncell) / float64(rowTotal)
+			}
+		}
+	}
+	return tbl
+}
+
+// StrongestCells returns all cells ordered by descending LowerIndex —
+// "we can identify pairs of concepts that exhibit stronger relationships
+// than other pairs".
+func (t *AssocTable) StrongestCells() []Cell {
+	var out []Cell
+	for _, row := range t.Cells {
+		out = append(out, row...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LowerIndex != out[j].LowerIndex {
+			return out[i].LowerIndex > out[j].LowerIndex
+		}
+		if out[i].Row.Label() != out[j].Row.Label() {
+			return out[i].Row.Label() < out[j].Row.Label()
+		}
+		return out[i].Col.Label() < out[j].Col.Label()
+	})
+	return out
+}
+
+// Render prints the table's row-share percentages, the format of the
+// paper's Tables III and IV.
+func (t *AssocTable) Render() string {
+	out := ""
+	width := 24
+	out += fmt.Sprintf("%-*s", width, "")
+	for _, c := range t.Cols {
+		out += fmt.Sprintf("%*s", width, c.Label())
+	}
+	out += "\n"
+	for i, r := range t.Rows {
+		out += fmt.Sprintf("%-*s", width, r.Label())
+		for j := range t.Cols {
+			out += fmt.Sprintf("%*s", width, fmt.Sprintf("%.0f%% (%d)", 100*t.Cells[i][j].RowShare, t.Cells[i][j].Ncell))
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// TrendPoint is one time bucket of a concept trend.
+type TrendPoint struct {
+	Time  int
+	Count int
+}
+
+// Trend returns the per-bucket document counts of a dimension, sorted by
+// time — "a simple function that examines the increase and decrease of
+// occurrences of each concept in a certain period may allow us to
+// analyze trends in the topics".
+func (ix *Index) Trend(d Dim) []TrendPoint {
+	counts := map[int]int{}
+	for _, p := range ix.postings(d) {
+		counts[ix.docs[p].Time]++
+	}
+	out := make([]TrendPoint, 0, len(counts))
+	for t, c := range counts {
+		out = append(out, TrendPoint{t, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// TrendSlope fits a least-squares line to the trend and returns its
+// slope in documents per bucket (0 for fewer than 2 points).
+func TrendSlope(points []TrendPoint) float64 {
+	n := float64(len(points))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range points {
+		x, y := float64(p.Time), float64(p.Count)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / denom
+}

@@ -1,0 +1,116 @@
+package noise
+
+import (
+	"fmt"
+	"strings"
+
+	"bivoc/internal/rng"
+)
+
+// Email wrapping: the cleaning stage (§IV.A.2) must "remove headers,
+// disclaimers and promotional material from actual messages" and
+// "segregate the agent conversation from customer conversation". These
+// generators produce that wrapping deterministically so the cleaner can
+// be evaluated exactly.
+
+// Markers recognized by the cleaner. Real systems learn these; the paper
+// treats them as fixed engagement-specific patterns.
+const (
+	DisclaimerMarker = "DISCLAIMER:"
+	PromoMarker      = "*** OFFER ***"
+	AgentQuotePrefix = "> "
+)
+
+var disclaimers = []string{
+	DisclaimerMarker + " This e-mail and any attachments are confidential and intended solely for the addressee.",
+	DisclaimerMarker + " The information contained in this message is legally privileged. If you are not the intended recipient please delete it.",
+	DisclaimerMarker + " Internet communications cannot be guaranteed to be secure or error-free.",
+}
+
+var promos = []string{
+	PromoMarker + " Upgrade to our platinum plan and get 500 free minutes every month!",
+	PromoMarker + " Refer a friend and earn 100 rupees of talk time.",
+	PromoMarker + " Download our new self-care app for instant balance checks.",
+}
+
+var agentReplies = []string{
+	"Dear customer, thank you for contacting us. We have registered your request and it will be resolved in 48 hours.",
+	"Dear customer, we regret the inconvenience caused. Our team is looking into the matter.",
+	"Thank you for writing to us. Your complaint has been escalated to the concerned department.",
+}
+
+// WrapEmailOptions controls which wrappers are attached.
+type WrapEmailOptions struct {
+	From       string
+	To         string
+	Subject    string
+	QuoteAgent bool // include a quoted agent reply below the customer text
+	Promo      bool
+	Disclaimer bool
+}
+
+// WrapEmail embeds the customer body in a realistic raw email: headers,
+// optional quoted agent reply, promotional block and disclaimer.
+func WrapEmail(r *rng.RNG, body string, opt WrapEmailOptions) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "From: %s\n", opt.From)
+	fmt.Fprintf(&b, "To: %s\n", opt.To)
+	fmt.Fprintf(&b, "Subject: %s\n", opt.Subject)
+	fmt.Fprintf(&b, "Date: Mon, %d Mar 2008 %02d:%02d:00 +0530\n", 1+r.Intn(28), r.Intn(24), r.Intn(60))
+	b.WriteString("\n")
+	b.WriteString(body)
+	b.WriteString("\n")
+	if opt.QuoteAgent {
+		b.WriteString("\n")
+		reply := rng.Pick(r, agentReplies)
+		for _, line := range strings.Split(reply, "\n") {
+			b.WriteString(AgentQuotePrefix + line + "\n")
+		}
+	}
+	if opt.Promo {
+		b.WriteString("\n" + rng.Pick(r, promos) + "\n")
+	}
+	if opt.Disclaimer {
+		b.WriteString("\n" + rng.Pick(r, disclaimers) + "\n")
+	}
+	return b.String()
+}
+
+// spamBodies seed the spam generator; junk mail "not related to
+// enterprise operations" that the first cleaning step must discard.
+var spamTemplates = []string{
+	"congratulations you have won a lottery of one million dollars claim your prize now by sending your bank details",
+	"cheap replica watches best prices in the market visit our online store today limited offer",
+	"work from home and earn five thousand per day no experience required join immediately",
+	"hot stock tip this share will triple next week buy now before it is too late",
+	"miracle weight loss pills lose ten kilos in one month order today free shipping worldwide",
+	"urgent business proposal i am a prince and need your help transferring funds you will receive a commission",
+	"lowest interest loans approved in minutes no documents needed apply online now",
+	"enlarge your confidence with our herbal supplement discreet packaging guaranteed results",
+}
+
+// SpamEmail generates one spam message with light typo noise so spam
+// detection cannot rely on exact template matching.
+func SpamEmail(r *rng.RNG) string {
+	base := rng.Pick(r, spamTemplates)
+	words := strings.Fields(base)
+	for i := range words {
+		if r.Bool(0.05) {
+			words[i] = typo(r, words[i])
+		}
+	}
+	// Spam loves exclamation marks and caps.
+	if r.Bool(0.5) {
+		words[r.Intn(len(words))] = strings.ToUpper(words[r.Intn(len(words))])
+	}
+	return strings.Join(words, " ") + "!!!"
+}
+
+// SpamSeedCorpus returns template spam texts for training the spam
+// filter (the templates themselves, not generated instances, so the
+// filter generalizes rather than memorizes).
+func SpamSeedCorpus() []string {
+	out := make([]string, len(spamTemplates))
+	copy(out, spamTemplates)
+	return out
+}

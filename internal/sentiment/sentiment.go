@@ -1,0 +1,147 @@
+// Package sentiment scores the opinion polarity of VoC text. §III of the
+// paper: customer communications "reflect the sentiments and opinions of
+// the customers and indicate the level of (dis)satisfaction of the
+// customer or his churn propensity" — and commercial monitoring tools
+// track "tone, emotion" (§II).
+//
+// The scorer is lexicon-based with negation flipping and intensifier
+// weighting: robust to the noisy, fragmentary text the cleaning stage
+// emits, and entirely inspectable — every score decomposes into the
+// matched terms.
+package sentiment
+
+import (
+	"strings"
+
+	"bivoc/internal/textproc"
+)
+
+// polarity lexicons, tuned to service-industry vocabulary.
+var positiveWords = map[string]float64{
+	"good": 1, "great": 1.5, "excellent": 2, "wonderful": 2, "fantastic": 2,
+	"nice": 1, "helpful": 1.5, "thanks": 1, "thank": 1, "appreciate": 1.5,
+	"resolved": 1.5, "solved": 1.5, "happy": 1.5, "satisfied": 2,
+	"best": 1.5, "love": 2, "perfect": 2, "prompt": 1, "quick": 1,
+	"successful": 1, "courteous": 1.5, "polite": 1.5,
+}
+
+var negativeWords = map[string]float64{
+	"bad": 1, "poor": 1, "terrible": 2, "pathetic": 2, "worst": 2,
+	"rude": 2, "slow": 1, "wrong": 1, "problem": 1, "problems": 1,
+	"issue": 1, "issues": 1, "complaint": 1, "robbed": 2, "cheated": 2,
+	"angry": 1.5, "frustrated": 1.5, "disappointed": 1.5, "unhappy": 1.5,
+	"disconnect": 1, "leaving": 1, "goodbye": 1, "useless": 2,
+	"never": 0.5, "charged": 0.5, "down": 0.5, "dropping": 1,
+	"expensive": 1, "high": 0.5, "unsolved": 1.5, "pending": 0.5,
+}
+
+var negators = map[string]bool{
+	"not": true, "no": true, "never": true, "dont": true, "don't": true,
+	"didnt": true, "didn't": true, "cant": true, "can't": true,
+	"wasnt": true, "wasn't": true, "isnt": true, "isn't": true,
+}
+
+var intensifiers = map[string]float64{
+	"very": 1.5, "really": 1.5, "extremely": 2, "so": 1.3, "too": 1.3,
+	"totally": 1.8, "absolutely": 1.8, "almost": 0.7,
+}
+
+// Label is a coarse polarity class.
+type Label string
+
+// Polarity labels.
+const (
+	Positive Label = "positive"
+	Neutral  Label = "neutral"
+	Negative Label = "negative"
+)
+
+// Match is one scored term with its applied weight (after negation and
+// intensification), for explainability.
+type Match struct {
+	Word   string
+	Weight float64 // positive = positive contribution
+}
+
+// Result is the analysis of one text.
+type Result struct {
+	// Score is normalized to [-1, 1]: -1 strongly negative.
+	Score   float64
+	Label   Label
+	Matches []Match
+}
+
+// NeutralBand is the |score| below which text is labeled neutral.
+const NeutralBand = 0.08
+
+// Analyze scores the text. Empty or opinion-free text is neutral.
+func Analyze(text string) Result {
+	words := textproc.Words(strings.ToLower(text))
+	var matches []Match
+	total := 0.0
+	for i, w := range words {
+		var weight float64
+		switch {
+		case positiveWords[w] != 0:
+			weight = positiveWords[w]
+		case negativeWords[w] != 0:
+			weight = -negativeWords[w]
+		default:
+			continue
+		}
+		// Look back for intensifiers and negators within two tokens.
+		factor := 1.0
+		negated := false
+		for back := 1; back <= 2 && i-back >= 0; back++ {
+			prev := words[i-back]
+			if f, ok := intensifiers[prev]; ok {
+				factor *= f
+			}
+			if negators[prev] {
+				negated = true
+			}
+		}
+		if negated {
+			weight = -weight * 0.8 // "not good" is negative but softer than "bad"
+		}
+		weight *= factor
+		matches = append(matches, Match{Word: w, Weight: weight})
+		total += weight
+	}
+	if len(matches) == 0 {
+		return Result{Label: Neutral}
+	}
+	// Normalize by matched mass so long rants and short jabs compare.
+	mass := 0.0
+	for _, m := range matches {
+		if m.Weight >= 0 {
+			mass += m.Weight
+		} else {
+			mass -= m.Weight
+		}
+	}
+	score := total / mass
+	r := Result{Score: score, Matches: matches}
+	switch {
+	case score > NeutralBand:
+		r.Label = Positive
+	case score < -NeutralBand:
+		r.Label = Negative
+	default:
+		r.Label = Neutral
+	}
+	return r
+}
+
+// ScoreCorpus returns the mean score over texts (0 for empty input) —
+// the satisfaction KPI a dashboard tracks per period or per agent.
+func ScoreCorpus(texts []string) float64 {
+	if len(texts) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, t := range texts {
+		total += Analyze(t).Score
+	}
+	return total / float64(len(texts))
+}

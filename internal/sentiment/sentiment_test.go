@@ -1,0 +1,137 @@
+package sentiment
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bivoc/internal/synth"
+)
+
+func TestPolarityBasics(t *testing.T) {
+	cases := map[string]Label{
+		"the agent was very helpful thank you":        Positive,
+		"this is the worst service i am really angry": Negative,
+		"please send me my bill for march":            Neutral,
+		"":                                            Neutral,
+		"my problem is solved great support":          Positive,
+		"i feel robbed and cheated pathetic service":  Negative,
+	}
+	for text, want := range cases {
+		if got := Analyze(text).Label; got != want {
+			t.Errorf("Analyze(%q) = %v, want %v", text, got, want)
+		}
+	}
+}
+
+func TestNegationFlips(t *testing.T) {
+	pos := Analyze("the agent was helpful")
+	neg := Analyze("the agent was not helpful")
+	if pos.Score <= 0 {
+		t.Fatalf("positive base score %v", pos.Score)
+	}
+	if neg.Score >= 0 {
+		t.Errorf("negated score %v should be negative", neg.Score)
+	}
+	// "not rude" flips negative to positive (the paper's commendation).
+	if got := Analyze("the agent was not rude"); got.Score <= 0 {
+		t.Errorf("'not rude' score %v should be positive", got.Score)
+	}
+}
+
+func TestIntensifierStrengthens(t *testing.T) {
+	// Mixed-polarity text: the intensified negative should pull the
+	// normalized score lower (pure-sign texts saturate at ±1).
+	plain := Analyze("bad service but great support")
+	strong := Analyze("extremely bad service but great support")
+	if strong.Score >= plain.Score {
+		t.Errorf("intensifier did not strengthen: %v vs %v", strong.Score, plain.Score)
+	}
+}
+
+func TestPureSignSaturates(t *testing.T) {
+	if got := Analyze("terrible pathetic rude").Score; got != -1 {
+		t.Errorf("all-negative score = %v, want -1", got)
+	}
+	if got := Analyze("great wonderful excellent").Score; got != 1 {
+		t.Errorf("all-positive score = %v, want 1", got)
+	}
+}
+
+func TestScoreBounds(t *testing.T) {
+	f := func(words []string) bool {
+		text := ""
+		for i, w := range words {
+			if i > 10 {
+				break
+			}
+			text += w + " "
+		}
+		s := Analyze(text).Score
+		return s >= -1 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchesExplainScore(t *testing.T) {
+	r := Analyze("great service but rude agent")
+	if len(r.Matches) != 2 {
+		t.Fatalf("matches = %v", r.Matches)
+	}
+	sum, mass := 0.0, 0.0
+	for _, m := range r.Matches {
+		sum += m.Weight
+		if m.Weight >= 0 {
+			mass += m.Weight
+		} else {
+			mass -= m.Weight
+		}
+	}
+	if got := sum / mass; got != r.Score {
+		t.Errorf("score %v does not decompose into matches (%v)", r.Score, got)
+	}
+}
+
+func TestScoreCorpus(t *testing.T) {
+	if ScoreCorpus(nil) != 0 {
+		t.Error("empty corpus should be 0")
+	}
+	happy := []string{"great service thank you", "very helpful agent"}
+	angry := []string{"worst service ever", "i am very angry and frustrated"}
+	if ScoreCorpus(happy) <= ScoreCorpus(angry) {
+		t.Error("corpus scoring ordering wrong")
+	}
+}
+
+func TestChurnersAngrierThanStayers(t *testing.T) {
+	// End-to-end sanity: churner messages in the synthetic world carry
+	// lower sentiment than routine traffic — the §III claim that
+	// dissatisfaction indicates churn propensity.
+	cfg := synth.DefaultTelecomConfig()
+	cfg.NumCustomers = 300
+	cfg.Emails = 900
+	cfg.SMS = 0
+	w, err := synth.NewTelecomWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var churnTexts, stayTexts []string
+	for _, m := range w.Emails {
+		if m.Spam || m.CustIdx < 0 {
+			continue
+		}
+		if m.FromChurner {
+			churnTexts = append(churnTexts, m.Raw)
+		} else {
+			stayTexts = append(stayTexts, m.Raw)
+		}
+	}
+	if len(churnTexts) == 0 || len(stayTexts) == 0 {
+		t.Skip("degenerate corpus")
+	}
+	if ScoreCorpus(churnTexts) >= ScoreCorpus(stayTexts) {
+		t.Errorf("churners (%v) should read angrier than stayers (%v)",
+			ScoreCorpus(churnTexts), ScoreCorpus(stayTexts))
+	}
+}

@@ -1,0 +1,106 @@
+package synth
+
+import (
+	"fmt"
+
+	"bivoc/internal/phonetics"
+	"bivoc/internal/rng"
+)
+
+// Banking-domain conversations. Table I's evaluation corpus contains
+// "customer-agent conversational speech in car booking domain and
+// banking domain", and Figure 1's transcript examples are banking calls
+// (auto-debit cancellation, credit-card membership fees). This file
+// generates the banking half of the ASR evaluation corpus.
+
+var bankingOpenings = [][]string{
+	{"please", "tell", "me", "how", "can", "i", "help", "you"},
+}
+
+var bankingBodies = [][]string{
+	{"i", "want", "to", "discontinue", "with", "the", "auto", "debit", "facility", "on", "my", "account"},
+	{"i", "was", "told", "to", "pay", "a", "one", "time", "membership", "fee", "for", "the", "credit", "card"},
+	{"they", "debit", "the", "amount", "from", "my", "savings", "account", "without", "telling", "me"},
+	{"i", "want", "to", "check", "the", "balance", "on", "my", "savings", "account"},
+	{"please", "cancel", "the", "charges", "on", "my", "credit", "card"},
+	{"i", "did", "not", "receive", "the", "statement", "for", "last", "month"},
+	{"there", "is", "a", "wrong", "charge", "of"},
+	{"i", "want", "to", "transfer", "money", "to", "another", "account"},
+	{"my", "card", "was", "declined", "at", "the", "store", "yesterday"},
+	{"please", "send", "me", "a", "new", "check", "book"},
+}
+
+var bankingClosings = [][]string{
+	{"is", "this", "okay", "thank", "you", "can", "i", "do", "anything", "else", "for", "you"},
+	{"thank", "you", "for", "your", "help"},
+	{"please", "do", "it", "today", "thank", "you"},
+}
+
+// BankingCall is one banking-domain utterance with its hidden truth.
+type BankingCall struct {
+	ID         string
+	CustIdx    int
+	Transcript []string
+}
+
+// GenerateBankingCalls produces n banking conversations over the same
+// customer population (banking and car-rental evaluation share the
+// identity machinery).
+func (w *CarRentalWorld) GenerateBankingCalls(n int) []BankingCall {
+	r := w.rnd.SplitString("banking")
+	var out []BankingCall
+	for i := 0; i < n; i++ {
+		cr := r.Split(uint64(i))
+		custIdx := cr.Intn(len(w.Customers))
+		cust := w.Customers[custIdx]
+		var t []string
+		t = append(t, rng.Pick(cr, bankingOpenings)...)
+		t = append(t, rng.Pick(cr, bankingBodies)...)
+		// Amounts are read out in banking calls ("two hundred and seventy
+		// five" in Fig 1); we spell the digits.
+		if cr.Bool(0.6) {
+			amount := 50 + 25*cr.Intn(30)
+			t = append(t, "the", "amount", "is")
+			t = append(t, phonetics.SpellDigits(fmt.Sprintf("%d", amount))...)
+		}
+		t = append(t, w.identity(cr, cust)...)
+		t = append(t, rng.Pick(cr, bankingClosings)...)
+		out = append(out, BankingCall{
+			ID:         fmt.Sprintf("bank-%04d", i),
+			CustIdx:    custIdx,
+			Transcript: t,
+		})
+	}
+	return out
+}
+
+// BankingWords returns the banking-domain vocabulary for the lexicon.
+func BankingWords() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(groups [][]string) {
+		for _, phrase := range groups {
+			for _, w := range phrase {
+				if !seen[w] {
+					seen[w] = true
+					out = append(out, w)
+				}
+			}
+		}
+	}
+	add(bankingOpenings)
+	add(bankingBodies)
+	add(bankingClosings)
+	add([][]string{{"the", "amount", "is"}})
+	return out
+}
+
+// BankingSentences returns banking LM training sentences.
+func BankingSentences() [][]string {
+	var out [][]string
+	out = append(out, bankingOpenings...)
+	out = append(out, bankingBodies...)
+	out = append(out, bankingClosings...)
+	out = append(out, []string{"the", "amount", "is", "two", "seven", "five"})
+	return out
+}

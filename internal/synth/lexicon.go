@@ -1,0 +1,190 @@
+// Package synth generates the synthetic worlds that stand in for the
+// paper's proprietary engagement data (see the substitution table in
+// DESIGN.md): a car-rental contact centre (§V — agents, customers,
+// conversations, reservations) and a wireless-telecom customer base
+// (§VI — churn, emails, SMS). All generation is deterministic given a
+// seed, flowing through internal/rng streams keyed by stable entity ids.
+package synth
+
+// givenNames and surnames deliberately include confusable clusters
+// (Smith/Smyth, Jon/John, Philip/Filip...) because name confusability is
+// what drives the 65% name WER of Table I.
+var givenNames = []string{
+	"james", "john", "jon", "robert", "michael", "william", "david",
+	"richard", "joseph", "thomas", "charles", "christopher", "daniel",
+	"matthew", "anthony", "donald", "mark", "marc", "paul", "steven",
+	"stephen", "andrew", "kenneth", "george", "joshua", "kevin", "brian",
+	"bryan", "edward", "ronald", "timothy", "jason", "jeffrey", "geoffrey",
+	"ryan", "jacob", "gary", "nicholas", "eric", "erik", "jonathan",
+	"larry", "justin", "scott", "brandon", "benjamin", "samuel", "frank",
+	"gregory", "raymond", "alexander", "patrick", "jack", "dennis",
+	"jerry", "tyler", "aaron", "erin", "henry", "douglas", "peter",
+	"mary", "patricia", "jennifer", "linda", "elizabeth", "barbara",
+	"susan", "jessica", "sarah", "sara", "karen", "nancy", "lisa",
+	"margaret", "betty", "sandra", "ashley", "dorothy", "kimberly",
+	"emily", "donna", "michelle", "carol", "amanda", "melissa", "deborah",
+	"stephanie", "rebecca", "laura", "sharon", "cynthia", "kathleen",
+	"amy", "shirley", "angela", "helen", "anna", "brenda", "pamela",
+	"nicole", "catherine", "katherine", "christine", "kristine", "rachel",
+	"carolyn", "janet", "virginia", "maria", "heather", "diane", "julie",
+	"joyce", "victoria", "kelly", "christina", "joan", "evelyn", "lauren",
+	"philip", "filip", "craig", "alan", "allen", "allan",
+}
+
+var surnames = []string{
+	"smith", "smyth", "johnson", "jonson", "williams", "brown", "braun",
+	"jones", "garcia", "miller", "muller", "davis", "rodriguez",
+	"martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson",
+	"andersen", "thomas", "taylor", "tailor", "moore", "jackson",
+	"martin", "lee", "leigh", "perez", "thompson", "thomson", "white",
+	"harris", "sanchez", "clark", "clarke", "ramirez", "lewis",
+	"robinson", "walker", "young", "allen", "king", "wright", "scott",
+	"torres", "nguyen", "hill", "flores", "green", "greene", "adams",
+	"nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+	"carter", "roberts", "gomez", "phillips", "evans", "turner",
+	"diaz", "parker", "cruz", "edwards", "collins", "reyes", "stewart",
+	"stuart", "morris", "morales", "murphy", "cook", "cooke", "rogers",
+	"gutierrez", "ortiz", "morgan", "cooper", "peterson", "petersen",
+	"bailey", "reed", "reid", "kelly", "howard", "ramos", "kim",
+	"cox", "ward", "richardson", "watson", "brooks", "chavez", "wood",
+	"james", "bennett", "gray", "grey", "mendoza", "ruiz", "hughes",
+	"price", "alvarez", "castillo", "sanders", "patel", "myers",
+	"long", "ross", "foster", "jimenez",
+}
+
+// cities are the rental locations of Table II.
+var cities = []string{
+	"new york", "los angeles", "seattle", "boston", "chicago", "denver",
+	"miami", "dallas", "atlanta", "phoenix", "houston", "portland",
+	"orlando", "detroit", "memphis",
+}
+
+// vehicleTypes are the Table II column categories with the indicator
+// expressions the paper gives ("'SUV' may be indicated by 'a seven
+// seater', and 'full-size' may be indicated by 'Chevy Impala'").
+var vehicleTypes = []struct {
+	Canonical  string
+	Indicators []string
+}{
+	{"suv", []string{"suv", "seven seater", "sport utility"}},
+	{"mid-size", []string{"mid size", "midsize", "toyota camry", "sedan"}},
+	{"full-size", []string{"full size", "chevy impala", "large sedan"}},
+	{"luxury car", []string{"luxury car", "premium car", "mercedes"}},
+	{"compact", []string{"compact", "economy car", "small car"}},
+}
+
+// ConfusableNameVariants derives additional name-inventory entries from
+// the base names by systematic vowel and consonant alternations
+// ("smith" → "smath", "smeth"...). The paper attributes the 65% name WER
+// to "the number of conflicting words in the vocabulary [being] very
+// high (of the order of tens of thousands) when it comes to recognizing
+// names"; the base inventory of a few hundred is nowhere near that, so
+// the recognizer's name vocabulary is padded with these phonetically
+// plausible competitors. Generation is deterministic.
+func ConfusableNameVariants(perName int) []string {
+	if perName <= 0 {
+		perName = 3
+	}
+	vowels := []byte{'a', 'e', 'i', 'o', 'u'}
+	seen := map[string]bool{}
+	base := append(append([]string{}, givenNames...), surnames...)
+	for _, n := range base {
+		seen[n] = true
+	}
+	var out []string
+	for _, name := range base {
+		made := 0
+		for pos := 0; pos < len(name) && made < perName; pos++ {
+			c := name[pos]
+			isV := c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u'
+			if !isV {
+				continue
+			}
+			for _, v := range vowels {
+				if v == c {
+					continue
+				}
+				cand := name[:pos] + string(v) + name[pos+1:]
+				if !seen[cand] {
+					seen[cand] = true
+					out = append(out, cand)
+					made++
+					if made >= perName {
+						break
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GivenNames returns the given-name lexicon.
+func GivenNames() []string { return clone(givenNames) }
+
+// Surnames returns the surname lexicon.
+func Surnames() []string { return clone(surnames) }
+
+// Cities returns the rental-location lexicon.
+func Cities() []string { return clone(cities) }
+
+// VehicleTypes returns the canonical vehicle categories.
+func VehicleTypes() []string {
+	out := make([]string, len(vehicleTypes))
+	for i, v := range vehicleTypes {
+		out[i] = v.Canonical
+	}
+	return out
+}
+
+// VehicleIndicators returns surface → canonical pairs for the vehicle
+// dictionary.
+func VehicleIndicators() map[string]string {
+	out := map[string]string{}
+	for _, v := range vehicleTypes {
+		for _, ind := range v.Indicators {
+			out[ind] = v.Canonical
+		}
+	}
+	return out
+}
+
+// CityWords returns all single words appearing in city names (for the
+// ASR lexicon).
+func CityWords() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range cities {
+		for _, w := range fields(c) {
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+func clone(s []string) []string {
+	out := make([]string, len(s))
+	copy(out, s)
+	return out
+}
+
+func fields(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i < len(s) && s[i] != ' ' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			out = append(out, s[start:i])
+			start = -1
+		}
+	}
+	return out
+}

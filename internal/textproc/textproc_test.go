@@ -1,0 +1,242 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func texts(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestTokenizeBasic(t *testing.T) {
+	toks := Tokenize("Hello, world! It's 42.")
+	want := []string{"Hello", ",", "world", "!", "It's", "42", "."}
+	if got := texts(toks); !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeKinds(t *testing.T) {
+	toks := Tokenize("call 9876543210 re A4 pls")
+	kinds := map[string]TokenKind{}
+	for _, tok := range toks {
+		kinds[tok.Text] = tok.Kind
+	}
+	if kinds["call"] != KindWord {
+		t.Error("'call' should be a word")
+	}
+	if kinds["9876543210"] != KindNumber {
+		t.Error("phone number should be a number token")
+	}
+	if kinds["A4"] != KindAlphaNum {
+		t.Error("'A4' should be alphanumeric")
+	}
+}
+
+func TestTokenizeApostrophe(t *testing.T) {
+	toks := Tokenize("didn't can't agents' cars")
+	got := texts(toks)
+	want := []string{"didn't", "can't", "agents", "'", "cars"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	src := "hi there, bye"
+	for _, tok := range Tokenize(src) {
+		if src[tok.Start:tok.End] != tok.Text {
+			t.Errorf("offset mismatch: %q vs %q", src[tok.Start:tok.End], tok.Text)
+		}
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if toks := Tokenize(""); len(toks) != 0 {
+		t.Errorf("empty input produced %v", toks)
+	}
+	if toks := Tokenize("   \t\n "); len(toks) != 0 {
+		t.Errorf("whitespace produced %v", toks)
+	}
+}
+
+func TestTokenizeRoundTripProperty(t *testing.T) {
+	// Concatenating token texts in order should reproduce the input minus
+	// whitespace.
+	f := func(s string) bool {
+		var b strings.Builder
+		for _, tok := range Tokenize(s) {
+			b.WriteString(tok.Text)
+		}
+		stripped := strings.Map(func(r rune) rune {
+			if r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == '\v' || r == '\f' ||
+				r == 0x85 || r == 0xA0 || r == 0x2028 || r == 0x2029 ||
+				(r >= 0x2000 && r <= 0x200A) || r == 0x1680 || r == 0x202F || r == 0x205F || r == 0x3000 {
+				return -1
+			}
+			return r
+		}, s)
+		return b.String() == stripped
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizeOffsetsProperty(t *testing.T) {
+	f := func(s string) bool {
+		prev := 0
+		for _, tok := range Tokenize(s) {
+			if tok.Start < prev || tok.End <= tok.Start || tok.End > len(s) {
+				return false
+			}
+			if s[tok.Start:tok.End] != tok.Text {
+				return false
+			}
+			prev = tok.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWords(t *testing.T) {
+	got := Words("The Agent said: BOOK NOW, pay $50!")
+	want := []string{"the", "agent", "said", "book", "now", "pay", "50"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	got := SplitSentences("I want a car. Can you help? Great!")
+	want := []string{"I want a car.", "Can you help?", "Great!"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestSplitSentencesNoTerminator(t *testing.T) {
+	got := SplitSentences("no punctuation here")
+	if !reflect.DeepEqual(got, []string{"no punctuation here"}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSplitSentencesEllipsis(t *testing.T) {
+	got := SplitSentences("Hmm... okay then.")
+	want := []string{"Hmm...", "okay then."}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestSplitSentencesDecimalNotSplit(t *testing.T) {
+	// "Rs.2013" style strings (Fig 1 of the paper) must not split because
+	// no whitespace follows the period.
+	got := SplitSentences("charged Rs.2013 for sms")
+	if len(got) != 1 {
+		t.Errorf("decimal-period split wrongly: %v", got)
+	}
+}
+
+func TestSplitSentencesEmpty(t *testing.T) {
+	if got := SplitSentences(""); len(got) != 0 {
+		t.Errorf("empty produced %v", got)
+	}
+	if got := SplitSentences("   "); len(got) != 0 {
+		t.Errorf("blank produced %v", got)
+	}
+}
+
+func TestNormalizeWhitespace(t *testing.T) {
+	if got := NormalizeWhitespace("  a \t b\n\nc  "); got != "a b c" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	cases := map[string]bool{
+		"": false, "123": true, "12a": false, "a12": false, "0": true,
+		"9876543210": true, " 1": false,
+	}
+	for in, want := range cases {
+		if got := IsNumeric(in); got != want {
+			t.Errorf("IsNumeric(%q) = %v", in, got)
+		}
+	}
+}
+
+func TestDigitCount(t *testing.T) {
+	if got := DigitCount("a1b22c333"); got != 6 {
+		t.Errorf("got %d", got)
+	}
+	if got := DigitCount("none"); got != 0 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestStopwords(t *testing.T) {
+	if !IsStopword("the") || !IsStopword("and") {
+		t.Error("common stopwords not detected")
+	}
+	if IsStopword("reservation") || IsStopword("discount") {
+		t.Error("content words marked as stopwords")
+	}
+}
+
+func TestContentWords(t *testing.T) {
+	got := ContentWords("I would like to book a full size car")
+	want := []string{"like", "book", "full", "size", "car"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	v := NewVocabulary()
+	v.Add("car", "car", "rate", "car", "discount")
+	if v.Count("car") != 3 || v.Count("rate") != 1 || v.Count("missing") != 0 {
+		t.Error("counts wrong")
+	}
+	if v.Total() != 5 || v.Size() != 3 {
+		t.Errorf("total=%d size=%d", v.Total(), v.Size())
+	}
+}
+
+func TestVocabularyTopN(t *testing.T) {
+	v := NewVocabulary()
+	v.Add("b", "b", "a", "a", "c")
+	got := v.TopN(2)
+	// a and b tie at 2; lexicographic tiebreak puts a first.
+	want := []string{"a", "b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if got := v.TopN(100); len(got) != 3 {
+		t.Errorf("TopN over size = %v", got)
+	}
+}
+
+func TestVocabularyTopNDeterministic(t *testing.T) {
+	build := func() []string {
+		v := NewVocabulary()
+		for _, w := range []string{"x", "y", "z", "w", "x", "y", "z", "w"} {
+			v.Add(w)
+		}
+		return v.TopN(4)
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("TopN not deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,106 @@
+package warehouse
+
+import (
+	"strings"
+
+	"bivoc/internal/phonetics"
+)
+
+// index is a secondary index specialized by MatchKind. Each kind chooses
+// bucketing keys so that a noisy token and its true value share at least
+// one bucket with high probability:
+//
+//   - MatchExact / MatchNumeric: exact string buckets.
+//   - MatchName: Soundex and phone-skeleton buckets — ASR substitutes
+//     similar-sounding names, which usually preserve these keys.
+//   - MatchText: character trigram buckets (any shared trigram recalls
+//     the row; scoring prunes false candidates).
+//   - MatchDigits: digit 3-gram buckets — a partially recognized phone
+//     number shares most digit trigrams with the true number.
+type index struct {
+	kind    MatchKind
+	buckets map[string][]RowID
+}
+
+func newIndex(kind MatchKind) *index {
+	return &index{kind: kind, buckets: make(map[string][]RowID)}
+}
+
+// keysFor returns the bucket keys for a value under this index's kind.
+func (ix *index) keysFor(value string) []string {
+	v := strings.ToLower(strings.TrimSpace(value))
+	switch ix.kind {
+	case MatchName:
+		var keys []string
+		for _, tok := range strings.Fields(v) {
+			keys = append(keys, "s:"+phonetics.Soundex(tok))
+			if pk := phonetics.PhoneKey(tok); pk != "" {
+				keys = append(keys, "p:"+pk)
+			}
+		}
+		if len(keys) == 0 {
+			keys = []string{"s:" + phonetics.Soundex(v)}
+		}
+		return keys
+	case MatchText:
+		return trigrams(v)
+	case MatchDigits:
+		return digitGrams(v)
+	default:
+		return []string{v}
+	}
+}
+
+func (ix *index) add(value string, id RowID) {
+	for _, k := range ix.keysFor(value) {
+		ix.buckets[k] = append(ix.buckets[k], id)
+	}
+}
+
+func (ix *index) lookup(token string) []RowID {
+	var out []RowID
+	for _, k := range ix.keysFor(token) {
+		out = append(out, ix.buckets[k]...)
+	}
+	return out
+}
+
+// trigrams returns padded character trigram keys.
+func trigrams(s string) []string {
+	p := "##" + s + "##"
+	seen := map[string]bool{}
+	var out []string
+	for i := 0; i+3 <= len(p); i++ {
+		g := "t:" + p[i:i+3]
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// digitGrams returns 3-gram keys over the digit content of s; values
+// with fewer than 3 digits key on the raw digit string.
+func digitGrams(s string) []string {
+	var d strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] >= '0' && s[i] <= '9' {
+			d.WriteByte(s[i])
+		}
+	}
+	ds := d.String()
+	if len(ds) < 3 {
+		return []string{"d:" + ds}
+	}
+	seen := map[string]bool{}
+	var out []string
+	for i := 0; i+3 <= len(ds); i++ {
+		g := "d:" + ds[i:i+3]
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,353 @@
+package warehouse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func customerSchema() Schema {
+	return Schema{
+		Table: "customers",
+		Key:   "id",
+		Columns: []Column{
+			{Name: "id", Type: TypeString, Match: MatchExact},
+			{Name: "name", Type: TypeString, Match: MatchName},
+			{Name: "phone", Type: TypeString, Match: MatchDigits},
+			{Name: "address", Type: TypeString, Match: MatchText},
+			{Name: "balance", Type: TypeFloat, Match: MatchNumeric},
+			{Name: "segment", Type: TypeString, Match: MatchExact},
+		},
+	}
+}
+
+func newCustomerTable(t *testing.T) *Table {
+	t.Helper()
+	tab, err := NewTable(customerSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestSchemaValidate(t *testing.T) {
+	bad := []Schema{
+		{},
+		{Table: "x"},
+		{Table: "x", Columns: []Column{{Name: ""}}},
+		{Table: "x", Columns: []Column{{Name: "a"}, {Name: "a"}}},
+		{Table: "x", Columns: []Column{{Name: "a"}}, Key: "missing"},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("schema %d should fail validation", i)
+		}
+	}
+	if err := customerSchema().Validate(); err != nil {
+		t.Errorf("good schema rejected: %v", err)
+	}
+}
+
+func TestInsertAndGet(t *testing.T) {
+	tab := newCustomerTable(t)
+	id, err := tab.Insert(
+		StringValue("c1"), StringValue("john smith"), StringValue("9876543210"),
+		StringValue("42 lake road"), FloatValue(120.5), StringValue("gold"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.GetString(id, "name") != "john smith" {
+		t.Error("name round-trip failed")
+	}
+	if tab.GetNum(id, "balance") != 120.5 {
+		t.Error("numeric round-trip failed")
+	}
+	if _, ok := tab.Get(id, "nope"); ok {
+		t.Error("missing column should fail")
+	}
+	if _, ok := tab.Get(RowID(99), "name"); ok {
+		t.Error("missing row should fail")
+	}
+}
+
+func TestInsertArityAndTypes(t *testing.T) {
+	tab := newCustomerTable(t)
+	if _, err := tab.Insert(StringValue("x")); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if _, err := tab.Insert(
+		StringValue("c1"), StringValue("n"), StringValue("p"),
+		StringValue("a"), StringValue("not-a-number"), StringValue("s"),
+	); err == nil {
+		t.Error("string in float column should fail")
+	}
+}
+
+func TestPrimaryKeyUnique(t *testing.T) {
+	tab := newCustomerTable(t)
+	row := func(id string) []Value {
+		return []Value{StringValue(id), StringValue("a b"), StringValue("123"),
+			StringValue("addr"), FloatValue(1), StringValue("s")}
+	}
+	if _, err := tab.Insert(row("c1")...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Insert(row("c1")...); err == nil {
+		t.Error("duplicate key should fail")
+	}
+	if _, err := tab.Insert(row("c2")...); err != nil {
+		t.Errorf("distinct key rejected: %v", err)
+	}
+	if id, ok := tab.ByKey("c2"); !ok || tab.GetString(id, "id") != "c2" {
+		t.Error("ByKey lookup failed")
+	}
+	if _, ok := tab.ByKey("ghost"); ok {
+		t.Error("missing key should not resolve")
+	}
+}
+
+func insertCustomer(t *testing.T, tab *Table, id, name, phone, addr string, bal float64, seg string) RowID {
+	t.Helper()
+	rid, err := tab.Insert(StringValue(id), StringValue(name), StringValue(phone),
+		StringValue(addr), FloatValue(bal), StringValue(seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rid
+}
+
+func TestScanAndSelect(t *testing.T) {
+	tab := newCustomerTable(t)
+	insertCustomer(t, tab, "c1", "john smith", "111", "a", 10, "gold")
+	insertCustomer(t, tab, "c2", "mary jones", "222", "b", 20, "silver")
+	insertCustomer(t, tab, "c3", "bob brown", "333", "c", 30, "gold")
+
+	gold := tab.Select(func(get func(string) Value) bool {
+		return get("segment").Str == "gold"
+	})
+	if len(gold) != 2 {
+		t.Errorf("gold rows = %v", gold)
+	}
+	// Early-terminating scan.
+	count := 0
+	tab.Scan(func(id RowID, get func(string) Value) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("scan visited %d rows", count)
+	}
+}
+
+func TestCountByAndCrossTab(t *testing.T) {
+	tab := newCustomerTable(t)
+	insertCustomer(t, tab, "c1", "a", "1", "x", 1, "gold")
+	insertCustomer(t, tab, "c2", "b", "2", "x", 1, "gold")
+	insertCustomer(t, tab, "c3", "c", "3", "y", 1, "silver")
+	counts := tab.CountBy("segment")
+	if counts["gold"] != 2 || counts["silver"] != 1 {
+		t.Errorf("CountBy = %v", counts)
+	}
+	ct := tab.CrossTab("segment", "address")
+	if ct[[2]string{"gold", "x"}] != 2 || ct[[2]string{"silver", "y"}] != 1 {
+		t.Errorf("CrossTab = %v", ct)
+	}
+	if len(tab.CountBy("ghost")) != 0 {
+		t.Error("missing column CountBy should be empty")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	tab := newCustomerTable(t)
+	insertCustomer(t, tab, "c1", "a", "1", "x", 1, "gold")
+	insertCustomer(t, tab, "c2", "b", "2", "y", 1, "gold")
+	got := tab.Distinct("segment")
+	if len(got) != 1 || got[0] != "gold" {
+		t.Errorf("Distinct = %v", got)
+	}
+}
+
+func TestNameIndexFuzzyRecall(t *testing.T) {
+	tab := newCustomerTable(t)
+	smith := insertCustomer(t, tab, "c1", "john smith", "111", "a", 1, "s")
+	insertCustomer(t, tab, "c2", "mary wilkins", "222", "b", 1, "s")
+
+	// A garbled-but-similar-sounding surname should still recall Smith.
+	cands := tab.Candidates("name", "smyth")
+	found := false
+	for _, id := range cands {
+		if id == smith {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fuzzy name index missed smith: %v", cands)
+	}
+}
+
+func TestDigitIndexPartialRecall(t *testing.T) {
+	tab := newCustomerTable(t)
+	target := insertCustomer(t, tab, "c1", "a", "9876543210", "x", 1, "s")
+	insertCustomer(t, tab, "c2", "b", "1231231234", "y", 1, "s")
+	// Only 6 of 10 digits recognized (contiguous run): most trigrams
+	// survive.
+	cands := tab.Candidates("phone", "987654")
+	found := false
+	for _, id := range cands {
+		if id == target {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("digit index missed partial number: %v", cands)
+	}
+}
+
+func TestTextIndexRecall(t *testing.T) {
+	tab := newCustomerTable(t)
+	target := insertCustomer(t, tab, "c1", "a", "1", "42 lake road", 1, "s")
+	cands := tab.Candidates("address", "lake rode") // typo
+	found := false
+	for _, id := range cands {
+		if id == target {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("text index missed: %v", cands)
+	}
+}
+
+func TestCandidatesSortedUnique(t *testing.T) {
+	tab := newCustomerTable(t)
+	insertCustomer(t, tab, "c1", "anna anna", "1", "x", 1, "s")
+	cands := tab.Candidates("name", "anna")
+	for i := 1; i < len(cands); i++ {
+		if cands[i] <= cands[i-1] {
+			t.Errorf("candidates not sorted-unique: %v", cands)
+		}
+	}
+	if got := tab.Candidates("ghost", "x"); got != nil {
+		t.Errorf("missing column candidates = %v", got)
+	}
+}
+
+func TestExactIndexProperty(t *testing.T) {
+	tab := newCustomerTable(t)
+	ids := map[string]RowID{}
+	for _, seg := range []string{"gold", "silver", "bronze"} {
+		ids[seg] = insertCustomer(t, tab, "c-"+seg, "n", "1", "x", 1, seg)
+	}
+	f := func(pick uint8) bool {
+		segs := []string{"gold", "silver", "bronze"}
+		seg := segs[int(pick)%3]
+		cands := tab.Candidates("segment", seg)
+		for _, id := range cands {
+			if id == ids[seg] {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBTables(t *testing.T) {
+	db := NewDB()
+	if _, err := db.CreateTable(customerSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(customerSchema()); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	if _, ok := db.Table("customers"); !ok {
+		t.Error("table lookup failed")
+	}
+	if _, ok := db.Table("ghost"); ok {
+		t.Error("missing table resolved")
+	}
+	if names := db.TableNames(); len(names) != 1 || names[0] != "customers" {
+		t.Errorf("names = %v", names)
+	}
+	if got := db.Tables(); len(got) != 1 || got[0].Name() != "customers" {
+		t.Error("Tables() wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTable on missing table should panic")
+		}
+	}()
+	db.MustTable("ghost")
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := newCustomerTable(t)
+	insertCustomer(t, tab, "c1", "john, smith", "987", "a \"quoted\" addr", 10.25, "gold")
+	insertCustomer(t, tab, "c2", "mary", "123", "plain", 20, "silver")
+
+	var buf bytes.Buffer
+	if err := tab.ExportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tab2, err := NewTable(customerSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab2.ImportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if tab2.Len() != 2 {
+		t.Fatalf("round-trip lost rows: %d", tab2.Len())
+	}
+	if tab2.GetString(0, "name") != "john, smith" {
+		t.Error("comma in value not preserved")
+	}
+	if tab2.GetNum(0, "balance") != 10.25 {
+		t.Error("numeric not preserved")
+	}
+}
+
+func TestImportCSVErrors(t *testing.T) {
+	tab := newCustomerTable(t)
+	cases := []string{
+		"",               // no header
+		"wrong,header\n", // wrong arity
+		"id,name,phone,address,balance,wrongname\n",                  // wrong column name
+		"id,name,phone,address,balance,segment\nc1,n,p,a,notnum,s\n", // bad float
+	}
+	for i, in := range cases {
+		fresh, _ := NewTable(customerSchema())
+		if err := fresh.ImportCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	_ = tab
+}
+
+func TestAggregate(t *testing.T) {
+	tab := newCustomerTable(t)
+	insertCustomer(t, tab, "c1", "a", "1", "x", 10, "gold")
+	insertCustomer(t, tab, "c2", "b", "2", "x", 30, "gold")
+	insertCustomer(t, tab, "c3", "c", "3", "y", 5, "silver")
+	agg := tab.Aggregate("segment", "balance")
+	gold := agg["gold"]
+	if gold.Count != 2 || gold.Sum != 40 || gold.Min != 10 || gold.Max != 30 {
+		t.Errorf("gold agg = %+v", gold)
+	}
+	if gold.Mean() != 20 {
+		t.Errorf("gold mean = %v", gold.Mean())
+	}
+	if agg["silver"].Count != 1 || agg["silver"].Mean() != 5 {
+		t.Errorf("silver agg = %+v", agg["silver"])
+	}
+	if len(tab.Aggregate("ghost", "balance")) != 0 {
+		t.Error("missing group column should be empty")
+	}
+	if (AggStats{}).Mean() != 0 {
+		t.Error("empty mean should be 0")
+	}
+}
