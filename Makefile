@@ -1,0 +1,36 @@
+# Standard gate for every change: `make check` runs vet, build, and the
+# full test suite under the race detector. CI and pre-commit should both
+# use it.
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-pipeline examples
+
+check: vet build race examples
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick loop while developing: skips the slow ASR decodes.
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# The streaming-pipeline scaling benchmarks recorded in BENCH_pipeline.json.
+bench-pipeline:
+	$(GO) test -bench='BenchmarkPipelineCallAnalysis|BenchmarkStreamIndexAddWhileQuery' -run='^$$' .
+	$(GO) test -bench='BenchmarkLatencyOverlap' -run='^$$' ./internal/pipeline/
+
+examples:
+	$(GO) build ./examples/...

@@ -491,3 +491,87 @@ func BenchmarkParallelTranscription(b *testing.B) {
 		})
 	}
 }
+
+// --- Streaming pipeline throughput: sequential vs 1/2/4/8 workers ---
+// Workers=1 is the sequential path; higher counts scale the transcribe
+// and annotate pools. Decoding is pure CPU, so wall-clock speedup tracks
+// available cores; on a single-core host the pipeline must at least not
+// regress. BenchmarkLatencyOverlap in internal/pipeline shows the
+// latency-bound case (remote ASR), which scales with workers even on
+// one core.
+
+func BenchmarkPipelineCallAnalysis(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			cfg := bivoc.DefaultCallAnalysisConfig()
+			cfg.World.CallsPerDay = benchCalls
+			cfg.World.Days = 1
+			cfg.Workers = workers
+			var calls int
+			for i := 0; i < b.N; i++ {
+				ca, err := bivoc.RunCallAnalysis(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				calls = ca.Index.Len()
+			}
+			b.ReportMetric(float64(calls)*float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+		})
+	}
+}
+
+// Analysis-only variant (no recognizer): the annotate stage dominates,
+// so this isolates pipeline overhead at high item rates.
+func BenchmarkPipelineCallAnalysisNoASR(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			cfg := bivoc.DefaultCallAnalysisConfig()
+			cfg.UseASR = false
+			cfg.World.CallsPerDay = 400
+			cfg.World.Days = 2
+			cfg.Workers = workers
+			var calls int
+			for i := 0; i < b.N; i++ {
+				ca, err := bivoc.RunCallAnalysis(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				calls = ca.Index.Len()
+			}
+			b.ReportMetric(float64(calls)*float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+		})
+	}
+}
+
+// --- Streaming index: Add throughput while queries run ---
+
+func BenchmarkStreamIndexAddWhileQuery(b *testing.B) {
+	ca := referenceAnalysis(b)
+	docs := make([]bivoc.MiningDocument, ca.Index.Len())
+	for i := range docs {
+		docs[i] = ca.Index.Doc(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		si := bivoc.NewStreamIndex()
+		stop := make(chan struct{})
+		go func() {
+			weak := bivoc.ConceptDim("customer intention", "weak start")
+			res := bivoc.FieldDim("outcome", "reservation")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					si.CountBoth(weak, res)
+				}
+			}
+		}()
+		for _, d := range docs {
+			si.Add(d)
+		}
+		close(stop)
+		si.Seal()
+	}
+	b.ReportMetric(float64(len(docs)), "docs")
+}

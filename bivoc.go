@@ -42,12 +42,15 @@
 package bivoc
 
 import (
+	"context"
+
 	"bivoc/internal/annotate"
 	"bivoc/internal/asr"
 	"bivoc/internal/churn"
 	"bivoc/internal/core"
 	"bivoc/internal/linker"
 	"bivoc/internal/mining"
+	"bivoc/internal/pipeline"
 	"bivoc/internal/synth"
 	"bivoc/internal/warehouse"
 )
@@ -69,10 +72,38 @@ func DefaultCallAnalysisConfig() CallAnalysisConfig {
 	return core.DefaultCallAnalysisConfig()
 }
 
-// RunCallAnalysis executes generate → transcribe → annotate → index.
+// RunCallAnalysis executes generate → transcribe → link → annotate →
+// index on the staged streaming pipeline (cfg.Workers per stage;
+// Workers=1 recovers the sequential path).
 func RunCallAnalysis(cfg CallAnalysisConfig) (*CallAnalysis, error) {
 	return core.RunCallAnalysis(cfg)
 }
+
+// RunCallAnalysisContext is RunCallAnalysis with cancellation: cancel
+// ctx and the streaming pipeline aborts promptly.
+func RunCallAnalysisContext(ctx context.Context, cfg CallAnalysisConfig) (*CallAnalysis, error) {
+	return core.RunCallAnalysisContext(ctx, cfg)
+}
+
+// --- Streaming pipeline surface ---
+
+// StreamMonitor is the live view handed to CallAnalysisConfig.Monitor
+// while a streaming run is in flight: per-stage counters plus the
+// query-while-indexing mining index.
+type StreamMonitor = core.StreamMonitor
+
+// PipelineStageStats is one stage's counter snapshot (in/out/skipped/
+// errors, queue depth and capacity, latency).
+type PipelineStageStats = pipeline.StageStats
+
+// StreamIndex is the incremental, concurrency-safe mining index: Add
+// documents from pipeline workers while association tables and relevancy
+// reports are queried concurrently; Seal freezes it into a deterministic
+// batch Index.
+type StreamIndex = mining.StreamIndex
+
+// NewStreamIndex returns an empty streaming mining index.
+func NewStreamIndex() *StreamIndex { return mining.NewStreamIndex() }
 
 // --- Agent-training experiment (§V.C) ---
 
@@ -139,9 +170,15 @@ func DefaultChurnExperimentConfig() ChurnExperimentConfig {
 	return core.DefaultChurnExperimentConfig()
 }
 
-// RunChurnExperiment executes clean → link → train → detect.
+// RunChurnExperiment executes clean → link → train → detect, with the
+// clean and link stages on the streaming pipeline (cfg.Workers each).
 func RunChurnExperiment(cfg ChurnExperimentConfig) (*ChurnExperimentResult, error) {
 	return core.RunChurnExperiment(cfg)
+}
+
+// RunChurnExperimentContext is RunChurnExperiment with cancellation.
+func RunChurnExperimentContext(ctx context.Context, cfg ChurnExperimentConfig) (*ChurnExperimentResult, error) {
+	return core.RunChurnExperimentContext(ctx, cfg)
 }
 
 // --- Building blocks re-exported for custom pipelines ---
@@ -188,6 +225,10 @@ func NewCarRentalAnnotationEngine() *AnnotationEngine {
 
 // MiningIndex is the concept/field inverted index of §IV.D.
 type MiningIndex = mining.Index
+
+// MiningDocument is one indexed VoC item: extracted concepts, linked
+// structured fields, and a time bucket.
+type MiningDocument = mining.Document
 
 // AssocTable is a two-dimensional association analysis result.
 type AssocTable = mining.AssocTable

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	bivoc [-asr] [-seed N] [-calls N] [-days N] [-drill row,col]
+//	      [-stream] [-workers N]
+//
+// With -stream the run goes through the staged concurrent pipeline
+// (transcribe → link → annotate → index) and live per-stage stats are
+// printed to stderr while the mining index is queried mid-flight — the
+// query-while-indexing view a production deployment would expose.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"bivoc"
 	"bivoc/internal/mining"
@@ -28,6 +35,8 @@ func main() {
 	calls := flag.Int("calls", 400, "calls per day")
 	days := flag.Int("days", 10, "days of traffic")
 	drill := flag.String("drill", "weak start,reservation", "drill-down cell: intent,outcome")
+	stream := flag.Bool("stream", false, "print live per-stage pipeline stats and mid-flight index queries")
+	workers := flag.Int("workers", 0, "per-stage worker count (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	cfg := bivoc.DefaultCallAnalysisConfig()
@@ -36,8 +45,12 @@ func main() {
 	cfg.World.Days = *days
 	cfg.UseASR = *useASR
 	cfg.UseNotes = *useNotes
+	cfg.Workers = *workers
 	if *useASR && *calls > 100 {
 		fmt.Fprintln(os.Stderr, "note: ASR mode decodes every call; consider -calls 60")
+	}
+	if *stream {
+		cfg.Monitor = liveStatsMonitor
 	}
 
 	ca, err := bivoc.RunCallAnalysis(cfg)
@@ -102,6 +115,45 @@ func main() {
 				break
 			}
 			fmt.Printf("  %s agent=%s concepts=%s\n", d.ID, d.Fields["agent"], summarize(d))
+		}
+	}
+}
+
+// liveStatsMonitor renders the streaming dashboard: one stderr block per
+// tick with stage counters and a live query against the growing index
+// (weak-start count and its conversion share so far).
+func liveStatsMonitor(m *bivoc.StreamMonitor) {
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	render := func(final bool) {
+		tag := "stream"
+		if final {
+			tag = "stream final"
+		}
+		fmt.Fprintf(os.Stderr, "—— %s ——\n", tag)
+		for _, st := range m.StageStats() {
+			fmt.Fprintf(os.Stderr, "  %-10s workers=%d in=%-6d out=%-6d skip=%-4d err=%-3d queue=%d/%d avg=%s\n",
+				st.Name, st.Workers, st.In, st.Out, st.Skipped, st.Errors,
+				st.QueueDepth, st.QueueCap, st.AvgLatency.Round(time.Microsecond))
+		}
+		live := m.Live()
+		weak := bivoc.ConceptDim("customer intention", "weak start")
+		converted := live.CountBoth(weak, bivoc.FieldDim("outcome", synth.OutcomeReservation))
+		total := live.Count(weak)
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(converted) / float64(total)
+		}
+		fmt.Fprintf(os.Stderr, "  indexed=%d weak-start=%d converting=%.0f%% (queried mid-stream)\n",
+			live.Len(), total, share)
+	}
+	for {
+		select {
+		case <-m.Done():
+			render(true)
+			return
+		case <-tick.C:
+			render(false)
 		}
 	}
 }

@@ -1,0 +1,21 @@
+package bivoc_test
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesBuild is a build-only smoke test: every example program
+// must keep compiling against the current public API. Runtime behaviour
+// is covered by the library tests; this just stops the examples from
+// rotting when entry points move.
+func TestExamplesBuild(t *testing.T) {
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	out, err := exec.Command(gobin, "build", "./examples/...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("examples no longer build: %v\n%s", err, out)
+	}
+}

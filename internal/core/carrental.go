@@ -1,16 +1,11 @@
 package core
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
+	"context"
 
 	"bivoc/internal/asr"
-	"bivoc/internal/clean"
 	"bivoc/internal/mining"
-	"bivoc/internal/rng"
 	"bivoc/internal/synth"
-	"bivoc/internal/textproc"
 )
 
 // CallAnalysisConfig drives the §V pipeline end to end.
@@ -27,15 +22,20 @@ type CallAnalysisConfig struct {
 	// call (recordings cover ~25%, §V.A) but in heavy shorthand. Takes
 	// precedence over UseASR.
 	UseNotes bool
-	// Workers is the transcription parallelism (default: GOMAXPROCS).
-	// §III's third challenge is volume — "one of the help desk accounts
-	// ... generated about 150GB of recordings every day" — and calls
-	// decode independently because each carries its own noise stream.
-	// Results are bit-identical at any worker count; realized speedup
-	// depends on cores and GC headroom (decoding is allocation-heavy).
+	// Workers is the per-stage parallelism of the streaming pipeline
+	// (default: GOMAXPROCS; 1 recovers the sequential path). §III's third
+	// challenge is volume — "one of the help desk accounts ... generated
+	// about 150GB of recordings every day" — and calls process
+	// independently because each carries its own noise stream. Results
+	// are bit-identical at any worker count; realized speedup depends on
+	// cores and GC headroom (decoding is allocation-heavy).
 	Workers int
 	// Confidence for association interval estimates.
 	Confidence float64
+	// Monitor, when set, is invoked on its own goroutine as the streaming
+	// run starts, with live access to stage stats and the growing mining
+	// index. It should return promptly once Monitor.Done() closes.
+	Monitor func(*StreamMonitor)
 }
 
 // DefaultCallAnalysisConfig returns the standard configuration with ASR
@@ -64,8 +64,14 @@ type CallAnalysis struct {
 // RunCallAnalysis generates the world and calls, transcribes them,
 // annotates the transcripts and indexes each call with its linked
 // structured fields (outcome, agent, trained flag) — Figure 3's flow for
-// the car-rental engagement.
+// the car-rental engagement, run on the staged streaming pipeline.
 func RunCallAnalysis(cfg CallAnalysisConfig) (*CallAnalysis, error) {
+	return RunCallAnalysisContext(context.Background(), cfg)
+}
+
+// RunCallAnalysisContext is RunCallAnalysis with cancellation: cancel
+// ctx and the pipeline aborts promptly, returning the context error.
+func RunCallAnalysisContext(ctx context.Context, cfg CallAnalysisConfig) (*CallAnalysis, error) {
 	world, err := synth.NewCarRentalWorld(cfg.World)
 	if err != nil {
 		return nil, err
@@ -79,102 +85,10 @@ func RunCallAnalysis(cfg CallAnalysisConfig) (*CallAnalysis, error) {
 		}
 		ca.Recognizer = rec
 	}
-	if err := ca.analyze(); err != nil {
+	if err := ca.analyzeStreaming(ctx); err != nil {
 		return nil, err
 	}
 	return ca, nil
-}
-
-func (ca *CallAnalysis) analyze() error {
-	en := BuildCarRentalAnnotator()
-	ix := mining.NewIndex()
-	cleaner := clean.NewCleaner()
-	transcripts, err := ca.produceTranscripts(cleaner)
-	if err != nil {
-		return err
-	}
-	ca.Transcripts = transcripts
-	for i, call := range ca.World.Calls {
-		transcript := transcripts[i]
-		agent := ca.World.Agents[call.AgentIdx]
-		trained := "no"
-		if agent.Trained {
-			trained = "yes"
-		}
-		ix.Add(mining.Document{
-			ID:       call.ID,
-			Concepts: AnnotateTranscript(en, transcript),
-			Fields: map[string]string{
-				"outcome": call.Outcome,
-				"agent":   agent.ID,
-				"trained": trained,
-			},
-			Time: call.Day,
-		})
-		_ = i
-	}
-	ca.Index = ix
-	return nil
-}
-
-// produceTranscripts materializes the analyzed text of every call,
-// decoding in parallel when a recognizer is configured. Each call's
-// channel noise comes from a stream keyed by its id, so the output is
-// bit-identical at any worker count.
-func (ca *CallAnalysis) produceTranscripts(cleaner *clean.Cleaner) ([][]string, error) {
-	calls := ca.World.Calls
-	out := make([][]string, len(calls))
-	switch {
-	case ca.Config.UseNotes:
-		for i, call := range calls {
-			// Normalize the shorthand through the lingo dictionaries
-			// before analysis, as the cleaning stage does for SMS.
-			out[i] = textproc.Words(cleaner.NormalizeSMS(ca.World.AgentNote(call)))
-		}
-		return out, nil
-	case ca.Recognizer == nil:
-		for i, call := range calls {
-			out[i] = call.Transcript
-		}
-		return out, nil
-	}
-	workers := ca.Config.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	decodeRnd := rng.New(ca.Config.World.Seed).SplitString("asr-noise")
-	jobs := make(chan int)
-	errs := make(chan error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				call := calls[i]
-				hyp, err := ca.Recognizer.Transcribe(decodeRnd.SplitString(call.ID), call.Transcript)
-				if err != nil {
-					select {
-					case errs <- fmt.Errorf("core: transcribing %s: %w", call.ID, err):
-					default:
-					}
-					return
-				}
-				out[i] = hyp
-			}
-		}()
-	}
-	for i := range calls {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
-	}
-	return out, nil
 }
 
 // IntentOutcomeTable reproduces Table III: customer intention at start

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"bivoc/internal/churn"
 	"bivoc/internal/clean"
 	"bivoc/internal/linker"
+	"bivoc/internal/pipeline"
 	"bivoc/internal/sentiment"
 	"bivoc/internal/synth"
 	"bivoc/internal/warehouse"
@@ -34,6 +37,11 @@ type ChurnExperimentConfig struct {
 	Channel string
 	// NormalizeSMS toggles the lingo-normalization step (ablation).
 	NormalizeSMS bool
+	// Workers is the per-stage parallelism of the clean→link pipeline
+	// (default: GOMAXPROCS; 1 recovers the sequential path). Results are
+	// identical at any worker count: stage functions are pure per message
+	// and accounting runs over the corpus in its original order.
+	Workers int
 }
 
 // DefaultChurnExperimentConfig returns the paper-shaped configuration.
@@ -87,6 +95,27 @@ type linkedMessage struct {
 
 // RunChurnExperiment executes the full §VI pipeline.
 func RunChurnExperiment(cfg ChurnExperimentConfig) (*ChurnExperimentResult, error) {
+	return RunChurnExperimentContext(context.Background(), cfg)
+}
+
+// msgJob carries one message through the streaming clean → link stages.
+// The idx keys it back to corpus order so the downstream accounting and
+// training are byte-identical at any worker count.
+type msgJob struct {
+	idx     int
+	verdict clean.Verdict
+	// custIdx is the linked customer index, or -1 when unlinkable.
+	// Meaningful only for VerdictKeep.
+	custIdx int
+	// text is the de-signatured cleaned text for the classifier.
+	text string
+}
+
+// RunChurnExperimentContext is RunChurnExperiment with cancellation. The
+// clean and link stages run as concurrent worker pools; per-message work
+// is pure, and all stateful accounting happens afterwards in corpus
+// order, so cfg.Workers never changes the result.
+func RunChurnExperimentContext(ctx context.Context, cfg ChurnExperimentConfig) (*ChurnExperimentResult, error) {
 	world, err := synth.NewTelecomWorld(cfg.World)
 	if err != nil {
 		return nil, err
@@ -113,9 +142,12 @@ func RunChurnExperiment(cfg ChurnExperimentConfig) (*ChurnExperimentResult, erro
 	}
 	subs := world.DB.MustTable("subscribers")
 
-	var linked []linkedMessage
-	linkRight := 0
-	for _, m := range corpus {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cleanStage := func(_ context.Context, j msgJob) (msgJob, error) {
+		m := corpus[j.idx]
 		var cm clean.CleanedMessage
 		if m.Channel == "email" {
 			cm = cleaner.ProcessEmail(m.Raw)
@@ -129,7 +161,51 @@ func RunChurnExperiment(cfg ChurnExperimentConfig) (*ChurnExperimentResult, erro
 				cm.Text = strings.ToLower(m.Raw)
 			}
 		}
-		switch cm.Verdict {
+		j.verdict = cm.Verdict
+		j.text = cm.Text
+		return j, nil
+	}
+	linkStage := func(_ context.Context, j msgJob) (msgJob, error) {
+		j.custIdx = -1
+		if j.verdict != clean.VerdictKeep {
+			return j, nil
+		}
+		m := corpus[j.idx]
+		tokens := annotators.Extract(j.text)
+		minScore := cfg.MinLinkScore
+		if m.Channel == "sms" {
+			minScore = cfg.MinLinkScoreSMS
+		}
+		matches := engine.Link(tokens, 1)
+		if len(matches) == 0 || matches[0].Score < minScore {
+			return j, nil
+		}
+		j.custIdx = idByKey[subs.GetString(matches[0].Row, "id")]
+		// Classify on the de-signatured text: the signature identified the
+		// author for linking, but the classifier must learn churn
+		// language, not author identities.
+		j.text = clean.StripSignature(j.text)
+		return j, nil
+	}
+
+	p := pipeline.New[msgJob]("churn",
+		pipeline.Stage[msgJob]{Name: "clean", Workers: workers, Fn: cleanStage},
+		pipeline.Stage[msgJob]{Name: "link", Workers: workers, Fn: linkStage},
+	)
+	jobs := make([]msgJob, len(corpus))
+	err = p.Run(ctx,
+		pipeline.IndexedSource(len(corpus), func(i int) msgJob { return msgJob{idx: i} }),
+		func(j msgJob) error { jobs[j.idx] = j; return nil })
+	if err != nil {
+		return nil, err
+	}
+
+	// Accounting pass in corpus order — identical to the sequential run.
+	var linked []linkedMessage
+	linkRight := 0
+	for i, j := range jobs {
+		m := corpus[i]
+		switch j.verdict {
 		case clean.VerdictSpam:
 			res.Spam++
 			continue
@@ -140,26 +216,15 @@ func RunChurnExperiment(cfg ChurnExperimentConfig) (*ChurnExperimentResult, erro
 			res.Empty++
 			continue
 		}
-		tokens := annotators.Extract(cm.Text)
-		minScore := cfg.MinLinkScore
-		if m.Channel == "sms" {
-			minScore = cfg.MinLinkScoreSMS
-		}
-		matches := engine.Link(tokens, 1)
-		if len(matches) == 0 || matches[0].Score < minScore {
+		if j.custIdx < 0 {
 			res.Unlinkable++
 			continue
 		}
 		res.Linked++
-		custID := subs.GetString(matches[0].Row, "id")
-		idx := idByKey[custID]
-		if m.CustIdx == idx {
+		if m.CustIdx == j.custIdx {
 			linkRight++
 		}
-		// Classify on the de-signatured text: the signature identified the
-		// author for linking, but the classifier must learn churn
-		// language, not author identities.
-		linked = append(linked, linkedMessage{msg: m, custIdx: idx, text: clean.StripSignature(cm.Text)})
+		linked = append(linked, linkedMessage{msg: m, custIdx: j.custIdx, text: j.text})
 	}
 	if res.Linked+res.Unlinkable > 0 {
 		res.UnlinkableRate = float64(res.Unlinkable) / float64(res.Linked+res.Unlinkable)

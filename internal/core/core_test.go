@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -397,5 +398,174 @@ func TestParallelTranscriptionDeterministic(t *testing.T) {
 		if strings.Join(seq[i], " ") != strings.Join(par[i], " ") {
 			t.Fatalf("call %d transcript differs between 1 and 4 workers", i)
 		}
+	}
+}
+
+// renderAll fingerprints every report surface of a call analysis.
+func renderAll(ca *CallAnalysis) string {
+	out := ca.IntentOutcomeTable().Render()
+	out += ca.AgentUtteranceTable().Render()
+	out += ca.LocationVehicleTable().Render()
+	for _, r := range ca.WeakStartConversionDrivers() {
+		out += r.Concept + "|"
+	}
+	return out
+}
+
+// TestPipelineWorkerCountInvariance is the determinism acceptance
+// criterion: the streaming pipeline at Workers ∈ {1, 4, 8} must produce
+// byte-identical reports for the same seed.
+func TestPipelineWorkerCountInvariance(t *testing.T) {
+	base := DefaultCallAnalysisConfig()
+	base.World = fastWorld()
+	base.UseASR = false
+	renders := map[int]string{}
+	for _, w := range []int{1, 4, 8} {
+		cfg := base
+		cfg.Workers = w
+		ca, err := RunCallAnalysis(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		renders[w] = renderAll(ca)
+		// The sealed index must also be positionally deterministic.
+		if got := ca.Index.Len(); got != len(ca.World.Calls) {
+			t.Fatalf("workers=%d indexed %d docs, want %d", w, got, len(ca.World.Calls))
+		}
+	}
+	if renders[1] != renders[4] || renders[1] != renders[8] {
+		t.Fatalf("reports differ across worker counts:\n-- w=1 --\n%s\n-- w=4 --\n%s\n-- w=8 --\n%s",
+			renders[1], renders[4], renders[8])
+	}
+}
+
+// TestPipelineWorkerCountInvarianceASR repeats the invariance check with
+// the recognizer in the loop — the stage whose per-call RNG substreams
+// make or break determinism.
+func TestPipelineWorkerCountInvarianceASR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ASR decoding is slow")
+	}
+	base := DefaultCallAnalysisConfig()
+	base.World = fastWorld()
+	base.World.CallsPerDay = 25
+	base.World.Days = 2
+	base.Channel = asr.TelephoneChannel
+	base.Decoder.BeamWidth = 96
+	renders := map[int]string{}
+	for _, w := range []int{1, 4} {
+		cfg := base
+		cfg.Workers = w
+		ca, err := RunCallAnalysis(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		renders[w] = renderAll(ca)
+	}
+	if renders[1] != renders[4] {
+		t.Fatal("ASR-mode reports differ between 1 and 4 workers")
+	}
+}
+
+// TestPipelineNotesModeWorkerInvariance covers the notes channel, whose
+// noise stream is keyed per call id.
+func TestPipelineNotesModeWorkerInvariance(t *testing.T) {
+	base := DefaultCallAnalysisConfig()
+	base.World = fastWorld()
+	base.UseASR = false
+	base.UseNotes = true
+	renders := map[int]string{}
+	for _, w := range []int{1, 4} {
+		cfg := base
+		cfg.Workers = w
+		ca, err := RunCallAnalysis(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		renders[w] = renderAll(ca)
+	}
+	if renders[1] != renders[4] {
+		t.Fatal("notes-mode reports differ between 1 and 4 workers")
+	}
+}
+
+// TestChurnPipelineWorkerInvariance: the churn experiment's clean→link
+// pipeline must not let worker scheduling leak into any reported number.
+func TestChurnPipelineWorkerInvariance(t *testing.T) {
+	base := DefaultChurnExperimentConfig()
+	base.World.NumCustomers = 300
+	base.World.Emails = 700
+	base.World.SMS = 0
+	var results []*ChurnExperimentResult
+	for _, w := range []int{1, 4, 8} {
+		cfg := base
+		cfg.Workers = w
+		res, err := RunChurnExperiment(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	for i := 1; i < len(results); i++ {
+		a, b := *results[0], *results[i]
+		// TopFeatures is a slice; compare it first, then blank it for the
+		// struct comparison.
+		if strings.Join(a.TopFeatures, ",") != strings.Join(b.TopFeatures, ",") {
+			t.Fatalf("top features differ across worker counts:\n%v\n%v", a.TopFeatures, b.TopFeatures)
+		}
+		a.TopFeatures, b.TopFeatures = nil, nil
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			t.Fatalf("results differ across worker counts:\n%+v\n%+v", a, b)
+		}
+	}
+}
+
+// TestStreamMonitorLiveQueries drives the Monitor hook: stats must be
+// readable and the live index queryable while the run is in flight, and
+// Done must close when the pipeline finishes.
+func TestStreamMonitorLiveQueries(t *testing.T) {
+	cfg := DefaultCallAnalysisConfig()
+	cfg.World = fastWorld()
+	cfg.UseASR = false
+	cfg.Workers = 4
+	observed := make(chan int, 1)
+	doneClosed := make(chan struct{})
+	cfg.Monitor = func(m *StreamMonitor) {
+		maxSeen := 0
+		for {
+			select {
+			case <-m.Done():
+				select {
+				case observed <- maxSeen:
+				default:
+				}
+				close(doneClosed)
+				return
+			default:
+				if n := m.Live().Len(); n > maxSeen {
+					maxSeen = n
+				}
+				for _, st := range m.StageStats() {
+					if st.Errors != 0 {
+						panic("unexpected stage error")
+					}
+				}
+			}
+		}
+	}
+	ca, err := RunCallAnalysis(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-doneClosed:
+	default:
+		t.Fatal("monitor still running after RunCallAnalysis returned")
+	}
+	if maxSeen := <-observed; maxSeen == 0 {
+		t.Fatal("monitor never observed a live document")
+	}
+	if ca.Index.Len() != len(ca.World.Calls) {
+		t.Fatalf("indexed %d calls, want %d", ca.Index.Len(), len(ca.World.Calls))
 	}
 }

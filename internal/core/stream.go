@@ -1,0 +1,148 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"bivoc/internal/annotate"
+	"bivoc/internal/clean"
+	"bivoc/internal/mining"
+	"bivoc/internal/pipeline"
+	"bivoc/internal/rng"
+	"bivoc/internal/textproc"
+)
+
+// StreamMonitor gives a running streaming pipeline's live surfaces to an
+// observer: per-stage counters and the query-while-indexing view of the
+// mining index. Obtained via CallAnalysisConfig.Monitor.
+type StreamMonitor struct {
+	stats func() []pipeline.StageStats
+	live  *mining.StreamIndex
+	done  chan struct{}
+}
+
+// StageStats snapshots the pipeline's per-stage counters (in/out/skip/
+// errors, queue depth, latency). Safe to call while the run is in flight.
+func (m *StreamMonitor) StageStats() []pipeline.StageStats { return m.stats() }
+
+// Live returns the streaming mining index. Every query on it (Counts,
+// Associate, RelativeFrequency, ...) answers over the documents indexed
+// so far — reporting stays available while data keeps arriving.
+func (m *StreamMonitor) Live() *mining.StreamIndex { return m.live }
+
+// Done is closed when the pipeline finishes (drain or abort). Monitor
+// callbacks should select on it and return promptly.
+func (m *StreamMonitor) Done() <-chan struct{} { return m.done }
+
+// analyzeStreaming runs Figure 3 as the staged concurrent pipeline:
+//
+//	source(calls) → transcribe → link → annotate → index(sink)
+//
+// transcribe and annotate carry the CPU weight and get cfg.Workers
+// workers each; link only attaches warehouse fields and runs single.
+// Worker-count invariance holds because every stochastic step draws from
+// a per-call RNG substream keyed by call ID, results are keyed by call
+// index, and the sealed index is rebuilt in ID order.
+func (ca *CallAnalysis) analyzeStreaming(ctx context.Context) error {
+	en := BuildCarRentalAnnotator()
+	cleaner := clean.NewCleaner()
+	world := ca.World
+	calls := world.Calls
+	workers := ca.Config.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	decodeRnd := rng.New(ca.Config.World.Seed).SplitString("asr-noise")
+
+	// job carries one call through the stages; idx keys results back to
+	// World.Calls order so output is deterministic regardless of which
+	// worker handled which call.
+	type job struct {
+		idx        int
+		transcript []string
+		fields     map[string]string
+		concepts   []annotate.Concept
+	}
+	transcribe := func(ctx context.Context, j job) (job, error) {
+		call := calls[j.idx]
+		switch {
+		case ca.Config.UseNotes:
+			// The notes channel is cleaned like SMS: shorthand normalized
+			// through the lingo dictionaries before analysis.
+			j.transcript = textproc.Words(cleaner.NormalizeSMS(world.AgentNote(call)))
+		case ca.Recognizer != nil:
+			hyp, err := ca.Recognizer.Transcribe(decodeRnd.SplitString(call.ID), call.Transcript)
+			if err != nil {
+				return j, fmt.Errorf("core: transcribing %s: %w", call.ID, err)
+			}
+			j.transcript = hyp
+		default:
+			j.transcript = call.Transcript
+		}
+		return j, nil
+	}
+	link := func(ctx context.Context, j job) (job, error) {
+		call := calls[j.idx]
+		agent := world.Agents[call.AgentIdx]
+		trained := "no"
+		if agent.Trained {
+			trained = "yes"
+		}
+		j.fields = map[string]string{
+			"outcome": call.Outcome,
+			"agent":   agent.ID,
+			"trained": trained,
+		}
+		return j, nil
+	}
+	annotate := func(ctx context.Context, j job) (job, error) {
+		j.concepts = AnnotateTranscript(en, j.transcript)
+		return j, nil
+	}
+
+	p := pipeline.New[job]("call-analysis",
+		pipeline.Stage[job]{Name: "transcribe", Workers: workers, Fn: transcribe},
+		pipeline.Stage[job]{Name: "link", Workers: 1, Fn: link},
+		pipeline.Stage[job]{Name: "annotate", Workers: workers, Fn: annotate},
+	)
+
+	live := mining.NewStreamIndex()
+	transcripts := make([][]string, len(calls))
+	sink := func(j job) error {
+		transcripts[j.idx] = j.transcript
+		live.Add(mining.Document{
+			ID:       calls[j.idx].ID,
+			Concepts: j.concepts,
+			Fields:   j.fields,
+			Time:     calls[j.idx].Day,
+		})
+		return nil
+	}
+
+	var monWG sync.WaitGroup
+	var mon *StreamMonitor
+	if ca.Config.Monitor != nil {
+		mon = &StreamMonitor{stats: p.Stats, live: live, done: make(chan struct{})}
+		monWG.Add(1)
+		go func() {
+			defer monWG.Done()
+			ca.Config.Monitor(mon)
+		}()
+	}
+
+	err := p.Run(ctx,
+		pipeline.IndexedSource(len(calls), func(i int) job { return job{idx: i} }),
+		sink)
+	if mon != nil {
+		close(mon.done)
+		monWG.Wait()
+	}
+	if err != nil {
+		return err
+	}
+	ca.Transcripts = transcripts
+	ca.Index = live.Seal()
+	return nil
+}

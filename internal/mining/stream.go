@@ -1,0 +1,161 @@
+package mining
+
+import (
+	"sort"
+	"sync"
+)
+
+// StreamIndex is the incremental, concurrency-safe path into the mining
+// layer: documents can be Added from many pipeline workers while
+// association tables, relevancy reports, trends and drill-downs are
+// queried concurrently — the Customer-Experience-Data-Mart requirement
+// that reporting stays available while data keeps arriving.
+//
+// Semantics are sealed-snapshot: every query answers over exactly the
+// documents whose Add had completed when the query acquired the index,
+// and a query over a given document set returns the same result the
+// batch Index would return for those documents. A single RWMutex guards
+// the underlying Index — adds are brief (a handful of map appends), so
+// writer hold times stay in the microseconds and readers batch their
+// whole analysis under one read lock for a consistent view.
+//
+// Once the stream ends, Seal freezes the index and returns a plain
+// *Index rebuilt in document-ID order, making the final index
+// byte-for-byte independent of the arrival order the pipeline's worker
+// scheduling happened to produce.
+type StreamIndex struct {
+	mu     sync.RWMutex
+	ix     *Index
+	sealed bool
+}
+
+// NewStreamIndex returns an empty streaming index.
+func NewStreamIndex() *StreamIndex {
+	return &StreamIndex{ix: NewIndex()}
+}
+
+// Add indexes a document. Safe for concurrent use with queries and other
+// Adds. It panics after Seal — a sealed index is a published snapshot,
+// and silently growing it would invalidate results already reported.
+func (s *StreamIndex) Add(doc Document) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		panic("mining: StreamIndex.Add after Seal")
+	}
+	s.ix.Add(doc)
+}
+
+// AddBatch indexes documents under one lock acquisition, amortizing
+// contention when a pipeline stage delivers bursts.
+func (s *StreamIndex) AddBatch(docs []Document) {
+	if len(docs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		panic("mining: StreamIndex.AddBatch after Seal")
+	}
+	for _, d := range docs {
+		s.ix.Add(d)
+	}
+}
+
+// Len returns the number of documents indexed so far.
+func (s *StreamIndex) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.Len()
+}
+
+// Count returns how many indexed documents match the dimension.
+func (s *StreamIndex) Count(d Dim) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.Count(d)
+}
+
+// CountBoth returns how many indexed documents match both dimensions.
+func (s *StreamIndex) CountBoth(a, b Dim) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.CountBoth(a, b)
+}
+
+// Associate builds a two-dimensional association table over the
+// documents indexed at call time (see Index.Associate).
+func (s *StreamIndex) Associate(rows, cols []Dim, confidence float64) *AssocTable {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.Associate(rows, cols, confidence)
+}
+
+// RelativeFrequency runs the relevancy analysis over the documents
+// indexed at call time (see Index.RelativeFrequency).
+func (s *StreamIndex) RelativeFrequency(category string, featured Dim) []Relevance {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.RelativeFrequency(category, featured)
+}
+
+// Trend returns per-bucket counts for a dimension over the documents
+// indexed at call time.
+func (s *StreamIndex) Trend(d Dim) []TrendPoint {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.Trend(d)
+}
+
+// DrillDown returns the documents matching both dimensions, sorted by ID.
+func (s *StreamIndex) DrillDown(a, b Dim) []Document {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.DrillDown(a, b)
+}
+
+// ConceptsInCategory returns the category's canonical forms by document
+// frequency over the documents indexed at call time.
+func (s *StreamIndex) ConceptsInCategory(category string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.ConceptsInCategory(category)
+}
+
+// FieldValues returns the distinct values of a structured field.
+func (s *StreamIndex) FieldValues(field string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.FieldValues(field)
+}
+
+// Snapshot runs fn with a consistent read-only view of the current
+// index. The *Index must not be retained or mutated past fn's return —
+// writers resume as soon as fn exits.
+func (s *StreamIndex) Snapshot(fn func(ix *Index)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fn(s.ix)
+}
+
+// Seal ends the stream: further Adds panic, and the returned *Index
+// holds every document rebuilt in ID order, so the result is identical
+// no matter how pipeline scheduling interleaved the Adds. Queries on the
+// StreamIndex keep working against the sealed contents. Seal is
+// idempotent.
+func (s *StreamIndex) Seal() *Index {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		return s.ix
+	}
+	s.sealed = true
+	docs := append([]Document(nil), s.ix.docs...)
+	sort.Slice(docs, func(i, j int) bool { return docs[i].ID < docs[j].ID })
+	rebuilt := NewIndex()
+	for _, d := range docs {
+		rebuilt.Add(d)
+	}
+	s.ix = rebuilt
+	return rebuilt
+}

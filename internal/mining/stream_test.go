@@ -1,0 +1,240 @@
+package mining
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"bivoc/internal/annotate"
+	"bivoc/internal/rng"
+)
+
+// streamCorpus synthesizes a deterministic document set exercising every
+// index structure: concepts across categories, structured fields, and
+// time buckets.
+func streamCorpus(n int) []Document {
+	r := rng.New(42)
+	colors := []string{"red", "green", "blue"}
+	shapes := []string{"circle", "square"}
+	outcomes := []string{"won", "lost"}
+	docs := make([]Document, n)
+	for i := range docs {
+		dr := r.Split(uint64(i))
+		var concepts []annotate.Concept
+		concepts = append(concepts, annotate.Concept{
+			Category: "color", Canonical: rng.Pick(dr, colors), Start: 0, End: 1,
+		})
+		if dr.Bool(0.6) {
+			concepts = append(concepts, annotate.Concept{
+				Category: "shape", Canonical: rng.Pick(dr, shapes), Start: 1, End: 2,
+			})
+		}
+		docs[i] = Document{
+			ID:       fmt.Sprintf("doc-%05d", i),
+			Concepts: concepts,
+			Fields:   map[string]string{"outcome": rng.Pick(dr, outcomes)},
+			Time:     dr.Intn(7),
+		}
+	}
+	return docs
+}
+
+// queryFingerprint captures every analysis surface over an index so two
+// indexes can be compared for behavioural equality.
+func queryFingerprint(t *testing.T, q interface {
+	Count(Dim) int
+	CountBoth(a, b Dim) int
+	Associate(rows, cols []Dim, confidence float64) *AssocTable
+	RelativeFrequency(category string, featured Dim) []Relevance
+	Trend(d Dim) []TrendPoint
+	DrillDown(a, b Dim) []Document
+	ConceptsInCategory(category string) []string
+	FieldValues(field string) []string
+}) string {
+	t.Helper()
+	rows := []Dim{ConceptDim("color", "red"), ConceptDim("color", "green"), ConceptDim("color", "blue")}
+	cols := []Dim{FieldDim("outcome", "won"), FieldDim("outcome", "lost")}
+	out := q.Associate(rows, cols, 0.95).Render()
+	out += fmt.Sprintf("count=%d both=%d\n",
+		q.Count(CategoryDim("shape")),
+		q.CountBoth(ConceptDim("shape", "circle"), FieldDim("outcome", "won")))
+	for _, rel := range q.RelativeFrequency("shape", FieldDim("outcome", "won")) {
+		out += fmt.Sprintf("rel %s %.6f %d/%d %d/%d\n", rel.Concept, rel.Ratio, rel.InSubset, rel.SubsetSize, rel.InAll, rel.N)
+	}
+	for _, p := range q.Trend(ConceptDim("color", "red")) {
+		out += fmt.Sprintf("trend %d=%d\n", p.Time, p.Count)
+	}
+	for _, d := range q.DrillDown(ConceptDim("color", "blue"), FieldDim("outcome", "lost")) {
+		out += "drill " + d.ID + "\n"
+	}
+	out += fmt.Sprintf("cats %v fields %v\n", q.ConceptsInCategory("color"), q.FieldValues("outcome"))
+	return out
+}
+
+// TestStreamIndexMatchesBatchIndex is the sealed-snapshot equivalence
+// proof: a StreamIndex fed out of order from many goroutines answers
+// every analysis identically to a batch Index built sequentially from
+// the same documents.
+func TestStreamIndexMatchesBatchIndex(t *testing.T) {
+	docs := streamCorpus(3000)
+
+	batch := NewIndex()
+	for _, d := range docs {
+		batch.Add(d)
+	}
+
+	si := NewStreamIndex()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Strided partition: interleaved IDs guarantee the arrival
+			// order differs wildly from generation order.
+			for i := w; i < len(docs); i += workers {
+				si.Add(docs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Pre-seal: queries must already agree (order-insensitive analyses).
+	if got, want := queryFingerprint(t, si), queryFingerprint(t, batch); got != want {
+		t.Fatalf("pre-seal stream results diverge from batch:\n--- stream ---\n%s--- batch ---\n%s", got, want)
+	}
+
+	sealed := si.Seal()
+	if got, want := queryFingerprint(t, sealed), queryFingerprint(t, batch); got != want {
+		t.Fatalf("sealed results diverge from batch:\n--- sealed ---\n%s--- batch ---\n%s", got, want)
+	}
+	// Sealed rebuild is ID-ordered, so document positions are canonical:
+	// doc i of the sealed index is doc i of the batch index (the corpus
+	// was generated in ID order).
+	if sealed.Len() != batch.Len() {
+		t.Fatalf("sealed len %d != batch len %d", sealed.Len(), batch.Len())
+	}
+	for i := 0; i < sealed.Len(); i++ {
+		if !reflect.DeepEqual(sealed.Doc(i), batch.Doc(i)) {
+			t.Fatalf("sealed doc %d differs from batch doc %d", i, i)
+		}
+	}
+}
+
+// TestStreamIndexAddWhileQuery races writers against every reader path
+// under -race: correctness here is "no race, no panic, and monotonically
+// consistent snapshots".
+func TestStreamIndexAddWhileQuery(t *testing.T) {
+	docs := streamCorpus(2000)
+	si := NewStreamIndex()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: hammer the analysis surface while adds are in flight.
+	readerErr := make(chan string, 1)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows := []Dim{ConceptDim("color", "red"), ConceptDim("color", "green")}
+			cols := []Dim{FieldDim("outcome", "won"), FieldDim("outcome", "lost")}
+			prevLen := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := si.Len()
+				if n < prevLen {
+					select {
+					case readerErr <- fmt.Sprintf("Len went backwards: %d then %d", prevLen, n):
+					default:
+					}
+					return
+				}
+				prevLen = n
+				tbl := si.Associate(rows, cols, 0.95)
+				for _, row := range tbl.Cells {
+					for _, cell := range row {
+						if cell.Ncell > cell.N {
+							select {
+							case readerErr <- fmt.Sprintf("cell count %d exceeds N %d", cell.Ncell, cell.N):
+							default:
+							}
+							return
+						}
+					}
+				}
+				si.RelativeFrequency("shape", FieldDim("outcome", "won"))
+				si.Trend(ConceptDim("color", "red"))
+				si.DrillDown(ConceptDim("color", "blue"), FieldDim("outcome", "lost"))
+				si.ConceptsInCategory("color")
+				si.Snapshot(func(ix *Index) {
+					if ix.Count(CategoryDim("color")) > ix.Len() {
+						panic("snapshot count exceeds len")
+					}
+				})
+			}
+		}()
+	}
+
+	// Writers: 4 goroutines adding strided partitions, one using batches.
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			if w == 0 {
+				var buf []Document
+				for i := w; i < len(docs); i += 4 {
+					buf = append(buf, docs[i])
+					if len(buf) == 32 {
+						si.AddBatch(buf)
+						buf = buf[:0]
+					}
+				}
+				si.AddBatch(buf)
+				return
+			}
+			for i := w; i < len(docs); i += 4 {
+				si.Add(docs[i])
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-readerErr:
+		t.Fatal(msg)
+	default:
+	}
+	if si.Len() != len(docs) {
+		t.Fatalf("indexed %d docs, want %d", si.Len(), len(docs))
+	}
+}
+
+func TestStreamIndexSealSemantics(t *testing.T) {
+	si := NewStreamIndex()
+	docs := streamCorpus(10)
+	for _, d := range docs {
+		si.Add(d)
+	}
+	first := si.Seal()
+	if second := si.Seal(); second != first {
+		t.Fatal("Seal is not idempotent")
+	}
+	// Queries keep answering over the sealed contents.
+	if si.Len() != 10 {
+		t.Fatalf("post-seal Len %d, want 10", si.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add after Seal did not panic")
+		}
+	}()
+	si.Add(docs[0])
+}

@@ -1,0 +1,353 @@
+// Package pipeline is the streaming execution substrate for the Figure-3
+// flow: a linear sequence of stages (ASR/cleaning → linking → annotation
+// → indexing) run as worker pools connected by bounded channels.
+//
+// The design targets the paper's §III volume challenge ("one of the help
+// desk accounts ... generated about 150GB of recordings every day"): a
+// contact centre never stops ingesting, so the pipeline processes items
+// as they arrive instead of materializing whole-corpus intermediates.
+// Bounded channels give backpressure — a slow stage throttles the source
+// rather than letting queues grow without limit — and per-stage worker
+// counts let the expensive stages (decoding) scale independently of the
+// cheap ones (field attachment).
+//
+// Semantics:
+//
+//   - Items flow source → stage 1 → ... → stage n → sink. Each stage
+//     transforms an item or drops it by returning ErrSkip.
+//   - Any other stage error fails the run: the internal context is
+//     cancelled, all workers stop promptly, and Run returns the first
+//     error observed.
+//   - Cancelling the caller's context aborts the run the same way.
+//   - On normal source exhaustion the pipeline drains: channel closes
+//     cascade stage by stage, so every emitted item is either delivered
+//     to the sink or accounted for as skipped.
+//   - The sink runs on a single goroutine, so it may touch unsynchronized
+//     state; item arrival ORDER at the sink is nondeterministic whenever
+//     any stage has more than one worker. Callers that need deterministic
+//     output must make their sink order-insensitive (see mining.StreamIndex)
+//     or key results by an item index carried through the stages.
+//
+// Stats() may be called concurrently with Run — counters are atomics and
+// queue depths are sampled — which is what powers the live `-stream`
+// dashboards and lets operators watch throughput while indexing runs.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrSkip, returned by a stage function, drops the item from the flow
+// without failing the run (the cleaning gate discarding spam, for
+// example). It is counted in the stage's Skipped counter.
+var ErrSkip = errors.New("pipeline: skip item")
+
+// Stage describes one worker pool in the flow.
+type Stage[T any] struct {
+	// Name identifies the stage in stats and error messages.
+	Name string
+	// Workers is the pool size; values < 1 mean one worker.
+	Workers int
+	// Buffer is the capacity of the stage's input channel. Zero means
+	// 2×Workers (enough to keep the pool busy without unbounded queueing);
+	// negative means unbuffered.
+	Buffer int
+	// Fn transforms one item. It must be safe for concurrent use when
+	// Workers > 1. Returning ErrSkip drops the item; any other error
+	// aborts the whole run.
+	Fn func(ctx context.Context, item T) (T, error)
+}
+
+func (s Stage[T]) workers() int {
+	if s.Workers < 1 {
+		return 1
+	}
+	return s.Workers
+}
+
+func (s Stage[T]) buffer() int {
+	switch {
+	case s.Buffer > 0:
+		return s.Buffer
+	case s.Buffer < 0:
+		return 0
+	default:
+		return 2 * s.workers()
+	}
+}
+
+// StageStats is a point-in-time snapshot of one stage's counters.
+type StageStats struct {
+	Name    string
+	Workers int
+	// In counts items received; Out counts items passed downstream;
+	// Skipped counts ErrSkip drops; Errors counts failing items.
+	In, Out, Skipped, Errors uint64
+	// QueueDepth is the number of items waiting in the stage's input
+	// channel at sample time; QueueCap is its capacity.
+	QueueDepth, QueueCap int
+	// AvgLatency and MaxLatency cover the stage function only (queue wait
+	// excluded), over items processed so far.
+	AvgLatency, MaxLatency time.Duration
+}
+
+// stageState holds a stage's live counters, updated with atomics so
+// Stats can snapshot them mid-run.
+type stageState struct {
+	in, out, skipped, errs atomic.Uint64
+	latNanos               atomic.Int64
+	maxLatNanos            atomic.Int64
+}
+
+func (st *stageState) observe(lat time.Duration) {
+	n := lat.Nanoseconds()
+	st.latNanos.Add(n)
+	for {
+		cur := st.maxLatNanos.Load()
+		if n <= cur || st.maxLatNanos.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Pipeline is a configured linear flow. Build one with New, run it once
+// with Run; Stats may be called at any time, including during the run.
+type Pipeline[T any] struct {
+	name    string
+	stages  []Stage[T]
+	states  []*stageState
+	chans   []chan T // chans[i] feeds stage i; chans[len(stages)] feeds the sink
+	started atomic.Bool
+
+	delivered atomic.Uint64
+	sinkErrs  atomic.Uint64
+}
+
+// New assembles a pipeline from stages. It panics on an empty stage list
+// or an unnamed/nil-Fn stage — these are programming errors, not runtime
+// conditions.
+func New[T any](name string, stages ...Stage[T]) *Pipeline[T] {
+	if len(stages) == 0 {
+		panic("pipeline: no stages")
+	}
+	p := &Pipeline[T]{name: name, stages: stages}
+	for i, s := range stages {
+		if s.Name == "" || s.Fn == nil {
+			panic(fmt.Sprintf("pipeline %s: stage %d needs a name and a function", name, i))
+		}
+		p.states = append(p.states, &stageState{})
+		p.chans = append(p.chans, make(chan T, s.buffer()))
+	}
+	// The sink channel: sized like the last stage's output burst.
+	p.chans = append(p.chans, make(chan T, stages[len(stages)-1].buffer()))
+	return p
+}
+
+// Name returns the pipeline's name.
+func (p *Pipeline[T]) Name() string { return p.name }
+
+// Delivered returns how many items have reached the sink so far.
+func (p *Pipeline[T]) Delivered() uint64 { return p.delivered.Load() }
+
+// Stats snapshots every stage's counters. Safe to call while Run is in
+// flight; queue depths are instantaneous samples.
+func (p *Pipeline[T]) Stats() []StageStats {
+	out := make([]StageStats, len(p.stages))
+	for i, s := range p.stages {
+		st := p.states[i]
+		stat := StageStats{
+			Name:       s.Name,
+			Workers:    s.workers(),
+			In:         st.in.Load(),
+			Out:        st.out.Load(),
+			Skipped:    st.skipped.Load(),
+			Errors:     st.errs.Load(),
+			QueueDepth: len(p.chans[i]),
+			QueueCap:   cap(p.chans[i]),
+			MaxLatency: time.Duration(st.maxLatNanos.Load()),
+		}
+		if done := stat.Out + stat.Skipped + stat.Errors; done > 0 {
+			stat.AvgLatency = time.Duration(st.latNanos.Load() / int64(done))
+		}
+		out[i] = stat
+	}
+	return out
+}
+
+// InFlight approximates items currently inside the stage function: In
+// minus everything already accounted for as Out, Skipped or Errors.
+// Counters are sampled independently, so a racy snapshot can be off by
+// the worker count.
+func (s StageStats) InFlight() uint64 {
+	done := s.Out + s.Skipped + s.Errors
+	if done > s.In {
+		return 0
+	}
+	return s.In - done
+}
+
+// Source feeds a pipeline: it calls emit once per item and returns when
+// the input is exhausted (or emit reports cancellation). SliceSource and
+// IndexedSource cover the common cases.
+type Source[T any] func(ctx context.Context, emit func(T) error) error
+
+// SliceSource emits each element of items in order.
+func SliceSource[T any](items []T) Source[T] {
+	return func(ctx context.Context, emit func(T) error) error {
+		for _, it := range items {
+			if err := emit(it); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// IndexedSource emits make(i) for i in [0, n) — handy when the item type
+// wraps a position so the sink can key results deterministically.
+func IndexedSource[T any](n int, make func(i int) T) Source[T] {
+	return func(ctx context.Context, emit func(T) error) error {
+		for i := 0; i < n; i++ {
+			if err := emit(make(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// Run drives the flow until the source is exhausted and every in-flight
+// item has drained to the sink, a stage or sink error aborts the run, or
+// ctx is cancelled. It returns the first error observed (nil on a full
+// drain). Run may be called at most once per Pipeline.
+func (p *Pipeline[T]) Run(ctx context.Context, source Source[T], sink func(item T) error) error {
+	if source == nil || sink == nil {
+		panic("pipeline: Run needs a source and a sink")
+	}
+	if !p.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("pipeline %s: Run called twice", p.name)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		errMu.Unlock()
+	}
+
+	// Source goroutine: emit applies backpressure by blocking on the
+	// first stage's bounded channel.
+	var srcWG sync.WaitGroup
+	srcWG.Add(1)
+	go func() {
+		defer srcWG.Done()
+		defer close(p.chans[0])
+		emit := func(item T) error {
+			select {
+			case p.chans[0] <- item:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if err := source(ctx, emit); err != nil && !errors.Is(err, context.Canceled) {
+			fail(fmt.Errorf("pipeline %s: source: %w", p.name, err))
+		}
+	}()
+
+	// Stage worker pools. Each stage closes its output channel once all
+	// its workers return, cascading the drain.
+	var stageWG sync.WaitGroup
+	for i := range p.stages {
+		stage, st := p.stages[i], p.states[i]
+		in, out := p.chans[i], p.chans[i+1]
+		var poolWG sync.WaitGroup
+		for w := 0; w < stage.workers(); w++ {
+			poolWG.Add(1)
+			go func() {
+				defer poolWG.Done()
+				for {
+					var item T
+					var ok bool
+					select {
+					case item, ok = <-in:
+						if !ok {
+							return
+						}
+					case <-ctx.Done():
+						return
+					}
+					st.in.Add(1)
+					start := time.Now()
+					next, err := stage.Fn(ctx, item)
+					st.observe(time.Since(start))
+					switch {
+					case err == nil:
+						st.out.Add(1)
+						select {
+						case out <- next:
+						case <-ctx.Done():
+							return
+						}
+					case errors.Is(err, ErrSkip):
+						st.skipped.Add(1)
+					default:
+						st.errs.Add(1)
+						fail(fmt.Errorf("pipeline %s: stage %s: %w", p.name, stage.Name, err))
+						return
+					}
+				}
+			}()
+		}
+		stageWG.Add(1)
+		go func() {
+			defer stageWG.Done()
+			poolWG.Wait()
+			close(out)
+		}()
+	}
+
+	// Sink: single goroutine, so callers may write unsynchronized state.
+	var sinkWG sync.WaitGroup
+	sinkWG.Add(1)
+	go func() {
+		defer sinkWG.Done()
+		for item := range p.chans[len(p.chans)-1] {
+			if ctx.Err() != nil {
+				// Aborted: stop consuming; upstream workers unblock via
+				// ctx.Done and the close cascade still completes.
+				return
+			}
+			if err := sink(item); err != nil {
+				p.sinkErrs.Add(1)
+				fail(fmt.Errorf("pipeline %s: sink: %w", p.name, err))
+				return
+			}
+			p.delivered.Add(1)
+		}
+	}()
+
+	srcWG.Wait()
+	stageWG.Wait()
+	sinkWG.Wait()
+
+	errMu.Lock()
+	defer errMu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

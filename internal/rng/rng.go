@@ -52,6 +52,20 @@ func (r *RNG) Split(label uint64) *RNG {
 	return NewStream(r.state^h, h|1)
 }
 
+// Fork returns n independent child generators. Child i is exactly
+// r.Split(uint64(i)), so forks are stable: the same parent forks the
+// same children every run, and Fork does not advance the parent. This is
+// the substream primitive the streaming pipeline relies on — give every
+// document (or shard) its own fork and results stop depending on which
+// worker processed which item.
+func (r *RNG) Fork(n int) []*RNG {
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = r.Split(uint64(i))
+	}
+	return out
+}
+
 // SplitString derives an independent child generator from a string label.
 func (r *RNG) SplitString(label string) *RNG {
 	// FNV-1a over the label.
