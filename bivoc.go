@@ -105,6 +105,37 @@ type StreamIndex = mining.StreamIndex
 // NewStreamIndex returns an empty streaming mining index.
 func NewStreamIndex() *StreamIndex { return mining.NewStreamIndex() }
 
+// --- Fault tolerance ---
+
+// FaultTolerance bundles the streaming pipeline's failure knobs — retry
+// policy, per-attempt timeout and dead-letter budget — threaded into a
+// run via CallAnalysisConfig.FaultTolerance or
+// ChurnExperimentConfig.FaultTolerance. The zero value keeps fail-fast
+// semantics.
+type FaultTolerance = pipeline.FaultTolerance
+
+// RetryPolicy controls re-execution of transient stage failures:
+// max attempts, capped exponential backoff, deterministic jitter, and
+// the transient-error classifier.
+type RetryPolicy = pipeline.RetryPolicy
+
+// DeadLetter records one item that exhausted its retries and was
+// dropped from the flow instead of aborting the run.
+type DeadLetter = pipeline.DeadLetter
+
+// FaultFn injects failures into pipeline stages — the chaos-testing
+// hook behind CallAnalysisConfig.FaultInject and
+// ChurnExperimentConfig.FaultInject.
+type FaultFn = pipeline.FaultFn
+
+// ErrTransient marks an error as retryable under the default transient
+// classifier.
+var ErrTransient = pipeline.ErrTransient
+
+// Transient wraps err so the default retry classifier treats it as
+// retryable.
+func Transient(err error) error { return pipeline.Transient(err) }
+
 // --- Agent-training experiment (§V.C) ---
 
 // TrainingConfig configures the agent-training A/B experiment.

@@ -1,8 +1,10 @@
 package bivoc_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"bivoc"
 	"bivoc/internal/rng"
@@ -115,5 +117,49 @@ func TestFacadeDims(t *testing.T) {
 func TestFacadeVersion(t *testing.T) {
 	if bivoc.Version == "" {
 		t.Error("version empty")
+	}
+}
+
+// TestFacadeFaultTolerance drives the fault-tolerance surface through
+// the public API: transient faults retried away, permanent faults
+// dead-lettered and accounted, the same way a production ingest would
+// configure it.
+func TestFacadeFaultTolerance(t *testing.T) {
+	cfg := bivoc.DefaultCallAnalysisConfig()
+	cfg.UseASR = false
+	cfg.World.NumAgents = 20
+	cfg.World.NumCustomers = 80
+	cfg.World.CallsPerDay = 80
+	cfg.World.Days = 2
+	cfg.Workers = 4
+	cfg.FaultTolerance = bivoc.FaultTolerance{
+		Retry:          bivoc.RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Microsecond, Jitter: 0.5},
+		MaxDeadLetters: 50,
+	}
+	cfg.FaultInject = func(stage, key string, attempt int) error {
+		switch {
+		case stage == "annotate" && strings.HasSuffix(key, "3") && attempt == 1:
+			return bivoc.Transient(errors.New("flaky annotator"))
+		case stage == "annotate" && strings.HasSuffix(key, "7"):
+			return errors.New("corrupt call")
+		}
+		return nil
+	}
+	ca, err := bivoc.RunCallAnalysis(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ca.DeadLetters) == 0 {
+		t.Fatal("permanent faults produced no dead letters through the facade")
+	}
+	var dl bivoc.DeadLetter = ca.DeadLetters[0]
+	if dl.Stage != "annotate" || !strings.HasSuffix(dl.Key, "7") {
+		t.Fatalf("unexpected dead letter %+v", dl)
+	}
+	if got, want := ca.Index.Len(), len(ca.World.Calls)-len(ca.DeadLetters); got != want {
+		t.Fatalf("facade index holds %d docs, want %d", got, want)
+	}
+	if !errors.Is(bivoc.Transient(errors.New("x")), bivoc.ErrTransient) {
+		t.Fatal("facade Transient does not mark errors with ErrTransient")
 	}
 }

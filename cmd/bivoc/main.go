@@ -8,11 +8,22 @@
 //
 //	bivoc [-asr] [-seed N] [-calls N] [-days N] [-drill row,col]
 //	      [-stream] [-workers N]
+//	      [-retries N] [-retry-delay D] [-stage-timeout D]
+//	      [-max-dead-letters N] [-fault-rate P]
 //
 // With -stream the run goes through the staged concurrent pipeline
 // (transcribe → link → annotate → index) and live per-stage stats are
 // printed to stderr while the mining index is queried mid-flight — the
 // query-while-indexing view a production deployment would expose.
+//
+// The fault-tolerance flags mirror a production ingest: -retries and
+// -retry-delay re-run transiently failing stage attempts with capped,
+// deterministically jittered backoff; -stage-timeout bounds each
+// attempt; -max-dead-letters lets that many calls fail permanently
+// without aborting the run (they are reported at the end instead).
+// -fault-rate injects deterministic transient faults into the annotate
+// stage so the retry machinery can be watched live — the final reports
+// stay byte-identical to a fault-free run.
 package main
 
 import (
@@ -25,6 +36,7 @@ import (
 	"bivoc"
 	"bivoc/internal/mining"
 	"bivoc/internal/report"
+	"bivoc/internal/rng"
 	"bivoc/internal/synth"
 )
 
@@ -37,6 +49,11 @@ func main() {
 	drill := flag.String("drill", "weak start,reservation", "drill-down cell: intent,outcome")
 	stream := flag.Bool("stream", false, "print live per-stage pipeline stats and mid-flight index queries")
 	workers := flag.Int("workers", 0, "per-stage worker count (0 = GOMAXPROCS, 1 = sequential)")
+	retries := flag.Int("retries", 1, "max attempts per call per stage (1 = no retry)")
+	retryDelay := flag.Duration("retry-delay", time.Millisecond, "base backoff before a retry (doubles per attempt, jittered)")
+	stageTimeout := flag.Duration("stage-timeout", 0, "per-attempt stage timeout (0 = unbounded)")
+	maxDead := flag.Int("max-dead-letters", 0, "calls allowed to fail permanently before the run aborts (0 = fail fast)")
+	faultRate := flag.Float64("fault-rate", 0, "inject transient faults into this fraction of annotate attempts (demo)")
 	flag.Parse()
 
 	cfg := bivoc.DefaultCallAnalysisConfig()
@@ -52,11 +69,33 @@ func main() {
 	if *stream {
 		cfg.Monitor = liveStatsMonitor
 	}
+	cfg.FaultTolerance = bivoc.FaultTolerance{
+		Retry: bivoc.RetryPolicy{
+			MaxAttempts: *retries,
+			BaseDelay:   *retryDelay,
+			Jitter:      0.5,
+		},
+		Timeout:        *stageTimeout,
+		MaxDeadLetters: *maxDead,
+	}
+	if *faultRate > 0 {
+		cfg.FaultInject = demoFaults(*seed, *faultRate)
+	}
 
 	ca, err := bivoc.RunCallAnalysis(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bivoc: %v\n", err)
 		os.Exit(1)
+	}
+	if n := len(ca.DeadLetters); n > 0 {
+		fmt.Fprintf(os.Stderr, "dead letters: %d calls failed permanently and were excluded from the reports\n", n)
+		for i, dl := range ca.DeadLetters {
+			if i >= 5 {
+				fmt.Fprintf(os.Stderr, "  ... and %d more\n", n-5)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "  %s died in stage %s after %d attempt(s): %v\n", dl.Key, dl.Stage, dl.Attempts, dl.Err)
+		}
 	}
 	fmt.Printf("analyzed %d calls across %d agents (channel: %s)\n\n",
 		ca.Index.Len(), len(ca.World.Agents), channelKind(cfg.UseASR, cfg.UseNotes))
@@ -132,8 +171,9 @@ func liveStatsMonitor(m *bivoc.StreamMonitor) {
 		}
 		fmt.Fprintf(os.Stderr, "—— %s ——\n", tag)
 		for _, st := range m.StageStats() {
-			fmt.Fprintf(os.Stderr, "  %-10s workers=%d in=%-6d out=%-6d skip=%-4d err=%-3d queue=%d/%d avg=%s\n",
+			fmt.Fprintf(os.Stderr, "  %-10s workers=%d in=%-6d out=%-6d skip=%-4d err=%-3d retry=%-4d dl=%-3d tmo=%-3d queue=%d/%d avg=%s\n",
 				st.Name, st.Workers, st.In, st.Out, st.Skipped, st.Errors,
+				st.Retries, st.DeadLetters, st.Timeouts,
 				st.QueueDepth, st.QueueCap, st.AvgLatency.Round(time.Microsecond))
 		}
 		live := m.Live()
@@ -155,6 +195,21 @@ func liveStatsMonitor(m *bivoc.StreamMonitor) {
 		case <-tick.C:
 			render(false)
 		}
+	}
+}
+
+// demoFaults injects a transient fault into the first annotate attempt
+// of a deterministic rate-sized fraction of calls, so the -stream
+// dashboard shows the retry counters moving. Keyed by seed and call ID
+// — never by wall clock — so the same invocation always flakes the same
+// calls and the reports stay byte-identical to a fault-free run.
+func demoFaults(seed uint64, rate float64) bivoc.FaultFn {
+	r := rng.New(seed).SplitString("demo-faults")
+	return func(stage, key string, attempt int) error {
+		if stage == "annotate" && attempt == 1 && r.SplitString(key).Float64() < rate {
+			return bivoc.Transient(fmt.Errorf("injected demo fault on %s", key))
+		}
+		return nil
 	}
 }
 

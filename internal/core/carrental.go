@@ -5,6 +5,7 @@ import (
 
 	"bivoc/internal/asr"
 	"bivoc/internal/mining"
+	"bivoc/internal/pipeline"
 	"bivoc/internal/synth"
 )
 
@@ -36,6 +37,19 @@ type CallAnalysisConfig struct {
 	// run starts, with live access to stage stats and the growing mining
 	// index. It should return promptly once Monitor.Done() closes.
 	Monitor func(*StreamMonitor)
+	// FaultTolerance threads retry/backoff, per-attempt timeout and the
+	// dead-letter budget into every pipeline stage. The zero value keeps
+	// fail-fast semantics. Retried stages replay exactly: every call's
+	// randomness comes from its own ID-keyed substream, so a retry
+	// cannot shift any other call's draw and reports stay byte-identical
+	// to a fault-free run.
+	FaultTolerance pipeline.FaultTolerance
+	// FaultInject, when set, wraps every stage with injected faults —
+	// the chaos-testing hook behind the fault-injection suite. Keyed by
+	// (stage, call ID, attempt); wrap injected errors with
+	// pipeline.Transient to exercise retry, leave them plain to exercise
+	// dead-lettering.
+	FaultInject pipeline.FaultFn
 }
 
 // DefaultCallAnalysisConfig returns the standard configuration with ASR
@@ -57,8 +71,13 @@ type CallAnalysis struct {
 	Recognizer *asr.Recognizer
 	Index      *mining.Index
 	// Transcripts[i] is the analyzed transcript of World.Calls[i] (ASR
-	// output or reference, per config).
+	// output or reference, per config); nil for dead-lettered calls.
 	Transcripts [][]string
+	// DeadLetters records the calls that exhausted their retries and
+	// were dropped from the flow (empty unless
+	// FaultTolerance.MaxDeadLetters allowed it). The sealed Index holds
+	// exactly len(World.Calls) - len(DeadLetters) documents.
+	DeadLetters []pipeline.DeadLetter
 }
 
 // RunCallAnalysis generates the world and calls, transcribes them,

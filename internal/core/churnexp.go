@@ -42,6 +42,15 @@ type ChurnExperimentConfig struct {
 	// identical at any worker count: stage functions are pure per message
 	// and accounting runs over the corpus in its original order.
 	Workers int
+	// FaultTolerance threads retry/backoff, per-attempt timeout and the
+	// dead-letter budget into the clean and link stages. The zero value
+	// keeps fail-fast. Messages that exhaust their retries are counted
+	// in ChurnExperimentResult.DeadLettered instead of crashing the
+	// experiment.
+	FaultTolerance pipeline.FaultTolerance
+	// FaultInject, when set, wraps both stages with injected faults
+	// (chaos-testing hook), keyed by (stage, message ID, attempt).
+	FaultInject pipeline.FaultFn
 }
 
 // DefaultChurnExperimentConfig returns the paper-shaped configuration.
@@ -61,6 +70,12 @@ type ChurnExperimentResult struct {
 	Messages int
 	// Discarded by the cleaning gate.
 	Spam, NonEnglish, Empty int
+	// DeadLettered counts messages dropped by the fault-tolerance layer
+	// after exhausting their retries (0 unless
+	// FaultTolerance.MaxDeadLetters allowed it). They are excluded from
+	// every downstream rate, so Spam + NonEnglish + Empty + Linked +
+	// Unlinkable + DeadLettered == Messages.
+	DeadLettered int
 	// Linking outcomes over gated-in messages.
 	Linked, Unlinkable int
 	// UnlinkableRate is Unlinkable / (Linked + Unlinkable) — the paper's
@@ -188,10 +203,20 @@ func RunChurnExperimentContext(ctx context.Context, cfg ChurnExperimentConfig) (
 		return j, nil
 	}
 
-	p := pipeline.New[msgJob]("churn",
-		pipeline.Stage[msgJob]{Name: "clean", Workers: workers, Fn: cleanStage},
-		pipeline.Stage[msgJob]{Name: "link", Workers: workers, Fn: linkStage},
-	)
+	stages := []pipeline.Stage[msgJob]{
+		{Name: "clean", Workers: workers, Fn: cleanStage},
+		{Name: "link", Workers: workers, Fn: linkStage},
+	}
+	keyFn := func(j msgJob) string { return corpus[j.idx].ID }
+	if cfg.FaultInject != nil {
+		for i := range stages {
+			stages[i] = pipeline.InjectFaults(stages[i], keyFn, cfg.FaultInject)
+		}
+	}
+	p := pipeline.New[msgJob]("churn", stages...).
+		WithKey(keyFn).
+		WithSeed(cfg.World.Seed).
+		WithFaultTolerance(cfg.FaultTolerance)
 	jobs := make([]msgJob, len(corpus))
 	err = p.Run(ctx,
 		pipeline.IndexedSource(len(corpus), func(i int) msgJob { return msgJob{idx: i} }),
@@ -199,12 +224,23 @@ func RunChurnExperimentContext(ctx context.Context, cfg ChurnExperimentConfig) (
 	if err != nil {
 		return nil, err
 	}
+	// Dead-lettered messages never reached the sink; their jobs slots
+	// hold zero values (which would read as VerdictKeep), so mark them
+	// explicitly and account them separately from the cleaning gate.
+	dead := make(map[int]bool)
+	for _, j := range p.DeadItems() {
+		dead[j.idx] = true
+	}
 
 	// Accounting pass in corpus order — identical to the sequential run.
 	var linked []linkedMessage
 	linkRight := 0
 	for i, j := range jobs {
 		m := corpus[i]
+		if dead[i] {
+			res.DeadLettered++
+			continue
+		}
 		switch j.verdict {
 		case clean.VerdictSpam:
 			res.Spam++

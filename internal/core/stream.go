@@ -102,11 +102,21 @@ func (ca *CallAnalysis) analyzeStreaming(ctx context.Context) error {
 		return j, nil
 	}
 
-	p := pipeline.New[job]("call-analysis",
-		pipeline.Stage[job]{Name: "transcribe", Workers: workers, Fn: transcribe},
-		pipeline.Stage[job]{Name: "link", Workers: 1, Fn: link},
-		pipeline.Stage[job]{Name: "annotate", Workers: workers, Fn: annotate},
-	)
+	stages := []pipeline.Stage[job]{
+		{Name: "transcribe", Workers: workers, Fn: transcribe},
+		{Name: "link", Workers: 1, Fn: link},
+		{Name: "annotate", Workers: workers, Fn: annotate},
+	}
+	keyFn := func(j job) string { return calls[j.idx].ID }
+	if ca.Config.FaultInject != nil {
+		for i := range stages {
+			stages[i] = pipeline.InjectFaults(stages[i], keyFn, ca.Config.FaultInject)
+		}
+	}
+	p := pipeline.New[job]("call-analysis", stages...).
+		WithKey(keyFn).
+		WithSeed(ca.Config.World.Seed).
+		WithFaultTolerance(ca.Config.FaultTolerance)
 
 	live := mining.NewStreamIndex()
 	transcripts := make([][]string, len(calls))
@@ -142,7 +152,16 @@ func (ca *CallAnalysis) analyzeStreaming(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	// Dead-lettered calls never reached the sink: their transcripts stay
+	// nil, and the sealed index must hold exactly the survivors — the
+	// accounting invariant that separates "degraded gracefully" from
+	// "silently lost data".
+	ca.DeadLetters = p.DeadLetters()
 	ca.Transcripts = transcripts
-	ca.Index = live.Seal()
+	ix, err := live.SealChecked(len(calls) - len(ca.DeadLetters))
+	if err != nil {
+		return fmt.Errorf("core: call analysis: %w", err)
+	}
+	ca.Index = ix
 	return nil
 }

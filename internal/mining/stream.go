@@ -1,6 +1,7 @@
 package mining
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 )
@@ -26,24 +27,26 @@ import (
 type StreamIndex struct {
 	mu     sync.RWMutex
 	ix     *Index
+	ids    map[string]struct{}
 	sealed bool
 }
 
 // NewStreamIndex returns an empty streaming index.
 func NewStreamIndex() *StreamIndex {
-	return &StreamIndex{ix: NewIndex()}
+	return &StreamIndex{ix: NewIndex(), ids: map[string]struct{}{}}
 }
 
 // Add indexes a document. Safe for concurrent use with queries and other
 // Adds. It panics after Seal — a sealed index is a published snapshot,
-// and silently growing it would invalidate results already reported.
+// and silently growing it would invalidate results already reported —
+// and on a duplicate document ID: with retrying pipelines upstream, a
+// double Add means a stage emitted an item it had already delivered
+// (a replay bug), and the ID-sorted Seal rebuild would silently stop
+// being deterministic (equal keys have no stable order).
 func (s *StreamIndex) Add(doc Document) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.sealed {
-		panic("mining: StreamIndex.Add after Seal")
-	}
-	s.ix.Add(doc)
+	s.add(doc, "Add")
 }
 
 // AddBatch indexes documents under one lock acquisition, amortizing
@@ -54,12 +57,23 @@ func (s *StreamIndex) AddBatch(docs []Document) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.sealed {
-		panic("mining: StreamIndex.AddBatch after Seal")
-	}
 	for _, d := range docs {
-		s.ix.Add(d)
+		s.add(d, "AddBatch")
 	}
+}
+
+// add enforces the stream invariants (not sealed, IDs unique) under the
+// caller-held write lock.
+func (s *StreamIndex) add(doc Document, op string) {
+	if s.sealed {
+		panic("mining: StreamIndex." + op + " after Seal")
+	}
+	if _, dup := s.ids[doc.ID]; dup {
+		panic("mining: StreamIndex." + op + ": duplicate document ID " + doc.ID +
+			" (an upstream retry delivered the same item twice?)")
+	}
+	s.ids[doc.ID] = struct{}{}
+	s.ix.Add(doc)
 }
 
 // Len returns the number of documents indexed so far.
@@ -158,4 +172,19 @@ func (s *StreamIndex) Seal() *Index {
 	}
 	s.ix = rebuilt
 	return rebuilt
+}
+
+// SealChecked is Seal plus the dead-letter accounting invariant: the
+// sealed index must hold exactly `expected` documents — corpus size
+// minus whatever the pipeline dead-lettered. A mismatch means items
+// were lost (or double-counted) somewhere between source and sink, and
+// callers should refuse to report over the index rather than publish
+// silently incomplete numbers.
+func (s *StreamIndex) SealChecked(expected int) (*Index, error) {
+	ix := s.Seal()
+	if ix.Len() != expected {
+		return nil, fmt.Errorf("mining: sealed index holds %d documents, expected %d — streamed items lost or double-counted",
+			ix.Len(), expected)
+	}
+	return ix, nil
 }

@@ -238,3 +238,54 @@ func TestStreamIndexSealSemantics(t *testing.T) {
 	}()
 	si.Add(docs[0])
 }
+
+// TestStreamIndexDuplicateIDPanics: the duplicate tripwire exists for
+// retrying pipelines — a stage that replays an item it already emitted
+// must be caught at the index, not surface later as a nondeterministic
+// Seal.
+func TestStreamIndexDuplicateIDPanics(t *testing.T) {
+	si := NewStreamIndex()
+	docs := streamCorpus(3)
+	for _, d := range docs {
+		si.Add(d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate-ID Add did not panic")
+		}
+	}()
+	si.Add(docs[1])
+}
+
+func TestStreamIndexSealChecked(t *testing.T) {
+	si := NewStreamIndex()
+	docs := streamCorpus(8)
+	for _, d := range docs {
+		si.Add(d)
+	}
+	ix, err := si.SealChecked(8)
+	if err != nil {
+		t.Fatalf("SealChecked with matching count failed: %v", err)
+	}
+	if ix.Len() != 8 {
+		t.Fatalf("sealed Len %d, want 8", ix.Len())
+	}
+
+	// Dead-letter-aware accounting: 2 of 10 items dead-lettered → the
+	// expectation is corpus minus dead letters, not corpus size.
+	si2 := NewStreamIndex()
+	for _, d := range streamCorpus(10)[:8] {
+		si2.Add(d)
+	}
+	if _, err := si2.SealChecked(10 - 2); err != nil {
+		t.Fatalf("SealChecked(corpus-dead) failed: %v", err)
+	}
+
+	si3 := NewStreamIndex()
+	for _, d := range streamCorpus(5) {
+		si3.Add(d)
+	}
+	if _, err := si3.SealChecked(7); err == nil {
+		t.Fatal("SealChecked passed despite lost documents")
+	}
+}

@@ -1,0 +1,53 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+)
+
+// FaultFn decides whether to inject a failure into a stage attempt.
+// It is called before the real stage function with the stage name, the
+// item's key, and the 1-based attempt number for that (stage, key)
+// pair; returning a non-nil error makes the attempt fail with it
+// (wrap with Transient to exercise the retry path, return a plain
+// error to exercise dead-lettering). Returning nil lets the attempt
+// through.
+//
+// This is the chaos-testing hook behind the fault-injection suite: the
+// drivers wrap every stage with InjectFaults when a FaultFn is
+// configured, so a test can prove that transient faults retried to
+// success leave reports byte-identical to a fault-free run, and that
+// permanent faults degrade into dead letters instead of crashes.
+// FaultFn must be safe for concurrent use and deterministic in its
+// arguments — key wall-clock- or scheduling-dependent faults and the
+// run stops being reproducible.
+type FaultFn func(stage, key string, attempt int) error
+
+// InjectFaults wraps a stage so fault is consulted before every
+// attempt of the stage function. key extracts the item identity handed
+// to fault (nil means every item shares the empty key, collapsing the
+// per-item attempt counters into one). A nil fault returns the stage
+// unchanged.
+func InjectFaults[T any](stage Stage[T], key func(T) string, fault FaultFn) Stage[T] {
+	if fault == nil {
+		return stage
+	}
+	var mu sync.Mutex
+	attempts := map[string]int{}
+	fn := stage.Fn
+	stage.Fn = func(ctx context.Context, item T) (T, error) {
+		k := ""
+		if key != nil {
+			k = key(item)
+		}
+		mu.Lock()
+		attempts[k]++
+		a := attempts[k]
+		mu.Unlock()
+		if err := fault(stage.Name, k, a); err != nil {
+			return item, err
+		}
+		return fn(ctx, item)
+	}
+	return stage
+}

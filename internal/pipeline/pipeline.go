@@ -15,9 +15,19 @@
 //
 //   - Items flow source → stage 1 → ... → stage n → sink. Each stage
 //     transforms an item or drops it by returning ErrSkip.
-//   - Any other stage error fails the run: the internal context is
-//     cancelled, all workers stop promptly, and Run returns the first
-//     error observed.
+//   - A transiently failing attempt is retried per the stage's
+//     RetryPolicy: capped exponential backoff whose jitter is drawn
+//     deterministically (internal/rng keyed by seed, stage, item key,
+//     attempt), so retry schedules are reproducible. An optional
+//     per-stage Timeout bounds each attempt for functions that honor
+//     ctx.
+//   - An item whose retries are exhausted (or whose error is permanent)
+//     either fails the run — the internal context is cancelled, all
+//     workers stop promptly, and Run returns the first error observed —
+//     or, when a dead-letter budget is configured (WithDeadLetterBudget
+//     or FaultTolerance.MaxDeadLetters), is parked in the dead-letter
+//     queue and the run continues. Exceeding the budget fails fast with
+//     an error wrapping the first dead letter's error.
 //   - Cancelling the caller's context aborts the run the same way.
 //   - On normal source exhaustion the pipeline drains: channel closes
 //     cascade stage by stage, so every emitted item is either delivered
@@ -37,6 +47,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,9 +69,19 @@ type Stage[T any] struct {
 	// negative means unbuffered.
 	Buffer int
 	// Fn transforms one item. It must be safe for concurrent use when
-	// Workers > 1. Returning ErrSkip drops the item; any other error
-	// aborts the whole run.
+	// Workers > 1. Returning ErrSkip drops the item; transient errors
+	// are retried per Retry; any other error dead-letters the item or
+	// aborts the whole run, depending on the pipeline's budget.
 	Fn func(ctx context.Context, item T) (T, error)
+	// Retry re-runs Fn on transient failures. The zero value disables
+	// retry. A retried Fn must be replayable: same item in, same result
+	// out (per-item RNG substreams, no partial external effects).
+	Retry RetryPolicy
+	// Timeout bounds each attempt of Fn via a derived context; zero
+	// means unbounded. Fn must honor ctx for the timeout to bite —
+	// the pipeline never abandons a running goroutine. A timed-out
+	// attempt counts as transient.
+	Timeout time.Duration
 }
 
 func (s Stage[T]) workers() int {
@@ -86,13 +107,18 @@ type StageStats struct {
 	Name    string
 	Workers int
 	// In counts items received; Out counts items passed downstream;
-	// Skipped counts ErrSkip drops; Errors counts failing items.
+	// Skipped counts ErrSkip drops; Errors counts items that failed the
+	// run (fail-fast path).
 	In, Out, Skipped, Errors uint64
+	// Retries counts re-run attempts after transient failures; Timeouts
+	// counts attempts cut off by the stage Timeout; DeadLetters counts
+	// items parked in the dead-letter queue by this stage.
+	Retries, Timeouts, DeadLetters uint64
 	// QueueDepth is the number of items waiting in the stage's input
 	// channel at sample time; QueueCap is its capacity.
 	QueueDepth, QueueCap int
 	// AvgLatency and MaxLatency cover the stage function only (queue wait
-	// excluded), over items processed so far.
+	// excluded), over attempts run so far.
 	AvgLatency, MaxLatency time.Duration
 }
 
@@ -100,6 +126,8 @@ type StageStats struct {
 // Stats can snapshot them mid-run.
 type stageState struct {
 	in, out, skipped, errs atomic.Uint64
+	retries, timeouts      atomic.Uint64
+	deadLetters            atomic.Uint64
 	latNanos               atomic.Int64
 	maxLatNanos            atomic.Int64
 }
@@ -124,8 +152,19 @@ type Pipeline[T any] struct {
 	chans   []chan T // chans[i] feeds stage i; chans[len(stages)] feeds the sink
 	started atomic.Bool
 
+	// Fault-tolerance configuration (WithKey / WithSeed /
+	// WithDeadLetterBudget / WithFaultTolerance, all pre-Run).
+	keyFn          func(T) string
+	seed           uint64
+	maxDeadLetters int
+
+	emitted   atomic.Uint64
 	delivered atomic.Uint64
 	sinkErrs  atomic.Uint64
+
+	dlMu        sync.Mutex
+	deadLetters []DeadLetter
+	deadItems   []T
 }
 
 // New assembles a pipeline from stages. It panics on an empty stage list
@@ -154,6 +193,94 @@ func (p *Pipeline[T]) Name() string { return p.name }
 // Delivered returns how many items have reached the sink so far.
 func (p *Pipeline[T]) Delivered() uint64 { return p.delivered.Load() }
 
+// configure guards the With* setters: fault-tolerance knobs are part of
+// the pipeline's shape and must be fixed before Run.
+func (p *Pipeline[T]) configure(what string) {
+	if p.started.Load() {
+		panic(fmt.Sprintf("pipeline %s: %s after Run", p.name, what))
+	}
+}
+
+// WithKey sets the item-identity function used for dead-letter records
+// and per-item backoff jitter. Without it every item shares the empty
+// key. Must be called before Run; returns p for chaining.
+func (p *Pipeline[T]) WithKey(fn func(T) string) *Pipeline[T] {
+	p.configure("WithKey")
+	p.keyFn = fn
+	return p
+}
+
+// WithSeed sets the seed from which backoff jitter streams are split.
+// Must be called before Run; returns p for chaining.
+func (p *Pipeline[T]) WithSeed(seed uint64) *Pipeline[T] {
+	p.configure("WithSeed")
+	p.seed = seed
+	return p
+}
+
+// WithDeadLetterBudget allows up to n items to exhaust their retries
+// (or fail permanently) and be parked in the dead-letter queue instead
+// of aborting the run. The n+1th dead letter fails the run fast with an
+// error wrapping the first dead letter's error. n <= 0 restores
+// fail-fast-on-first-error. Must be called before Run; returns p for
+// chaining.
+func (p *Pipeline[T]) WithDeadLetterBudget(n int) *Pipeline[T] {
+	p.configure("WithDeadLetterBudget")
+	p.maxDeadLetters = n
+	return p
+}
+
+// WithFaultTolerance applies ft.Retry and ft.Timeout to every stage
+// that has not set its own, and ft.MaxDeadLetters as the dead-letter
+// budget. Must be called before Run; returns p for chaining.
+func (p *Pipeline[T]) WithFaultTolerance(ft FaultTolerance) *Pipeline[T] {
+	p.configure("WithFaultTolerance")
+	for i := range p.stages {
+		if p.stages[i].Retry.isZero() {
+			p.stages[i].Retry = ft.Retry
+		}
+		if p.stages[i].Timeout == 0 {
+			p.stages[i].Timeout = ft.Timeout
+		}
+	}
+	p.maxDeadLetters = ft.MaxDeadLetters
+	return p
+}
+
+// key extracts the item identity, or "" without a key function.
+func (p *Pipeline[T]) key(item T) string {
+	if p.keyFn == nil {
+		return ""
+	}
+	return p.keyFn(item)
+}
+
+// DeadLetters snapshots the dead-letter queue: every item that
+// exhausted its retries so far, sorted by stage then key so the report
+// is stable regardless of worker scheduling. Safe to call while Run is
+// in flight.
+func (p *Pipeline[T]) DeadLetters() []DeadLetter {
+	p.dlMu.Lock()
+	out := append([]DeadLetter(nil), p.deadLetters...)
+	p.dlMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stage != out[j].Stage {
+			return out[i].Stage < out[j].Stage
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// DeadItems snapshots the dead-lettered items themselves, so callers
+// can account for exactly which inputs never reached the sink. Order is
+// unspecified.
+func (p *Pipeline[T]) DeadItems() []T {
+	p.dlMu.Lock()
+	defer p.dlMu.Unlock()
+	return append([]T(nil), p.deadItems...)
+}
+
 // Stats snapshots every stage's counters. Safe to call while Run is in
 // flight; queue depths are instantaneous samples.
 func (p *Pipeline[T]) Stats() []StageStats {
@@ -161,18 +288,23 @@ func (p *Pipeline[T]) Stats() []StageStats {
 	for i, s := range p.stages {
 		st := p.states[i]
 		stat := StageStats{
-			Name:       s.Name,
-			Workers:    s.workers(),
-			In:         st.in.Load(),
-			Out:        st.out.Load(),
-			Skipped:    st.skipped.Load(),
-			Errors:     st.errs.Load(),
-			QueueDepth: len(p.chans[i]),
-			QueueCap:   cap(p.chans[i]),
-			MaxLatency: time.Duration(st.maxLatNanos.Load()),
+			Name:        s.Name,
+			Workers:     s.workers(),
+			In:          st.in.Load(),
+			Out:         st.out.Load(),
+			Skipped:     st.skipped.Load(),
+			Errors:      st.errs.Load(),
+			Retries:     st.retries.Load(),
+			Timeouts:    st.timeouts.Load(),
+			DeadLetters: st.deadLetters.Load(),
+			QueueDepth:  len(p.chans[i]),
+			QueueCap:    cap(p.chans[i]),
+			MaxLatency:  time.Duration(st.maxLatNanos.Load()),
 		}
-		if done := stat.Out + stat.Skipped + stat.Errors; done > 0 {
-			stat.AvgLatency = time.Duration(st.latNanos.Load() / int64(done))
+		// Every finished attempt — including ones that were retried —
+		// contributed one latency observation.
+		if attempts := stat.Out + stat.Skipped + stat.Errors + stat.DeadLetters + stat.Retries; attempts > 0 {
+			stat.AvgLatency = time.Duration(st.latNanos.Load() / int64(attempts))
 		}
 		out[i] = stat
 	}
@@ -180,11 +312,11 @@ func (p *Pipeline[T]) Stats() []StageStats {
 }
 
 // InFlight approximates items currently inside the stage function: In
-// minus everything already accounted for as Out, Skipped or Errors.
-// Counters are sampled independently, so a racy snapshot can be off by
-// the worker count.
+// minus everything already accounted for as Out, Skipped, Errors or
+// DeadLetters. Counters are sampled independently, so a racy snapshot
+// can be off by the worker count.
 func (s StageStats) InFlight() uint64 {
-	done := s.Out + s.Skipped + s.Errors
+	done := s.Out + s.Skipped + s.Errors + s.DeadLetters
 	if done > s.In {
 		return 0
 	}
@@ -221,10 +353,97 @@ func IndexedSource[T any](n int, make func(i int) T) Source[T] {
 	}
 }
 
+// runItem drives one item through a stage: retries per the stage's
+// RetryPolicy with an optional per-attempt timeout, and on final
+// failure either dead-letters the item (budget configured) or fails the
+// run. It reports whether the item should be delivered downstream and
+// whether the worker must stop.
+func (p *Pipeline[T]) runItem(ctx context.Context, stage Stage[T], st *stageState, item T, fail func(error)) (next T, deliver, abort bool) {
+	pol := stage.Retry
+	key := p.key(item)
+	for attempt := 1; ; attempt++ {
+		actx, acancel := ctx, context.CancelFunc(func() {})
+		if stage.Timeout > 0 {
+			actx, acancel = context.WithTimeout(ctx, stage.Timeout)
+		}
+		start := time.Now()
+		next, err := stage.Fn(actx, item)
+		st.observe(time.Since(start))
+		timedOut := err != nil && stage.Timeout > 0 && errors.Is(actx.Err(), context.DeadlineExceeded)
+		acancel()
+		switch {
+		case err == nil:
+			return next, true, false
+		case errors.Is(err, ErrSkip):
+			st.skipped.Add(1)
+			return next, false, false
+		}
+		if ctx.Err() != nil {
+			// The run is already aborting (caller cancel or another
+			// failure); this error is cancellation collateral, not news.
+			return next, false, true
+		}
+		if timedOut {
+			st.timeouts.Add(1)
+			err = fmt.Errorf("attempt timed out after %v: %w", stage.Timeout, err)
+		}
+		if (timedOut || pol.transient(err)) && attempt < pol.maxAttempts() {
+			st.retries.Add(1)
+			if !sleepCtx(ctx, pol.Backoff(p.seed, stage.Name, key, attempt)) {
+				return next, false, true
+			}
+			continue
+		}
+		// Permanent failure, or transient with the attempt budget spent.
+		if attempt > 1 {
+			err = fmt.Errorf("after %d attempts: %w", attempt, err)
+		}
+		if p.maxDeadLetters > 0 {
+			st.deadLetters.Add(1)
+			p.recordDeadLetter(item, DeadLetter{Key: key, Stage: stage.Name, Attempts: attempt, Err: err}, fail)
+			return next, false, false
+		}
+		st.errs.Add(1)
+		fail(fmt.Errorf("pipeline %s: stage %s: %w", p.name, stage.Name, err))
+		return next, false, true
+	}
+}
+
+// recordDeadLetter parks a failed item and enforces the budget: the
+// dead letter that pushes the queue past MaxDeadLetters fails the run
+// with the FIRST dead letter's error, which is the root cause an
+// operator wants, not whichever straw broke last.
+func (p *Pipeline[T]) recordDeadLetter(item T, dl DeadLetter, fail func(error)) {
+	p.dlMu.Lock()
+	p.deadLetters = append(p.deadLetters, dl)
+	p.deadItems = append(p.deadItems, item)
+	n := len(p.deadLetters)
+	first := p.deadLetters[0]
+	p.dlMu.Unlock()
+	if n > p.maxDeadLetters {
+		fail(fmt.Errorf("pipeline %s: dead-letter budget %d exceeded; first dead letter (stage %s, item %q): %w",
+			p.name, p.maxDeadLetters, first.Stage, first.Key, first.Err))
+	}
+}
+
+// drained reports whether every emitted item was accounted for:
+// delivered to the sink, skipped by a stage, or dead-lettered. Items
+// dropped by cancellation mid-flow break the identity, which is how Run
+// tells a clean drain from an abort that happened to leave firstErr
+// unset.
+func (p *Pipeline[T]) drained() bool {
+	accounted := p.delivered.Load()
+	for _, st := range p.states {
+		accounted += st.skipped.Load() + st.deadLetters.Load()
+	}
+	return accounted == p.emitted.Load()
+}
+
 // Run drives the flow until the source is exhausted and every in-flight
 // item has drained to the sink, a stage or sink error aborts the run, or
 // ctx is cancelled. It returns the first error observed (nil on a full
-// drain). Run may be called at most once per Pipeline.
+// drain — even if the caller's context is cancelled after the last item
+// has already landed). Run may be called at most once per Pipeline.
 func (p *Pipeline[T]) Run(ctx context.Context, source Source[T], sink func(item T) error) error {
 	if source == nil || sink == nil {
 		panic("pipeline: Run needs a source and a sink")
@@ -258,12 +477,20 @@ func (p *Pipeline[T]) Run(ctx context.Context, source Source[T], sink func(item 
 		emit := func(item T) error {
 			select {
 			case p.chans[0] <- item:
+				p.emitted.Add(1)
 				return nil
 			case <-ctx.Done():
 				return ctx.Err()
 			}
 		}
-		if err := source(ctx, emit); err != nil && !errors.Is(err, context.Canceled) {
+		if err := source(ctx, emit); err != nil {
+			// Suppress only the pipeline-initiated (or caller-initiated)
+			// cancellation echoing back through emit; a source whose own
+			// error happens to wrap context.Canceled while the pipeline
+			// is healthy is a real failure and must propagate.
+			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				return
+			}
 			fail(fmt.Errorf("pipeline %s: source: %w", p.name, err))
 		}
 	}()
@@ -291,23 +518,17 @@ func (p *Pipeline[T]) Run(ctx context.Context, source Source[T], sink func(item 
 						return
 					}
 					st.in.Add(1)
-					start := time.Now()
-					next, err := stage.Fn(ctx, item)
-					st.observe(time.Since(start))
-					switch {
-					case err == nil:
+					next, deliver, abort := p.runItem(ctx, stage, st, item, fail)
+					if abort {
+						return
+					}
+					if deliver {
 						st.out.Add(1)
 						select {
 						case out <- next:
 						case <-ctx.Done():
 							return
 						}
-					case errors.Is(err, ErrSkip):
-						st.skipped.Add(1)
-					default:
-						st.errs.Add(1)
-						fail(fmt.Errorf("pipeline %s: stage %s: %w", p.name, stage.Name, err))
-						return
 					}
 				}
 			}()
@@ -348,6 +569,12 @@ func (p *Pipeline[T]) Run(ctx context.Context, source Source[T], sink func(item 
 	defer errMu.Unlock()
 	if firstErr != nil {
 		return firstErr
+	}
+	// A cancellation that lands after the last item has drained did not
+	// cost the run anything — report success. Only when the abort
+	// actually dropped items is the context error the outcome.
+	if p.drained() {
+		return nil
 	}
 	return ctx.Err()
 }

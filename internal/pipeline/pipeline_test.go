@@ -255,6 +255,124 @@ func TestStatsObserveLatencyAndLiveProgress(t *testing.T) {
 	}
 }
 
+// TestCancelAfterDrainReturnsNil is the regression test for Run
+// reporting ctx.Err() even though every item had already drained: a
+// caller cancelling its context after completion (a common defer
+// pattern) must still see success.
+func TestCancelAfterDrainReturnsNil(t *testing.T) {
+	const n = 25
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := New[item]("t", Stage[item]{Name: "a", Workers: 2, Fn: appendStage("a")})
+	var sunk int
+	err := p.Run(ctx,
+		IndexedSource(n, func(i int) item { return item{idx: i} }),
+		func(it item) error {
+			sunk++
+			if sunk == n {
+				// Cancellation lands after the last delivery but before
+				// Run returns — exactly the window the bug lived in.
+				cancel()
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("fully drained run returned %v, want nil", err)
+	}
+	if sunk != n {
+		t.Fatalf("sunk %d items, want %d", sunk, n)
+	}
+}
+
+// TestSourceOwnCanceledErrorPropagates is the regression test for
+// source errors being swallowed whenever they wrapped context.Canceled:
+// a source whose upstream (an HTTP stream, a job queue) was cancelled
+// for its own reasons must fail the run, because the pipeline itself
+// never initiated any cancellation.
+func TestSourceOwnCanceledErrorPropagates(t *testing.T) {
+	upstream := fmt.Errorf("recording feed dropped: %w", context.Canceled)
+	p := New[item]("t", Stage[item]{Name: "a", Fn: appendStage("a")})
+	err := p.Run(context.Background(),
+		func(ctx context.Context, emit func(item) error) error {
+			if err := emit(item{idx: 0}); err != nil {
+				return err
+			}
+			return upstream
+		},
+		func(item) error { return nil })
+	if !errors.Is(err, upstream) {
+		t.Fatalf("err = %v, want the source's own error", err)
+	}
+	if !strings.Contains(err.Error(), "source") {
+		t.Fatalf("error %q does not attribute the failure to the source", err)
+	}
+}
+
+// TestPipelineAbortStillSuppressesSourceCancel pins the other side of
+// the fix: when the pipeline cancels (stage failure), the ctx.Err the
+// source echoes back must NOT displace the real error.
+func TestPipelineAbortStillSuppressesSourceCancel(t *testing.T) {
+	boom := errors.New("boom")
+	p := New[item]("t",
+		Stage[item]{Name: "explode", Fn: func(_ context.Context, it item) (item, error) {
+			return it, boom
+		}},
+	)
+	err := p.Run(context.Background(),
+		func(ctx context.Context, emit func(item) error) error {
+			for i := 0; ; i++ {
+				if err := emit(item{idx: i}); err != nil {
+					return err // echoes the pipeline's own cancellation
+				}
+			}
+		},
+		func(item) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the stage error, not the echoed cancellation", err)
+	}
+}
+
+func TestEmptySourceDrainsClean(t *testing.T) {
+	p := New[item]("t",
+		Stage[item]{Name: "a", Workers: 3, Fn: appendStage("a")},
+		Stage[item]{Name: "b", Workers: 2, Buffer: -1, Fn: appendStage("b")},
+	)
+	err := p.Run(context.Background(), SliceSource[item](nil),
+		func(item) error { t.Error("sink saw an item from an empty source"); return nil })
+	if err != nil {
+		t.Fatalf("empty source run returned %v, want nil", err)
+	}
+	if p.Delivered() != 0 {
+		t.Fatalf("delivered %d from an empty source", p.Delivered())
+	}
+}
+
+func TestUnbufferedStagesDrain(t *testing.T) {
+	const n = 120
+	p := New[item]("t",
+		Stage[item]{Name: "a", Workers: 4, Buffer: -1, Fn: appendStage("a")},
+		Stage[item]{Name: "b", Workers: 1, Buffer: -1, Fn: appendStage("b")},
+		Stage[item]{Name: "c", Workers: 2, Buffer: -1, Fn: appendStage("c")},
+	)
+	for _, st := range p.Stats() {
+		if st.QueueCap != 0 {
+			t.Fatalf("stage %s queue cap %d, want 0 (unbuffered)", st.Name, st.QueueCap)
+		}
+	}
+	got := make([]string, n)
+	err := p.Run(context.Background(),
+		IndexedSource(n, func(i int) item { return item{idx: i} }),
+		func(it item) error { got[it.idx] = it.trace; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range got {
+		if tr != "abc" {
+			t.Fatalf("item %d trace %q, want abc", i, tr)
+		}
+	}
+}
+
 func TestRunTwiceRejected(t *testing.T) {
 	p := New[item]("t", Stage[item]{Name: "a", Fn: appendStage("a")})
 	src := IndexedSource(1, func(i int) item { return item{idx: i} })

@@ -1,0 +1,157 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"bivoc/internal/rng"
+)
+
+// ErrTransient marks an error as retryable. Stage functions (and fault
+// injectors) wrap recoverable failures with Transient so the default
+// transient classifier retries them; anything else is treated as
+// permanent. A custom RetryPolicy.IsTransient overrides this.
+var ErrTransient = errors.New("pipeline: transient fault")
+
+// Transient wraps err so DefaultIsTransient reports it retryable. The
+// original error stays reachable through errors.Is/As.
+func Transient(err error) error {
+	return fmt.Errorf("%w: %w", ErrTransient, err)
+}
+
+// DefaultIsTransient is the retry classifier used when a RetryPolicy
+// does not set its own: errors marked with Transient and per-attempt
+// timeouts (context.DeadlineExceeded) are retryable, everything else is
+// permanent. Permanent failures never burn retry attempts — they go
+// straight to the dead-letter queue (or fail the run when no budget is
+// configured).
+func DefaultIsTransient(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// RetryPolicy controls re-execution of a stage function on transient
+// failures. The zero value disables retry (every failure is final),
+// which is the pre-fault-tolerance behaviour.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per item, including the
+	// first; values <= 1 disable retry.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 1ms).
+	// The delay doubles each further attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (default 256×BaseDelay).
+	MaxDelay time.Duration
+	// Jitter in (0, 1] shrinks each delay by a deterministically drawn
+	// fraction of itself — delay × [1-Jitter, 1] — decorrelating retry
+	// storms without sacrificing reproducibility: the draw is keyed by
+	// pipeline seed, stage name, item key and attempt number, never by
+	// wall clock.
+	Jitter float64
+	// IsTransient classifies errors as retryable. Nil means
+	// DefaultIsTransient.
+	IsTransient func(error) bool
+}
+
+// isZero reports whether the policy is entirely unset (funcs are not
+// comparable, so RetryPolicy has no == against its zero value).
+func (pol RetryPolicy) isZero() bool {
+	return pol.MaxAttempts == 0 && pol.BaseDelay == 0 && pol.MaxDelay == 0 &&
+		pol.Jitter == 0 && pol.IsTransient == nil
+}
+
+// maxAttempts normalizes MaxAttempts to at least one try.
+func (pol RetryPolicy) maxAttempts() int {
+	if pol.MaxAttempts < 1 {
+		return 1
+	}
+	return pol.MaxAttempts
+}
+
+// transient applies the configured classifier or the default.
+func (pol RetryPolicy) transient(err error) bool {
+	if pol.IsTransient != nil {
+		return pol.IsTransient(err)
+	}
+	return DefaultIsTransient(err)
+}
+
+// Backoff returns the delay before attempt+1, after `attempt` failed
+// tries: capped exponential growth from BaseDelay with deterministic
+// jitter. The same (seed, stage, key, attempt) always yields the same
+// delay — retry timing is part of the reproducible experiment record,
+// not a source of nondeterminism.
+func (pol RetryPolicy) Backoff(seed uint64, stage, key string, attempt int) time.Duration {
+	base := pol.BaseDelay
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	max := pol.MaxDelay
+	if max <= 0 {
+		max = 256 * base
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if pol.Jitter > 0 {
+		frac := pol.Jitter
+		if frac > 1 {
+			frac = 1
+		}
+		r := rng.New(seed).SplitString("backoff:" + stage).SplitString(key).Split(uint64(attempt))
+		d = time.Duration(float64(d) * (1 - frac*r.Float64()))
+	}
+	return d
+}
+
+// FaultTolerance bundles the per-run fault-tolerance knobs a driver
+// threads into its pipeline: one retry policy and timeout applied to
+// every stage, plus the dead-letter budget. The zero value reproduces
+// fail-fast semantics exactly.
+type FaultTolerance struct {
+	// Retry is applied to every stage that does not set its own policy.
+	Retry RetryPolicy
+	// Timeout bounds each stage attempt (stages honoring ctx); applied
+	// to every stage that does not set its own. Zero means none.
+	Timeout time.Duration
+	// MaxDeadLetters is how many items may exhaust their retries (or
+	// fail permanently) and be parked in the dead-letter queue before
+	// the run fails fast. Zero keeps fail-fast-on-first-error.
+	MaxDeadLetters int
+}
+
+// DeadLetter records one item that exhausted its retries (or failed
+// permanently) and was dropped from the flow instead of aborting the
+// run: which item, where it died, how hard the pipeline tried, and why.
+type DeadLetter struct {
+	// Key identifies the item (Pipeline.WithKey); empty when no key
+	// function is configured.
+	Key string
+	// Stage is the stage the item died in.
+	Stage string
+	// Attempts is how many times the stage function ran for the item.
+	Attempts int
+	// Err is the final attempt's error.
+	Err error
+}
+
+// sleepCtx waits out a backoff delay, returning false if ctx is
+// cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
