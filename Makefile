@@ -4,15 +4,16 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-pipeline examples
+.PHONY: check vet build test race bench bench-pipeline bench-server examples smoke
 
-check: vet build race examples
+check: vet build race examples smoke
 
 vet:
 	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
+	$(GO) build -o /dev/null ./cmd/bivocd
 
 test:
 	$(GO) test ./...
@@ -32,5 +33,14 @@ bench-pipeline:
 	$(GO) test -bench='BenchmarkPipelineCallAnalysis|BenchmarkStreamIndexAddWhileQuery' -run='^$$' .
 	$(GO) test -bench='BenchmarkLatencyOverlap' -run='^$$' ./internal/pipeline/
 
+# The serving-layer benchmarks recorded in BENCH_server.json.
+bench-server:
+	$(GO) test -bench='BenchmarkServerQuery' -run='^$$' .
+
 examples:
 	$(GO) build ./examples/...
+
+# Black-box daemon check: build cmd/bivocd, start it, query /healthz and
+# /v1/count, SIGINT it, require a clean exit.
+smoke:
+	$(GO) test -run TestDaemonSmoke -count=1 ./cmd/bivocd

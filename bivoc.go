@@ -51,6 +51,7 @@ import (
 	"bivoc/internal/linker"
 	"bivoc/internal/mining"
 	"bivoc/internal/pipeline"
+	"bivoc/internal/server"
 	"bivoc/internal/synth"
 	"bivoc/internal/warehouse"
 )
@@ -104,6 +105,36 @@ type StreamIndex = mining.StreamIndex
 
 // NewStreamIndex returns an empty streaming mining index.
 func NewStreamIndex() *StreamIndex { return mining.NewStreamIndex() }
+
+// --- Query serving (bivocd) ---
+
+// ServeConfig configures the query daemon: a call-analysis ingest
+// pipeline continuously publishing hot-swappable index snapshots behind
+// an HTTP JSON API (/v1/count, /v1/associate, /v1/relfreq,
+// /v1/drilldown, /v1/trend, /v1/concepts, /healthz, /statsz).
+type ServeConfig = core.ServeConfig
+
+// QueryServer is the serving-tier server: hot-swappable snapshots, a
+// per-snapshot result cache, lock-free reads and graceful shutdown.
+type QueryServer = server.Server
+
+// DefaultServeConfig serves reference transcripts on localhost:8080
+// with a one-second snapshot cadence.
+func DefaultServeConfig() ServeConfig { return core.DefaultServeConfig() }
+
+// NewQueryServer builds an unstarted query server from cfg; pair
+// Start/Shutdown, or use Serve for the blocking daemon loop.
+func NewQueryServer(cfg ServeConfig) (*QueryServer, error) { return core.NewServeServer(cfg) }
+
+// Serve runs the query daemon until ctx is cancelled, then drains
+// in-flight requests and stops the ingest pipeline cleanly.
+func Serve(ctx context.Context, cfg ServeConfig) error { return core.Serve(ctx, cfg) }
+
+// ParseDim parses a dimension label — `canonical[category]`,
+// `field=value`, a bare category, or a " ∧ "-joined conjunction — into
+// the Dim it renders from: ParseDim(d.Label()) == d. This is the query
+// syntax of the daemon's dim/row/col/featured parameters.
+func ParseDim(label string) (Dim, error) { return mining.ParseDim(label) }
 
 // --- Fault tolerance ---
 

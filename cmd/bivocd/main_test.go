@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonSmoke is the black-box daemon check `make check` runs:
+// build the real binary, start it, hit /healthz and a /v1/count query,
+// then SIGINT it and require a clean, graceful exit.
+func TestDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "bivocd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-calls", "20", "-days", "2",
+		"-swap-every", "8")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints its bound address once the listener is live.
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	lineCh := make(chan string, 8)
+	go func() {
+		for sc.Scan() {
+			lineCh <- sc.Text()
+		}
+		close(lineCh)
+	}()
+	deadline := time.After(30 * time.Second)
+	for addr == "" {
+		select {
+		case line, ok := <-lineCh:
+			if !ok {
+				t.Fatal("daemon exited before announcing its address")
+			}
+			if _, rest, found := strings.Cut(line, "listening on "); found {
+				addr = strings.Fields(rest)[0]
+			}
+		case <-deadline:
+			t.Fatal("daemon did not announce its address in time")
+		}
+	}
+	base := "http://" + addr
+
+	get := func(path string) []byte {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return body
+	}
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(get("/healthz"), &health); err != nil || health.Status != "ok" {
+		t.Fatalf("healthz = %+v, err %v", health, err)
+	}
+
+	var count struct {
+		Total  int   `json:"total"`
+		Counts []int `json:"counts"`
+	}
+	q := "/v1/count?" + url.Values{"dim": {"outcome=reservation"}}.Encode()
+	// Ingest may still be warming up; wait until the sealed index (40
+	// calls) is served.
+	for i := 0; ; i++ {
+		if err := json.Unmarshal(get(q), &count); err != nil {
+			t.Fatal(err)
+		}
+		if count.Total == 40 {
+			break
+		}
+		if i > 600 {
+			t.Fatalf("index never reached 40 docs (total=%d)", count.Total)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if count.Counts[0] == 0 || count.Counts[0] >= count.Total {
+		t.Errorf("implausible reservation count %d of %d", count.Counts[0], count.Total)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	// Drain stdout to EOF before Wait — Wait closes the pipe and would
+	// race the scanner out of the final lines.
+	var sawStopped bool
+	drainDeadline := time.After(15 * time.Second)
+drain:
+	for {
+		select {
+		case line, ok := <-lineCh:
+			if !ok {
+				break drain
+			}
+			if strings.Contains(line, "stopped cleanly") {
+				sawStopped = true
+			}
+		case <-drainDeadline:
+			t.Fatal("daemon did not close stdout after SIGINT")
+		}
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGINT: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGINT")
+	}
+	if !sawStopped {
+		t.Error("daemon did not report a clean stop")
+	}
+}

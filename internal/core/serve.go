@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"bivoc/internal/mining"
+	"bivoc/internal/server"
+	"bivoc/internal/synth"
+)
+
+// ServeConfig drives the bivocd query daemon: a call-analysis pipeline
+// feeding the hot-swappable serving index in internal/server.
+type ServeConfig struct {
+	// Analysis configures the world and the ingest pipeline exactly as in
+	// RunCallAnalysis — the daemon serves the same index those runs build.
+	Analysis CallAnalysisConfig
+	// Addr is the HTTP listen address.
+	Addr string
+	// SwapInterval / SwapEvery are the snapshot publication cadences
+	// (time-based and every-N-documents; see server.Config).
+	SwapInterval time.Duration
+	SwapEvery    int
+	// CacheSize bounds the per-snapshot query-result cache.
+	CacheSize int
+	// DrainTimeout bounds the graceful drain on shutdown.
+	DrainTimeout time.Duration
+}
+
+// DefaultServeConfig serves reference transcripts (UseASR off, so the
+// daemon is ingest-light by default) on localhost with a one-second
+// snapshot cadence.
+func DefaultServeConfig() ServeConfig {
+	a := DefaultCallAnalysisConfig()
+	a.UseASR = false
+	return ServeConfig{
+		Analysis:     a,
+		Addr:         "127.0.0.1:8080",
+		SwapInterval: time.Second,
+	}
+}
+
+// NewServeServer builds the query server: it generates the synthetic
+// world, assembles the same staged pipeline RunCallAnalysis uses, and
+// wires its sink to the server's ingest loop, with pipeline stage
+// counters surfaced on /statsz. The server is unstarted; use Run (or
+// Start/Shutdown).
+func NewServeServer(cfg ServeConfig) (*server.Server, error) {
+	world, err := synth.NewCarRentalWorld(cfg.Analysis.World)
+	if err != nil {
+		return nil, err
+	}
+	world.GenerateCalls(0, cfg.Analysis.World.Days)
+	ca := &CallAnalysis{Config: cfg.Analysis, World: world}
+	if cfg.Analysis.UseASR && !cfg.Analysis.UseNotes {
+		rec, err := synth.BuildRecognizer(cfg.Analysis.Channel, cfg.Analysis.Decoder)
+		if err != nil {
+			return nil, err
+		}
+		ca.Recognizer = rec
+	}
+	p, toDoc := ca.buildCallPipeline()
+	source := func(ctx context.Context, emit func(mining.Document) error) error {
+		return p.Run(ctx, ca.callSource(), func(j callJob) error { return emit(toDoc(j)) })
+	}
+	return server.New(server.Config{
+		Addr:          cfg.Addr,
+		Source:        source,
+		PipelineStats: p.Stats,
+		SwapInterval:  cfg.SwapInterval,
+		SwapEvery:     cfg.SwapEvery,
+		CacheSize:     cfg.CacheSize,
+		Confidence:    cfg.Analysis.Confidence,
+		DrainTimeout:  cfg.DrainTimeout,
+	})
+}
+
+// Serve runs the query daemon until ctx is cancelled, then drains
+// in-flight requests and stops the ingest pipeline cleanly.
+func Serve(ctx context.Context, cfg ServeConfig) error {
+	s, err := NewServeServer(cfg)
+	if err != nil {
+		return err
+	}
+	return s.Run(ctx)
+}

@@ -36,16 +36,31 @@ func (m *StreamMonitor) Live() *mining.StreamIndex { return m.live }
 // callbacks should select on it and return promptly.
 func (m *StreamMonitor) Done() <-chan struct{} { return m.done }
 
-// analyzeStreaming runs Figure 3 as the staged concurrent pipeline:
+// callJob carries one call through the pipeline stages; idx keys results
+// back to World.Calls order so output is deterministic regardless of
+// which worker handled which call.
+type callJob struct {
+	idx        int
+	transcript []string
+	fields     map[string]string
+	concepts   []annotate.Concept
+}
+
+// buildCallPipeline assembles Figure 3 as the staged concurrent
+// pipeline:
 //
-//	source(calls) → transcribe → link → annotate → index(sink)
+//	source(calls) → transcribe → link → annotate → sink
 //
 // transcribe and annotate carry the CPU weight and get cfg.Workers
 // workers each; link only attaches warehouse fields and runs single.
 // Worker-count invariance holds because every stochastic step draws from
 // a per-call RNG substream keyed by call ID, results are keyed by call
-// index, and the sealed index is rebuilt in ID order.
-func (ca *CallAnalysis) analyzeStreaming(ctx context.Context) error {
+// index, and sealed indexes are rebuilt in ID order.
+//
+// The returned toDoc projects a finished job onto the mining document
+// for that call. Both the batch path (analyzeStreaming) and the serving
+// path (NewServeServer) are sinks over this one pipeline.
+func (ca *CallAnalysis) buildCallPipeline() (p *pipeline.Pipeline[callJob], toDoc func(callJob) mining.Document) {
 	en := BuildCarRentalAnnotator()
 	cleaner := clean.NewCleaner()
 	world := ca.World
@@ -56,16 +71,7 @@ func (ca *CallAnalysis) analyzeStreaming(ctx context.Context) error {
 	}
 	decodeRnd := rng.New(ca.Config.World.Seed).SplitString("asr-noise")
 
-	// job carries one call through the stages; idx keys results back to
-	// World.Calls order so output is deterministic regardless of which
-	// worker handled which call.
-	type job struct {
-		idx        int
-		transcript []string
-		fields     map[string]string
-		concepts   []annotate.Concept
-	}
-	transcribe := func(ctx context.Context, j job) (job, error) {
+	transcribe := func(ctx context.Context, j callJob) (callJob, error) {
 		call := calls[j.idx]
 		switch {
 		case ca.Config.UseNotes:
@@ -83,7 +89,7 @@ func (ca *CallAnalysis) analyzeStreaming(ctx context.Context) error {
 		}
 		return j, nil
 	}
-	link := func(ctx context.Context, j job) (job, error) {
+	link := func(ctx context.Context, j callJob) (callJob, error) {
 		call := calls[j.idx]
 		agent := world.Agents[call.AgentIdx]
 		trained := "no"
@@ -97,37 +103,53 @@ func (ca *CallAnalysis) analyzeStreaming(ctx context.Context) error {
 		}
 		return j, nil
 	}
-	annotate := func(ctx context.Context, j job) (job, error) {
+	annotateStage := func(ctx context.Context, j callJob) (callJob, error) {
 		j.concepts = AnnotateTranscript(en, j.transcript)
 		return j, nil
 	}
 
-	stages := []pipeline.Stage[job]{
+	stages := []pipeline.Stage[callJob]{
 		{Name: "transcribe", Workers: workers, Fn: transcribe},
 		{Name: "link", Workers: 1, Fn: link},
-		{Name: "annotate", Workers: workers, Fn: annotate},
+		{Name: "annotate", Workers: workers, Fn: annotateStage},
 	}
-	keyFn := func(j job) string { return calls[j.idx].ID }
+	keyFn := func(j callJob) string { return calls[j.idx].ID }
 	if ca.Config.FaultInject != nil {
 		for i := range stages {
 			stages[i] = pipeline.InjectFaults(stages[i], keyFn, ca.Config.FaultInject)
 		}
 	}
-	p := pipeline.New[job]("call-analysis", stages...).
+	p = pipeline.New[callJob]("call-analysis", stages...).
 		WithKey(keyFn).
 		WithSeed(ca.Config.World.Seed).
 		WithFaultTolerance(ca.Config.FaultTolerance)
-
-	live := mining.NewStreamIndex()
-	transcripts := make([][]string, len(calls))
-	sink := func(j job) error {
-		transcripts[j.idx] = j.transcript
-		live.Add(mining.Document{
+	toDoc = func(j callJob) mining.Document {
+		return mining.Document{
 			ID:       calls[j.idx].ID,
 			Concepts: j.concepts,
 			Fields:   j.fields,
 			Time:     calls[j.idx].Day,
-		})
+		}
+	}
+	return p, toDoc
+}
+
+// callSource feeds every call of the world into the pipeline.
+func (ca *CallAnalysis) callSource() pipeline.Source[callJob] {
+	return pipeline.IndexedSource(len(ca.World.Calls), func(i int) callJob { return callJob{idx: i} })
+}
+
+// analyzeStreaming runs the call pipeline to completion, streaming every
+// finished call into a live mining index and sealing it at the end.
+func (ca *CallAnalysis) analyzeStreaming(ctx context.Context) error {
+	calls := ca.World.Calls
+	p, toDoc := ca.buildCallPipeline()
+
+	live := mining.NewStreamIndex()
+	transcripts := make([][]string, len(calls))
+	sink := func(j callJob) error {
+		transcripts[j.idx] = j.transcript
+		live.Add(toDoc(j))
 		return nil
 	}
 
@@ -142,9 +164,7 @@ func (ca *CallAnalysis) analyzeStreaming(ctx context.Context) error {
 		}()
 	}
 
-	err := p.Run(ctx,
-		pipeline.IndexedSource(len(calls), func(i int) job { return job{idx: i} }),
-		sink)
+	err := p.Run(ctx, ca.callSource(), sink)
 	if mon != nil {
 		close(mon.done)
 		monWG.Wait()

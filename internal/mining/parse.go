@@ -1,0 +1,144 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dimension labels form a tiny language, and ParseDim is its parser —
+// the round-trip inverse of Dim.Label. It is what makes a dimension
+// addressable as a string, so query-serving layers (cmd/bivocd's HTTP
+// API) can accept dimensions in URLs and cache results under a
+// canonical key.
+//
+// The grammar, matching exactly what Label emits:
+//
+//	dim        = conjunct { " ∧ " conjunct }
+//	conjunct   = concept | field | category
+//	concept    = canonical "[" category "]"     e.g. "weak start[customer intention]"
+//	field      = name "=" value                 e.g. "outcome=reservation"
+//	category   = text                           e.g. "discount"
+//
+// The characters '=', '[', ']' and '∧' are reserved: they may appear
+// only in the structural positions above. A Dim whose components
+// contain a reserved character still works everywhere else in the
+// mining layer, but its label is ambiguous and does not round-trip;
+// ParseDim rejects such labels rather than guessing.
+const andSeparator = " ∧ "
+
+// reservedDimChars may not appear inside a dimension component.
+const reservedDimChars = "=[]∧"
+
+// ParseDim parses a dimension label produced by Dim.Label back into the
+// Dim it came from: ParseDim(d.Label()) == d for every concept,
+// category, field, and (flat) conjunction dimension whose components
+// avoid the reserved characters. Conjunction labels are flat — Label
+// flattens nested Ands — so ParseDim always returns a single-level And;
+// this preserves matching semantics because conjunction is associative.
+func ParseDim(label string) (Dim, error) {
+	if strings.Contains(label, andSeparator) {
+		parts := strings.Split(label, andSeparator)
+		children := make([]Dim, len(parts))
+		for i, p := range parts {
+			c, err := parseConjunct(p)
+			if err != nil {
+				return Dim{}, fmt.Errorf("mining: parsing dimension %q: conjunct %d: %w", label, i+1, err)
+			}
+			children[i] = c
+		}
+		return Dim{And: children}, nil
+	}
+	d, err := parseConjunct(label)
+	if err != nil {
+		return Dim{}, fmt.Errorf("mining: parsing dimension %q: %w", label, err)
+	}
+	return d, nil
+}
+
+// parseConjunct parses one non-conjunction dimension.
+func parseConjunct(s string) (Dim, error) {
+	if s == "" {
+		return Dim{}, fmt.Errorf("empty dimension")
+	}
+	if strings.HasSuffix(s, "]") {
+		i := strings.Index(s, "[")
+		if i < 0 {
+			return Dim{}, fmt.Errorf("%q has ']' without '['", s)
+		}
+		canonical, category := s[:i], s[i+1:len(s)-1]
+		if canonical == "" {
+			return Dim{}, fmt.Errorf("%q has an empty canonical form", s)
+		}
+		if category == "" {
+			return Dim{}, fmt.Errorf("%q has an empty category", s)
+		}
+		if err := checkComponent(canonical); err != nil {
+			return Dim{}, err
+		}
+		if err := checkComponent(category); err != nil {
+			return Dim{}, err
+		}
+		return Dim{Category: category, Canonical: canonical}, nil
+	}
+	if i := strings.IndexByte(s, '='); i >= 0 {
+		field, value := s[:i], s[i+1:]
+		if field == "" {
+			return Dim{}, fmt.Errorf("%q has an empty field name", s)
+		}
+		if err := checkComponent(field); err != nil {
+			return Dim{}, err
+		}
+		if err := checkComponent(value); err != nil {
+			return Dim{}, err
+		}
+		return Dim{Field: field, Value: value}, nil
+	}
+	if err := checkComponent(s); err != nil {
+		return Dim{}, err
+	}
+	return Dim{Category: s}, nil
+}
+
+// checkComponent rejects components containing reserved characters,
+// which would make the rendered label ambiguous.
+func checkComponent(s string) error {
+	if strings.ContainsAny(s, reservedDimChars) {
+		return fmt.Errorf("component %q contains a reserved character (one of %q)", s, reservedDimChars)
+	}
+	return nil
+}
+
+// CanonicalLabel returns the canonical string form of the dimension —
+// the form used as a cache key by the serving layer. For concept,
+// category and field dimensions it is Label() verbatim. For
+// conjunctions it flattens nesting, deduplicates, and sorts the
+// conjunct labels, so semantically equal dimensions share one key:
+// conjunction over postings intersections is associative, commutative
+// and idempotent, hence "a ∧ b", "b ∧ a" and "a ∧ b ∧ a" all answer
+// identically and canonicalize to "a ∧ b".
+func (d Dim) CanonicalLabel() string {
+	if len(d.And) == 0 {
+		return d.Label()
+	}
+	var leaves []string
+	var walk func(Dim)
+	walk = func(x Dim) {
+		if len(x.And) == 0 {
+			leaves = append(leaves, x.Label())
+			return
+		}
+		for _, c := range x.And {
+			walk(c)
+		}
+	}
+	walk(d)
+	sort.Strings(leaves)
+	uniq := leaves[:0]
+	for i, l := range leaves {
+		if i == 0 || l != leaves[i-1] {
+			uniq = append(uniq, l)
+		}
+	}
+	return strings.Join(uniq, andSeparator)
+}

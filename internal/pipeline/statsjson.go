@@ -1,0 +1,73 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// stageStatsJSON is the wire schema of StageStats. The field names are
+// a published contract: cmd/bivocd's /statsz endpoint emits them, and
+// dashboards key on them — renaming or removing one is a breaking
+// change (TestStageStatsJSONSchemaStable pins the exact output).
+// Latencies are serialized as integer nanoseconds so consumers never
+// parse Go duration strings.
+type stageStatsJSON struct {
+	Name         string `json:"name"`
+	Workers      int    `json:"workers"`
+	In           uint64 `json:"in"`
+	Out          uint64 `json:"out"`
+	Skipped      uint64 `json:"skipped"`
+	Errors       uint64 `json:"errors"`
+	Retries      uint64 `json:"retries"`
+	Timeouts     uint64 `json:"timeouts"`
+	DeadLetters  uint64 `json:"dead_letters"`
+	QueueDepth   int    `json:"queue_depth"`
+	QueueCap     int    `json:"queue_cap"`
+	AvgLatencyNS int64  `json:"avg_latency_ns"`
+	MaxLatencyNS int64  `json:"max_latency_ns"`
+}
+
+// MarshalJSON renders the snapshot with stable, schema-versioned field
+// names (see stageStatsJSON).
+func (s StageStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(stageStatsJSON{
+		Name:         s.Name,
+		Workers:      s.Workers,
+		In:           s.In,
+		Out:          s.Out,
+		Skipped:      s.Skipped,
+		Errors:       s.Errors,
+		Retries:      s.Retries,
+		Timeouts:     s.Timeouts,
+		DeadLetters:  s.DeadLetters,
+		QueueDepth:   s.QueueDepth,
+		QueueCap:     s.QueueCap,
+		AvgLatencyNS: s.AvgLatency.Nanoseconds(),
+		MaxLatencyNS: s.MaxLatency.Nanoseconds(),
+	})
+}
+
+// UnmarshalJSON accepts the stageStatsJSON schema, so recorded /statsz
+// snapshots can be loaded back for comparison and tooling.
+func (s *StageStats) UnmarshalJSON(data []byte) error {
+	var w stageStatsJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*s = StageStats{
+		Name:        w.Name,
+		Workers:     w.Workers,
+		In:          w.In,
+		Out:         w.Out,
+		Skipped:     w.Skipped,
+		Errors:      w.Errors,
+		Retries:     w.Retries,
+		Timeouts:    w.Timeouts,
+		DeadLetters: w.DeadLetters,
+		QueueDepth:  w.QueueDepth,
+		QueueCap:    w.QueueCap,
+		AvgLatency:  time.Duration(w.AvgLatencyNS),
+		MaxLatency:  time.Duration(w.MaxLatencyNS),
+	}
+	return nil
+}

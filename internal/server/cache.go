@@ -1,0 +1,76 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache memoizes marshaled query responses for ONE index snapshot.
+// Each snapshot owns its own cache, so swapping the snapshot pointer
+// invalidates every cached entry wholesale — there is no way for a hit
+// to serve bytes computed over a different generation, because the
+// cache a handler consults is reached *through* the snapshot it is
+// answering from.
+//
+// Values are the final response bodies ([]byte), so a cached reply is
+// byte-identical to the uncached one by construction.
+type lruCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+// newLRUCache returns a cache holding at most capacity entries
+// (capacity < 1 disables caching: every get misses, puts are dropped).
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached body for key and marks it most recently used.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	if c.cap < 1 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// put stores body under key, evicting the least recently used entry
+// when the cache is full.
+func (c *lruCache) put(key string, body []byte) {
+	if c.cap < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).body = body
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, body: body})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

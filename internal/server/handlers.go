@@ -1,0 +1,513 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"bivoc/internal/mining"
+	"bivoc/internal/pipeline"
+)
+
+// Response types — the wire schema of the /v1 API. Every response
+// carries the generation and sealed flag of the single snapshot it was
+// computed from, so clients can detect swaps and correlate answers.
+// Dimensions are echoed in canonical form (mining.(Dim).CanonicalLabel),
+// which is also the form cache keys use.
+
+// CountResponse answers /v1/count.
+type CountResponse struct {
+	Generation uint64   `json:"generation"`
+	Sealed     bool     `json:"sealed"`
+	Total      int      `json:"total"`
+	Dims       []string `json:"dims"`
+	Counts     []int    `json:"counts"`
+}
+
+// AssocCellJSON is one cell of an association table.
+type AssocCellJSON struct {
+	Ncell      int     `json:"ncell"`
+	Nver       int     `json:"nver"`
+	Nhor       int     `json:"nhor"`
+	N          int     `json:"n"`
+	PointIndex float64 `json:"point_index"`
+	LowerIndex float64 `json:"lower_index"`
+	RowShare   float64 `json:"row_share"`
+}
+
+// AssociateResponse answers /v1/associate.
+type AssociateResponse struct {
+	Generation uint64            `json:"generation"`
+	Sealed     bool              `json:"sealed"`
+	Confidence float64           `json:"confidence"`
+	Rows       []string          `json:"rows"`
+	Cols       []string          `json:"cols"`
+	Cells      [][]AssocCellJSON `json:"cells"`
+}
+
+// RelevanceJSON is one row of a relative-frequency report.
+type RelevanceJSON struct {
+	Concept    string  `json:"concept"`
+	InSubset   int     `json:"in_subset"`
+	SubsetSize int     `json:"subset_size"`
+	InAll      int     `json:"in_all"`
+	N          int     `json:"n"`
+	Ratio      float64 `json:"ratio"`
+}
+
+// RelFreqResponse answers /v1/relfreq.
+type RelFreqResponse struct {
+	Generation uint64          `json:"generation"`
+	Sealed     bool            `json:"sealed"`
+	Category   string          `json:"category"`
+	Featured   string          `json:"featured"`
+	Rows       []RelevanceJSON `json:"rows"`
+}
+
+// ConceptJSON is one extracted concept of a drilled-down document.
+type ConceptJSON struct {
+	Category  string `json:"category"`
+	Canonical string `json:"canonical"`
+}
+
+// DocumentJSON is one indexed document in a drill-down response.
+type DocumentJSON struct {
+	ID       string            `json:"id"`
+	Fields   map[string]string `json:"fields"`
+	Time     int               `json:"time"`
+	Concepts []ConceptJSON     `json:"concepts"`
+}
+
+// DrillDownResponse answers /v1/drilldown.
+type DrillDownResponse struct {
+	Generation uint64         `json:"generation"`
+	Sealed     bool           `json:"sealed"`
+	Row        string         `json:"row"`
+	Col        string         `json:"col"`
+	Count      int            `json:"count"`
+	Truncated  bool           `json:"truncated"`
+	Docs       []DocumentJSON `json:"docs"`
+}
+
+// TrendPointJSON is one time bucket of a trend.
+type TrendPointJSON struct {
+	Time  int `json:"time"`
+	Count int `json:"count"`
+}
+
+// TrendResponse answers /v1/trend.
+type TrendResponse struct {
+	Generation uint64           `json:"generation"`
+	Sealed     bool             `json:"sealed"`
+	Dim        string           `json:"dim"`
+	Points     []TrendPointJSON `json:"points"`
+	Slope      float64          `json:"slope"`
+}
+
+// ConceptsResponse answers /v1/concepts: the vocabulary of a concept
+// category (by document frequency) or of a structured field (sorted).
+type ConceptsResponse struct {
+	Generation uint64   `json:"generation"`
+	Sealed     bool     `json:"sealed"`
+	Category   string   `json:"category,omitempty"`
+	Field      string   `json:"field,omitempty"`
+	Values     []string `json:"values"`
+}
+
+// HealthResponse answers /healthz.
+type HealthResponse struct {
+	Status      string `json:"status"`
+	Generation  uint64 `json:"generation"`
+	Sealed      bool   `json:"sealed"`
+	Docs        int    `json:"docs"`
+	IngestError string `json:"ingest_error,omitempty"`
+}
+
+// CacheStatsJSON is the cache section of /statsz.
+type CacheStatsJSON struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Size     int    `json:"size"`
+	Capacity int    `json:"capacity"`
+}
+
+// StatszResponse answers /statsz: snapshot generation, cache counters,
+// and the ingest pipeline's per-stage stats (schema pinned by
+// pipeline.StageStats.MarshalJSON).
+type StatszResponse struct {
+	Generation  uint64                `json:"generation"`
+	Sealed      bool                  `json:"sealed"`
+	Docs        int                   `json:"docs"`
+	Cache       CacheStatsJSON        `json:"cache"`
+	Pipeline    []pipeline.StageStats `json:"pipeline"`
+	IngestError string                `json:"ingest_error,omitempty"`
+}
+
+// errorResponse is the body of every non-200 reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// buildMux wires the API routes.
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/count", s.handleCount)
+	mux.HandleFunc("GET /v1/associate", s.handleAssociate)
+	mux.HandleFunc("GET /v1/relfreq", s.handleRelFreq)
+	mux.HandleFunc("GET /v1/drilldown", s.handleDrillDown)
+	mux.HandleFunc("GET /v1/trend", s.handleTrend)
+	mux.HandleFunc("GET /v1/concepts", s.handleConcepts)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	body, _ := json.Marshal(errorResponse{Error: err.Error()})
+	writeJSON(w, status, append(body, '\n'))
+}
+
+// respond is the shared query path: load the snapshot pointer exactly
+// once, consult that snapshot's cache under the canonical key, and on a
+// miss compute, marshal, and memoize the full response body. Because
+// both the index and the cache are reached through the single loaded
+// pointer, the response is self-consistent with exactly one generation
+// and a hit can never serve bytes from another generation.
+func (s *Server) respond(w http.ResponseWriter, key string, compute func(sn *snapshot) (any, error)) {
+	if s.handlerDelay > 0 {
+		time.Sleep(s.handlerDelay)
+	}
+	sn := s.snap.Load()
+	if body, ok := sn.cache.get(key); ok {
+		s.hits.Add(1)
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	v, err := compute(sn)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.misses.Add(1)
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	body = append(body, '\n')
+	sn.cache.put(key, body)
+	writeJSON(w, http.StatusOK, body)
+}
+
+// parseDimParams parses every value of a repeated dimension query
+// parameter, returning the dims and their canonical labels.
+func parseDimParams(param string, vals []string) ([]mining.Dim, []string, error) {
+	if len(vals) == 0 {
+		return nil, nil, fmt.Errorf("missing required parameter %q (a dimension label, e.g. %q or %q)",
+			param, "outcome=reservation", "weak start[customer intention]")
+	}
+	dims := make([]mining.Dim, len(vals))
+	labels := make([]string, len(vals))
+	for i, v := range vals {
+		d, err := mining.ParseDim(v)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parameter %s: %w", param, err)
+		}
+		dims[i] = d
+		labels[i] = d.CanonicalLabel()
+	}
+	return dims, labels, nil
+}
+
+// cacheKey builds a canonical cache key from the endpoint name and its
+// canonicalized parameters. Parameter order within one repeated key is
+// preserved (it is echoed in the response), so only dimension spelling
+// is canonicalized, not request shape.
+func cacheKey(endpoint string, parts ...string) string {
+	return endpoint + "\x00" + strings.Join(parts, "\x00")
+}
+
+// GET /v1/count?dim=<label>[&dim=<label>...] — document counts for one
+// or more dimensions, plus the snapshot total, all from one generation.
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	dims, labels, err := parseDimParams("dim", r.URL.Query()["dim"])
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.respond(w, cacheKey("count", labels...), func(sn *snapshot) (any, error) {
+		counts := make([]int, len(dims))
+		for i, d := range dims {
+			counts[i] = sn.ix.Count(d)
+		}
+		return CountResponse{
+			Generation: sn.gen,
+			Sealed:     sn.sealed,
+			Total:      sn.ix.Len(),
+			Dims:       labels,
+			Counts:     counts,
+		}, nil
+	})
+}
+
+// GET /v1/associate?row=<label>&...&col=<label>&...[&confidence=0.95] —
+// the §IV.D.2 two-dimensional association table.
+func (s *Server) handleAssociate(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	rows, rowLabels, err := parseDimParams("row", q["row"])
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	cols, colLabels, err := parseDimParams("col", q["col"])
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	confidence := s.cfg.confidence()
+	if cs := q.Get("confidence"); cs != "" {
+		c, err := strconv.ParseFloat(cs, 64)
+		if err != nil || c <= 0 || c >= 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("confidence must be a number in (0,1), got %q", cs))
+			return
+		}
+		confidence = c
+	}
+	key := cacheKey("associate",
+		strings.Join(rowLabels, "\x01"),
+		strings.Join(colLabels, "\x01"),
+		strconv.FormatFloat(confidence, 'g', -1, 64))
+	s.respond(w, key, func(sn *snapshot) (any, error) {
+		tbl := sn.ix.Associate(rows, cols, confidence)
+		cells := make([][]AssocCellJSON, len(tbl.Cells))
+		for i, row := range tbl.Cells {
+			cells[i] = make([]AssocCellJSON, len(row))
+			for j, c := range row {
+				cells[i][j] = AssocCellJSON{
+					Ncell: c.Ncell, Nver: c.Nver, Nhor: c.Nhor, N: c.N,
+					PointIndex: c.PointIndex, LowerIndex: c.LowerIndex, RowShare: c.RowShare,
+				}
+			}
+		}
+		return AssociateResponse{
+			Generation: sn.gen,
+			Sealed:     sn.sealed,
+			Confidence: tbl.Confidence,
+			Rows:       rowLabels,
+			Cols:       colLabels,
+			Cells:      cells,
+		}, nil
+	})
+}
+
+// GET /v1/relfreq?category=<cat>&featured=<label> — the §IV.D.1
+// relevancy analysis: category concept densities inside the featured
+// subset versus the whole collection.
+func (s *Server) handleRelFreq(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	category := q.Get("category")
+	if category == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing required parameter %q (a concept category)", "category"))
+		return
+	}
+	featured, featLabels, err := parseDimParams("featured", q["featured"])
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(featured) > 1 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("featured must be a single dimension (use a ∧-conjunction for compound subsets)"))
+		return
+	}
+	s.respond(w, cacheKey("relfreq", category, featLabels[0]), func(sn *snapshot) (any, error) {
+		rel := sn.ix.RelativeFrequency(category, featured[0])
+		rows := make([]RelevanceJSON, len(rel))
+		for i, rr := range rel {
+			rows[i] = RelevanceJSON{
+				Concept: rr.Concept, InSubset: rr.InSubset, SubsetSize: rr.SubsetSize,
+				InAll: rr.InAll, N: rr.N, Ratio: rr.Ratio,
+			}
+		}
+		return RelFreqResponse{
+			Generation: sn.gen,
+			Sealed:     sn.sealed,
+			Category:   category,
+			Featured:   featLabels[0],
+			Rows:       rows,
+		}, nil
+	})
+}
+
+// GET /v1/drilldown?row=<label>&col=<label>[&limit=N] — Figure 4's
+// cell-to-documents navigation. limit bounds the returned documents
+// (default 50; Count is always the full cell size).
+func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	rows, rowLabels, err := parseDimParams("row", q["row"])
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	cols, colLabels, err := parseDimParams("col", q["col"])
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(rows) > 1 || len(cols) > 1 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("drilldown takes exactly one row and one col dimension"))
+		return
+	}
+	limit := 50
+	if ls := q.Get("limit"); ls != "" {
+		limit, err = strconv.Atoi(ls)
+		if err != nil || limit < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("limit must be a non-negative integer, got %q", ls))
+			return
+		}
+	}
+	key := cacheKey("drilldown", rowLabels[0], colLabels[0], strconv.Itoa(limit))
+	s.respond(w, key, func(sn *snapshot) (any, error) {
+		docs := sn.ix.DrillDown(rows[0], cols[0])
+		n := len(docs)
+		truncated := false
+		if n > limit {
+			docs = docs[:limit]
+			truncated = true
+		}
+		out := make([]DocumentJSON, len(docs))
+		for i, d := range docs {
+			concepts := make([]ConceptJSON, len(d.Concepts))
+			for j, c := range d.Concepts {
+				concepts[j] = ConceptJSON{Category: c.Category, Canonical: c.Canonical}
+			}
+			out[i] = DocumentJSON{ID: d.ID, Fields: d.Fields, Time: d.Time, Concepts: concepts}
+		}
+		return DrillDownResponse{
+			Generation: sn.gen,
+			Sealed:     sn.sealed,
+			Row:        rowLabels[0],
+			Col:        colLabels[0],
+			Count:      n,
+			Truncated:  truncated,
+			Docs:       out,
+		}, nil
+	})
+}
+
+// GET /v1/trend?dim=<label> — per-time-bucket counts plus the fitted
+// slope (documents per bucket).
+func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) {
+	dims, labels, err := parseDimParams("dim", r.URL.Query()["dim"])
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(dims) > 1 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("trend takes exactly one dim"))
+		return
+	}
+	s.respond(w, cacheKey("trend", labels[0]), func(sn *snapshot) (any, error) {
+		pts := sn.ix.Trend(dims[0])
+		points := make([]TrendPointJSON, len(pts))
+		for i, p := range pts {
+			points[i] = TrendPointJSON{Time: p.Time, Count: p.Count}
+		}
+		return TrendResponse{
+			Generation: sn.gen,
+			Sealed:     sn.sealed,
+			Dim:        labels[0],
+			Points:     points,
+			Slope:      mining.TrendSlope(pts),
+		}, nil
+	})
+}
+
+// GET /v1/concepts?category=<cat> | ?field=<name> — the vocabulary of a
+// concept category (document-frequency order) or a structured field
+// (sorted values); the discovery endpoint analysts use to find
+// dimension labels to query with.
+func (s *Server) handleConcepts(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	category, field := q.Get("category"), q.Get("field")
+	if (category == "") == (field == "") {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("pass exactly one of %q or %q", "category", "field"))
+		return
+	}
+	s.respond(w, cacheKey("concepts", category, field), func(sn *snapshot) (any, error) {
+		resp := ConceptsResponse{
+			Generation: sn.gen,
+			Sealed:     sn.sealed,
+			Category:   category,
+			Field:      field,
+		}
+		if category != "" {
+			resp.Values = sn.ix.ConceptsInCategory(category)
+		} else {
+			resp.Values = sn.ix.FieldValues(field)
+		}
+		if resp.Values == nil {
+			resp.Values = []string{}
+		}
+		return resp, nil
+	})
+}
+
+// GET /healthz — liveness plus the serving generation. Always 200 while
+// the process serves; an ingest failure is surfaced in the body (the
+// last good snapshot keeps answering queries).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	gen, docs, sealed := s.SnapshotInfo()
+	resp := HealthResponse{Status: "ok", Generation: gen, Sealed: sealed, Docs: docs}
+	if err := s.IngestErr(); err != nil {
+		resp.Status = "degraded"
+		resp.IngestError = err.Error()
+	}
+	body, _ := json.Marshal(resp)
+	writeJSON(w, http.StatusOK, append(body, '\n'))
+}
+
+// GET /statsz — operational counters: snapshot generation, cache
+// hit/miss, and the ingest pipeline's per-stage stats.
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
+	resp := StatszResponse{
+		Generation: sn.gen,
+		Sealed:     sn.sealed,
+		Docs:       sn.ix.Len(),
+		Cache: CacheStatsJSON{
+			Hits:     s.hits.Load(),
+			Misses:   s.misses.Load(),
+			Size:     sn.cache.len(),
+			Capacity: s.cfg.cacheSize(),
+		},
+	}
+	if s.cfg.PipelineStats != nil {
+		resp.Pipeline = s.cfg.PipelineStats()
+	}
+	if err := s.IngestErr(); err != nil {
+		resp.IngestError = err.Error()
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, append(body, '\n'))
+}
+
+// QueryURL renders a /v1 query URL against base (scheme://host) with
+// properly escaped parameters — a convenience for clients and tests
+// building dimension-label URLs.
+func QueryURL(base, endpoint string, params url.Values) string {
+	return base + endpoint + "?" + params.Encode()
+}

@@ -1,0 +1,357 @@
+// Package server is the query-serving tier of BIVoC: it turns the
+// batch-and-stream mining layer into a continuously queryable daemon
+// (cmd/bivocd), the §IV.D interactive concept index analysts hit for
+// relative frequencies, 2-D associations, trends and drill-downs.
+//
+// Architecture — hot-swappable snapshots over a lock-free read path:
+//
+//	ingest loop (internal/pipeline) ──▶ docs accumulate
+//	        │  every SwapInterval / SwapEvery docs
+//	        ▼
+//	mining.NewStreamIndex().AddBatch(docs).Seal()  → immutable *mining.Index
+//	        │                                         + fresh LRU cache
+//	        ▼
+//	atomic.Pointer[snapshot].Store  ◀── generation++
+//	                                        ▲
+//	HTTP handlers: snap := ptr.Load() ──────┘  (one load per request)
+//
+// A background ingest loop drives the streaming pipeline, accumulates
+// the documents delivered so far, and on a configurable cadence builds
+// a sealed index over them (ID-sorted, so a snapshot is byte-identical
+// to batch-indexing the same documents) and publishes it behind an
+// atomic.Pointer. Handlers load the pointer exactly once per request,
+// so every response is self-consistent with exactly one generation and
+// steady-state reads never touch a lock the ingest loop holds.
+//
+// Hot query results are memoized in a per-snapshot LRU cache of final
+// response bodies: cached and uncached replies are byte-identical, and
+// a snapshot swap invalidates the whole cache structurally (the new
+// snapshot carries a new, empty cache).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bivoc/internal/mining"
+	"bivoc/internal/pipeline"
+)
+
+// DocSource feeds the server's ingest loop: it calls emit once per
+// mining document and returns when the stream is exhausted (the server
+// then publishes the final, sealed snapshot) or when ctx is cancelled.
+// core.NewServeServer adapts the call-analysis pipeline into one.
+type DocSource func(ctx context.Context, emit func(mining.Document) error) error
+
+// Config assembles a Server.
+type Config struct {
+	// Addr is the TCP listen address ("127.0.0.1:8080"; ":0" picks a
+	// free port, readable from Server.Addr after Start).
+	Addr string
+	// Source feeds documents into the index. Required.
+	Source DocSource
+	// PipelineStats, when set, is surfaced on /statsz — wire it to the
+	// ingest pipeline's Stats method.
+	PipelineStats func() []pipeline.StageStats
+	// SwapInterval publishes a fresh snapshot on a time cadence while
+	// ingest is running (0 disables the ticker).
+	SwapInterval time.Duration
+	// SwapEvery publishes a fresh snapshot every N ingested documents
+	// (0 disables; deterministic, which tests rely on). Both cadences
+	// may be active at once.
+	SwapEvery int
+	// CacheSize bounds the per-snapshot LRU result cache (entries).
+	// Default 256; negative disables caching.
+	CacheSize int
+	// Confidence is the association-interval confidence used when a
+	// query does not pass its own. Default 0.95.
+	Confidence float64
+	// DrainTimeout bounds the graceful drain of in-flight requests
+	// during Run's shutdown. Default 5s.
+	DrainTimeout time.Duration
+}
+
+func (c Config) cacheSize() int {
+	if c.CacheSize == 0 {
+		return 256
+	}
+	return c.CacheSize
+}
+
+func (c Config) confidence() float64 {
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		return 0.95
+	}
+	return c.Confidence
+}
+
+func (c Config) drainTimeout() time.Duration {
+	if c.DrainTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.DrainTimeout
+}
+
+// snapshot is one published index generation. All fields are immutable
+// after publication except the cache, which is internally synchronized;
+// the *mining.Index is sealed and never mutated, so handlers read it
+// without locks.
+type snapshot struct {
+	gen    uint64
+	ix     *mining.Index
+	sealed bool // true once the source is exhausted: the index is final
+	cache  *lruCache
+}
+
+// Server owns the snapshot pointer, the ingest loop and the HTTP API.
+// Create with New, run with Run (or Start + Shutdown for finer
+// control).
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	snap  atomic.Pointer[snapshot]
+	gen   atomic.Uint64
+	pubMu sync.Mutex // serializes publish, keeping stored generations monotonic
+
+	hits, misses atomic.Uint64
+
+	started    atomic.Bool
+	lifeMu     sync.Mutex // guards ln, hs, ingestStop (Start may run in another goroutine, e.g. under Run)
+	ln         net.Listener
+	hs         *http.Server
+	ingestStop context.CancelFunc
+	ingestDone chan struct{}
+	serveDone  chan struct{}
+
+	errMu     sync.Mutex
+	ingestErr error
+	serveErr  error
+
+	// handlerDelay pads every /v1 handler; test hook for exercising the
+	// graceful drain with genuinely in-flight requests.
+	handlerDelay time.Duration
+}
+
+// New returns an unstarted server. The initial snapshot is generation
+// zero over an empty index, so queries are answerable (with zero
+// counts) before the first swap.
+func New(cfg Config) (*Server, error) {
+	if cfg.Source == nil {
+		return nil, errors.New("server: Config.Source is required")
+	}
+	s := &Server{
+		cfg:        cfg,
+		ingestDone: make(chan struct{}),
+		serveDone:  make(chan struct{}),
+	}
+	s.snap.Store(&snapshot{
+		gen:   0,
+		ix:    mining.NewStreamIndex().Seal(),
+		cache: newLRUCache(cfg.cacheSize()),
+	})
+	s.mux = s.buildMux()
+	return s, nil
+}
+
+// publish seals an index over docs and swaps it in as the next
+// generation. Serialized so a slower earlier build can never overwrite
+// a later one.
+func (s *Server) publish(docs []mining.Document, sealed bool) {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	// Rebuild through StreamIndex: AddBatch enforces ID uniqueness and
+	// Seal rebuilds in ID order, making every snapshot byte-identical to
+	// batch-indexing the same documents.
+	si := mining.NewStreamIndex()
+	si.AddBatch(docs)
+	s.snap.Store(&snapshot{
+		gen:    s.gen.Add(1),
+		ix:     si.Seal(),
+		sealed: sealed,
+		cache:  newLRUCache(s.cfg.cacheSize()),
+	})
+}
+
+// runIngest drives the document source, swapping in fresh snapshots on
+// the configured cadences and a final one when the source is done —
+// sealed if the source was genuinely exhausted, unsealed if the ingest
+// context was cancelled mid-stream.
+func (s *Server) runIngest(ctx context.Context) error {
+	var mu sync.Mutex
+	var docs []mining.Document
+	copyDocs := func() []mining.Document {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]mining.Document(nil), docs...)
+	}
+
+	var tickWG sync.WaitGroup
+	tickCtx, tickStop := context.WithCancel(ctx)
+	defer tickStop()
+	if s.cfg.SwapInterval > 0 {
+		tickWG.Add(1)
+		go func() {
+			defer tickWG.Done()
+			t := time.NewTicker(s.cfg.SwapInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-tickCtx.Done():
+					return
+				case <-t.C:
+					s.publish(copyDocs(), false)
+				}
+			}
+		}()
+	}
+
+	err := s.cfg.Source(ctx, func(d mining.Document) error {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		mu.Lock()
+		docs = append(docs, d)
+		n := len(docs)
+		mu.Unlock()
+		if s.cfg.SwapEvery > 0 && n%s.cfg.SwapEvery == 0 {
+			s.publish(copyDocs(), false)
+		}
+		return nil
+	})
+	tickStop()
+	tickWG.Wait()
+
+	if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+		// Shutdown-initiated cancellation echoing back through the
+		// source; publish what arrived and report a clean stop.
+		err = nil
+	}
+	s.publish(copyDocs(), err == nil && ctx.Err() == nil)
+	return err
+}
+
+// Start listens on Config.Addr and launches the ingest loop and the
+// HTTP server. It returns once the listener is live; use Addr for the
+// bound address. Pair with Shutdown.
+func (s *Server) Start() error {
+	if !s.started.CompareAndSwap(false, true) {
+		return errors.New("server: Start called twice")
+	}
+	addr := s.cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	hs := &http.Server{Handler: s.mux}
+	ictx, cancel := context.WithCancel(context.Background())
+	s.lifeMu.Lock()
+	s.ln = ln
+	s.hs = hs
+	s.ingestStop = cancel
+	s.lifeMu.Unlock()
+	go func() {
+		defer close(s.ingestDone)
+		if err := s.runIngest(ictx); err != nil {
+			// An ingest failure degrades the daemon, it does not kill
+			// it: the last good snapshot keeps serving, and /healthz
+			// and /statsz surface the error.
+			s.errMu.Lock()
+			s.ingestErr = err
+			s.errMu.Unlock()
+		}
+	}()
+	go func() {
+		defer close(s.serveDone)
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.errMu.Lock()
+			s.serveErr = err
+			s.errMu.Unlock()
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address, or "" before Start has bound
+// the listener. Safe to poll from other goroutines.
+func (s *Server) Addr() string {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Handler returns the HTTP API (also useful without Start, e.g. under
+// httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// IngestDone is closed once the ingest loop has finished and the final
+// snapshot is published.
+func (s *Server) IngestDone() <-chan struct{} { return s.ingestDone }
+
+// Generation returns the currently served snapshot generation.
+func (s *Server) Generation() uint64 { return s.snap.Load().gen }
+
+// SnapshotInfo reports the current generation, its document count, and
+// whether it is the sealed (final) index.
+func (s *Server) SnapshotInfo() (gen uint64, docs int, sealed bool) {
+	sn := s.snap.Load()
+	return sn.gen, sn.ix.Len(), sn.sealed
+}
+
+// CacheStats returns the cumulative result-cache hit/miss counters.
+func (s *Server) CacheStats() (hits, misses uint64) {
+	return s.hits.Load(), s.misses.Load()
+}
+
+// IngestErr returns the ingest loop's terminal error, if any.
+func (s *Server) IngestErr() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.ingestErr
+}
+
+// Shutdown gracefully stops a Started server: the listener closes, the
+// ingest pipeline is cancelled and drains cleanly (PR 2 semantics: every
+// in-flight item delivered or accounted), and in-flight HTTP requests
+// run to completion — no request is dropped mid-flight. ctx bounds the
+// HTTP drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.lifeMu.Lock()
+	hs, stopIngest := s.hs, s.ingestStop
+	s.lifeMu.Unlock()
+	if hs == nil {
+		return errors.New("server: Shutdown before Start")
+	}
+	stopIngest()
+	err := hs.Shutdown(ctx) // drains in-flight requests
+	<-s.ingestDone
+	<-s.serveDone
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return errors.Join(err, s.serveErr)
+}
+
+// Run starts the server and blocks until ctx is cancelled, then shuts
+// down gracefully (bounded by Config.DrainTimeout). The usual daemon
+// entry point: wire ctx to SIGINT/SIGTERM.
+func (s *Server) Run(ctx context.Context) error {
+	if err := s.Start(); err != nil {
+		return err
+	}
+	<-ctx.Done()
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.drainTimeout())
+	defer cancel()
+	return s.Shutdown(dctx)
+}
