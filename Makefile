@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-pipeline bench-server examples smoke
+.PHONY: check vet build test race bench bench-pipeline bench-server bench-link bench-build examples smoke
 
 check: vet build race examples smoke
 
@@ -36,6 +36,16 @@ bench-pipeline:
 # The serving-layer benchmarks recorded in BENCH_server.json.
 bench-server:
 	$(GO) test -bench='BenchmarkServerQuery' -run='^$$' .
+
+# The linking hot-path benchmarks recorded in BENCH_link.json. Pass
+# profiler hooks through BENCH_FLAGS, e.g.
+#   make bench-link BENCH_FLAGS='-cpuprofile=cpu.out'
+bench-link:
+	$(GO) test -bench='BenchmarkLink$$|BenchmarkLinkFullScan$$|BenchmarkDictionaryTag$$|BenchmarkRunCallAnalysis$$' -benchmem -run='^$$' $(BENCH_FLAGS) .
+
+# One iteration of every benchmark, so benchmark code cannot rot.
+bench-build:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 examples:
 	$(GO) build ./examples/...

@@ -1,0 +1,101 @@
+// Linking hot-path benchmarks (`make bench-link`, recorded in
+// BENCH_link.json): the per-call cost of the §IV.B data-linking engine
+// and its feeder stages. BenchmarkLink is the headline number — the
+// Threshold-Algorithm top-k merge over noisy identity documents against
+// an 800-customer warehouse. BenchmarkLinkFullScan pins the naive
+// baseline's cost per scored row, BenchmarkDictionaryTag isolates the
+// §IV.C longest-match dictionary tagger that dominates the annotate
+// stage, and BenchmarkRunCallAnalysis measures the end-to-end
+// analysis-only pipeline the daemon's background ingest loop runs.
+//
+// Profile with:
+//
+//	make bench-link BENCH_FLAGS='-cpuprofile=cpu.out'
+package bivoc_test
+
+import (
+	"strings"
+	"testing"
+
+	"bivoc"
+)
+
+// --- Link: TA merge over per-token candidate lists ---
+
+func BenchmarkLink(b *testing.B) {
+	world, engine, annotators := linkerFixture(b)
+	docs := identityDocs(b, world, annotators, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range docs {
+			engine.Link(d, 3)
+		}
+	}
+	b.ReportMetric(float64(len(docs)), "docs/op")
+}
+
+// --- LinkFullScan: score every row (candidate-generation ablation) ---
+
+func BenchmarkLinkFullScan(b *testing.B) {
+	world, engine, annotators := linkerFixture(b)
+	docs := identityDocs(b, world, annotators, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range docs {
+			engine.LinkFullScan(d, 3)
+		}
+	}
+	b.ReportMetric(float64(len(docs)), "docs/op")
+}
+
+// --- Dictionary tagging: the annotate stage's inner loop ---
+
+func BenchmarkDictionaryTag(b *testing.B) {
+	en := bivoc.NewCarRentalAnnotationEngine()
+	dict := en.Dictionary()
+	cfg := bivoc.DefaultCarRentalConfig()
+	cfg.CallsPerDay = 50
+	cfg.Days = 1
+	world, err := bivoc.NewCarRentalWorld(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	calls := world.GenerateCalls(0, 1)
+	texts := make([]string, len(calls))
+	words := 0
+	for i, c := range calls {
+		texts[i] = strings.Join(c.Transcript, " ")
+		words += len(c.Transcript)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tx := range texts {
+			dict.Tag(tx)
+		}
+	}
+	b.ReportMetric(float64(words), "words/op")
+}
+
+// --- End-to-end analysis-only call pipeline (bivocd's ingest loop) ---
+
+func BenchmarkRunCallAnalysis(b *testing.B) {
+	cfg := bivoc.DefaultCallAnalysisConfig()
+	cfg.UseASR = false
+	cfg.World.CallsPerDay = 200
+	cfg.World.Days = 2
+	cfg.Workers = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	var calls int
+	for i := 0; i < b.N; i++ {
+		ca, err := bivoc.RunCallAnalysis(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		calls = ca.Index.Len()
+	}
+	b.ReportMetric(float64(calls), "calls/op")
+}

@@ -209,7 +209,7 @@ func BenchmarkEMWeightLearning(b *testing.B) {
 }
 
 // linkerFixture builds a world plus linker for the linking ablations.
-func linkerFixture(b *testing.B) (*bivoc.CarRentalWorld, *bivoc.LinkerEngine, *bivoc.LinkerAnnotators) {
+func linkerFixture(b testing.TB) (*bivoc.CarRentalWorld, *bivoc.LinkerEngine, *bivoc.LinkerAnnotators) {
 	b.Helper()
 	cfg := bivoc.DefaultCarRentalConfig()
 	cfg.NumCustomers = 800
@@ -227,7 +227,7 @@ func linkerFixture(b *testing.B) (*bivoc.CarRentalWorld, *bivoc.LinkerEngine, *b
 }
 
 // identityDocs synthesizes noisy identity documents for n customers.
-func identityDocs(b *testing.B, world *bivoc.CarRentalWorld, annotators *bivoc.LinkerAnnotators, n int) [][]bivoc.LinkerToken {
+func identityDocs(b testing.TB, world *bivoc.CarRentalWorld, annotators *bivoc.LinkerAnnotators, n int) [][]bivoc.LinkerToken {
 	b.Helper()
 	r := rng.New(7)
 	var docs [][]bivoc.LinkerToken

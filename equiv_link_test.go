@@ -1,0 +1,31 @@
+package bivoc_test
+
+import (
+	"reflect"
+	"testing"
+
+	"bivoc/internal/linker"
+)
+
+// TestLinkGoldenCarRentalEquivalence is the golden byte-identity test of
+// the ISSUE's equivalence contract: top-k linking of noisy identity
+// documents against the synthetic car-rental world must return exactly
+// the same matches — same rows, same float scores, same order — whether
+// similarities come from the naive recompute path or the cached
+// warehouse features.
+func TestLinkGoldenCarRentalEquivalence(t *testing.T) {
+	world, engine, annotators := linkerFixture(t)
+	docs := identityDocs(t, world, annotators, 40)
+	defer func() { linker.UseNaiveSimilarity = false }()
+	for di, d := range docs {
+		for _, k := range []int{1, 3} {
+			linker.UseNaiveSimilarity = true
+			want := engine.Link(d, k)
+			linker.UseNaiveSimilarity = false
+			got := engine.Link(d, k)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("doc %d k=%d: cached link differs from naive oracle:\ngot  %v\nwant %v", di, k, got, want)
+			}
+		}
+	}
+}

@@ -73,15 +73,26 @@ type Entry struct {
 }
 
 // Dictionary holds entries indexed by their (lowercase) surface form.
-// Multi-word surfaces are supported with longest-match-first lookup.
+// Multi-word surfaces are supported with longest-match-first lookup via
+// a word-level trie, so Tag probes spans by walking child pointers
+// instead of joining candidate word windows into throwaway strings.
 type Dictionary struct {
-	entries  map[string]Entry
-	maxWords int
+	entries map[string]Entry
+	root    *trieNode
+}
+
+// trieNode is one word position in the surface trie. Terminal nodes
+// carry the entry and its stored key (the words re-joined with single
+// spaces), which becomes the TaggedWord surface without another join.
+type trieNode struct {
+	children map[string]*trieNode
+	entry    *Entry
+	key      string
 }
 
 // NewDictionary returns an empty dictionary.
 func NewDictionary() *Dictionary {
-	return &Dictionary{entries: make(map[string]Entry), maxWords: 1}
+	return &Dictionary{entries: make(map[string]Entry), root: &trieNode{}}
 }
 
 // Add inserts or replaces an entry.
@@ -91,9 +102,24 @@ func (d *Dictionary) Add(e Entry) {
 		return
 	}
 	d.entries[key] = e
-	if n := len(strings.Fields(key)); n > d.maxWords {
-		d.maxWords = n
+	// Split on single spaces (not Fields): a key with irregular internal
+	// whitespace keeps an empty-word path component no tokenizer output
+	// can follow, staying unreachable from Tag exactly as it always was.
+	node := d.root
+	for _, w := range strings.Split(key, " ") {
+		if node.children == nil {
+			node.children = make(map[string]*trieNode)
+		}
+		next, ok := node.children[w]
+		if !ok {
+			next = &trieNode{}
+			node.children[w] = next
+		}
+		node = next
 	}
+	stored := d.entries[key]
+	node.entry = &stored
+	node.key = key
 }
 
 // AddAll inserts many entries.
@@ -196,33 +222,41 @@ type TaggedWord struct {
 // carrying the canonical form ("credit card") and category.
 func (d *Dictionary) Tag(text string) []TaggedWord {
 	words := textproc.Words(text)
-	var out []TaggedWord
+	if len(words) == 0 {
+		return nil
+	}
+	out := make([]TaggedWord, 0, len(words))
 	i := 0
 	for i < len(words) {
-		matched := false
-		maxSpan := d.maxWords
-		if rem := len(words) - i; rem < maxSpan {
-			maxSpan = rem
-		}
-		for span := maxSpan; span >= 1; span-- {
-			surface := strings.Join(words[i:i+span], " ")
-			if e, ok := d.entries[surface]; ok {
-				out = append(out, TaggedWord{
-					Word:      surface,
-					PoS:       e.PoS,
-					Canonical: e.Canonical,
-					Category:  e.Category,
-				})
-				i += span
-				matched = true
+		// Walk the trie from position i, remembering the deepest terminal
+		// node — the longest dictionary surface starting here.
+		node := d.root
+		var best *trieNode
+		bestSpan := 0
+		for j := i; j < len(words); j++ {
+			next := node.children[words[j]]
+			if next == nil {
 				break
 			}
+			node = next
+			if node.entry != nil {
+				best, bestSpan = node, j-i+1
+			}
 		}
-		if !matched {
-			w := words[i]
-			out = append(out, TaggedWord{Word: w, PoS: d.TagWord(w)})
-			i++
+		if best != nil {
+			e := best.entry
+			out = append(out, TaggedWord{
+				Word:      best.key,
+				PoS:       e.PoS,
+				Canonical: e.Canonical,
+				Category:  e.Category,
+			})
+			i += bestSpan
+			continue
 		}
+		w := words[i]
+		out = append(out, TaggedWord{Word: w, PoS: d.TagWord(w)})
+		i++
 	}
 	return out
 }

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"bivoc/internal/linker"
+)
+
+// Naive-vs-optimized equivalence at the experiment level: flipping
+// linker.UseNaiveSimilarity back to the recompute-everything oracle must
+// not change a single reported byte, at every supported worker count.
+// Together with the linker-level property tests this is the ISSUE's
+// acceptance criterion that the hot-path rewrite is invisible to results.
+
+func TestCallAnalysisNaiveSimilarityEquivalence(t *testing.T) {
+	base := DefaultCallAnalysisConfig()
+	base.World = fastWorld()
+	base.UseASR = false
+	defer func() { linker.UseNaiveSimilarity = false }()
+	for _, w := range []int{1, 4, 8} {
+		cfg := base
+		cfg.Workers = w
+		linker.UseNaiveSimilarity = true
+		naive, err := RunCallAnalysis(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		linker.UseNaiveSimilarity = false
+		fast, err := RunCallAnalysis(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if renderAll(naive) != renderAll(fast) {
+			t.Errorf("workers=%d: reports differ between naive and cached similarity", w)
+		}
+	}
+}
+
+func TestChurnExperimentNaiveSimilarityEquivalence(t *testing.T) {
+	base := DefaultChurnExperimentConfig()
+	base.World.NumCustomers = 250
+	base.World.Emails = 500
+	base.World.SMS = 200
+	defer func() { linker.UseNaiveSimilarity = false }()
+	for _, w := range []int{1, 4, 8} {
+		cfg := base
+		cfg.Workers = w
+		linker.UseNaiveSimilarity = true
+		naive, err := RunChurnExperiment(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		linker.UseNaiveSimilarity = false
+		fast, err := RunChurnExperiment(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := *naive, *fast
+		if strings.Join(a.TopFeatures, ",") != strings.Join(b.TopFeatures, ",") {
+			t.Fatalf("workers=%d: top features differ:\n%v\n%v", w, a.TopFeatures, b.TopFeatures)
+		}
+		a.TopFeatures, b.TopFeatures = nil, nil
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			t.Fatalf("workers=%d: results differ between naive and cached similarity:\n%+v\n%+v", w, a, b)
+		}
+	}
+}

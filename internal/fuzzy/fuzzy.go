@@ -128,8 +128,20 @@ func Jaro(a, b string) float64 {
 	if window < 0 {
 		window = 0
 	}
-	aMatch := make([]bool, la)
-	bMatch := make([]bool, lb)
+	// Tokens are short words; stack buffers keep the per-comparison match
+	// flags allocation-free on the linking hot path.
+	var aBuf, bBuf [64]bool
+	var aMatch, bMatch []bool
+	if la > len(aBuf) {
+		aMatch = make([]bool, la)
+	} else {
+		aMatch = aBuf[:la]
+	}
+	if lb > len(bBuf) {
+		bMatch = make([]bool, lb)
+	} else {
+		bMatch = bBuf[:lb]
+	}
 	matches := 0
 	for i := 0; i < la; i++ {
 		lo := i - window
@@ -222,7 +234,14 @@ func JaccardNGram(a, b string, n int) float64 {
 // DiceNGram returns the Sørensen-Dice coefficient between the character
 // n-gram sets of a and b.
 func DiceNGram(a, b string, n int) float64 {
-	sa, sb := NGramSet(a, n), NGramSet(b, n)
+	return DiceNGramSets(NGramSet(a, n), NGramSet(b, n))
+}
+
+// DiceNGramSets is DiceNGram over pre-extracted n-gram sets — the form
+// the linking engine uses against warehouse-cached value features, so a
+// stored attribute's grams are computed once at index time instead of
+// once per comparison.
+func DiceNGramSets(sa, sb map[string]struct{}) float64 {
 	if len(sa) == 0 && len(sb) == 0 {
 		return 1
 	}
@@ -245,8 +264,12 @@ func DiceNGram(a, b string, n int) float64 {
 // subsequence of digits relative to the reference length. Recognizing 6
 // of 10 digits correctly (the paper's example) yields 0.6.
 func DigitSimilarity(observed, reference string) float64 {
-	od := digitsOf(observed)
-	rd := digitsOf(reference)
+	return DigitSimilarityDigits(digitsOf(observed), digitsOf(reference))
+}
+
+// DigitSimilarityDigits is DigitSimilarity over pre-extracted digit
+// strings (see DigitString), for callers that cache the reference side.
+func DigitSimilarityDigits(od, rd string) float64 {
 	if len(rd) == 0 {
 		if len(od) == 0 {
 			return 1
@@ -256,6 +279,10 @@ func DigitSimilarity(observed, reference string) float64 {
 	l := lcsLen(od, rd)
 	return float64(l) / float64(len(rd))
 }
+
+// DigitString returns the digit content of s, in order — the cacheable
+// input half of DigitSimilarityDigits.
+func DigitString(s string) string { return digitsOf(s) }
 
 func digitsOf(s string) string {
 	var b strings.Builder
@@ -269,8 +296,17 @@ func digitsOf(s string) string {
 
 func lcsLen(a, b string) int {
 	la, lb := len(a), len(b)
-	prev := make([]int, lb+1)
-	curr := make([]int, lb+1)
+	// Digit strings (phone/card numbers) are short; stack rows keep the
+	// DP allocation-free on the linking hot path.
+	var pBuf, cBuf [64]int
+	var prev, curr []int
+	if lb+1 > len(pBuf) {
+		prev = make([]int, lb+1)
+		curr = make([]int, lb+1)
+	} else {
+		prev = pBuf[:lb+1]
+		curr = cBuf[:lb+1]
+	}
 	for i := 1; i <= la; i++ {
 		for j := 1; j <= lb; j++ {
 			if a[i-1] == b[j-1] {
@@ -334,12 +370,26 @@ func NumericProximity(a, b, tol float64) float64 {
 // token-set alignment. This is the right shape for ASR output, where a
 // call usually surfaces one fragment of a multi-word database value.
 func TokenSetSimilarityBest(token, value string) float64 {
+	return TokenSetSimilarityBestWords(token, strings.Fields(strings.ToLower(value)))
+}
+
+// TokenSetSimilarityBestWords is TokenSetSimilarityBest against a value
+// whose lowercase words are already split — the warehouse caches them per
+// stored attribute so the split happens once at index time rather than
+// once per comparison.
+func TokenSetSimilarityBestWords(token string, valueWords []string) float64 {
 	token = strings.ToLower(strings.TrimSpace(token))
 	if strings.ContainsRune(token, ' ') {
-		return TokenSetSimilarity(token, value)
+		return TokenSetSimilarityFields(strings.Fields(token), valueWords)
 	}
+	return BestWordSimilarity(token, valueWords)
+}
+
+// BestWordSimilarity returns the best Jaro-Winkler score of a single
+// (lowercase) token against any of the words.
+func BestWordSimilarity(token string, words []string) float64 {
 	best := 0.0
-	for _, w := range strings.Fields(strings.ToLower(value)) {
+	for _, w := range words {
 		if s := JaroWinkler(token, w); s > best {
 			best = s
 		}
@@ -351,8 +401,12 @@ func TokenSetSimilarityBest(token, value string) float64 {
 // their tokens with JaroWinkler and averaging over the larger token
 // count. It tolerates word reordering ("john p smith" vs "smith, john").
 func TokenSetSimilarity(a, b string) float64 {
-	ta := strings.Fields(strings.ToLower(a))
-	tb := strings.Fields(strings.ToLower(b))
+	return TokenSetSimilarityFields(strings.Fields(strings.ToLower(a)), strings.Fields(strings.ToLower(b)))
+}
+
+// TokenSetSimilarityFields is TokenSetSimilarity over pre-split lowercase
+// word slices. It never mutates its arguments.
+func TokenSetSimilarityFields(ta, tb []string) float64 {
 	if len(ta) == 0 && len(tb) == 0 {
 		return 1
 	}

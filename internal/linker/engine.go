@@ -30,6 +30,11 @@ type Engine struct {
 	// simFloor discards candidate matches below this similarity so junk
 	// tokens do not accumulate score.
 	simFloor float64
+	// attrOrder/attrIndex give every configured attribute a dense
+	// engine-wide index, used by the per-call similarity memo (see
+	// hotpath.go) to key cached scores without hashing Attribute structs.
+	attrOrder []Attribute
+	attrIndex map[Attribute]int
 }
 
 // Config declares the attribute routing for an engine.
@@ -46,10 +51,11 @@ type Config struct {
 // engine with uniform attribute weights.
 func NewEngine(db *warehouse.DB, cfg Config) (*Engine, error) {
 	e := &Engine{
-		db:       db,
-		targets:  make(map[TokenType][]Attribute),
-		weights:  make(map[Attribute]float64),
-		simFloor: cfg.SimFloor,
+		db:        db,
+		targets:   make(map[TokenType][]Attribute),
+		weights:   make(map[Attribute]float64),
+		simFloor:  cfg.SimFloor,
+		attrIndex: make(map[Attribute]int),
 	}
 	if e.simFloor <= 0 {
 		e.simFloor = 0.55
@@ -78,6 +84,8 @@ func NewEngine(db *warehouse.DB, cfg Config) (*Engine, error) {
 			if !seen[at] {
 				seen[at] = true
 				e.weights[at] = 1 / float64(perTable[at.Table])
+				e.attrIndex[at] = len(e.attrOrder)
+				e.attrOrder = append(e.attrOrder, at)
 			}
 		}
 	}
@@ -174,26 +182,11 @@ type Match struct {
 }
 
 // scoreEntity computes the full Eqn-3 score of an entity for the tokens
-// (random access in Threshold-Algorithm terms).
+// through a one-shot link context (tests and single-scoring callers; the
+// link entry points thread a shared context instead).
 func (e *Engine) scoreEntity(tokens []Token, table string, row warehouse.RowID) float64 {
-	tab := e.db.MustTable(table)
-	schema := tab.Schema()
-	total := 0.0
-	for _, tok := range tokens {
-		for _, at := range e.targets[tok.Type] {
-			if at.Table != table {
-				continue
-			}
-			ci := schemaCol(schema, at.Column)
-			kind := schema.Columns[ci].Match
-			sim := similarity(kind, tok.Text, tab.GetString(row, at.Column))
-			if sim < e.floorFor(kind) {
-				continue
-			}
-			total += e.weights[at] * sim
-		}
-	}
-	return total
+	ctx := e.newLinkCtx()
+	return ctx.scoreEntity(tokens, ctx.resolveFeats(tokens), ctx.route(table), row)
 }
 
 // tokenList is one token's ranked candidate list within a table.
@@ -208,25 +201,24 @@ type listEntry struct {
 
 // buildLists produces per-token ranked lists for a table via the fuzzy
 // indexes ("performing fuzzy match on each extracted token ... results
-// in a ranked list of possible entities").
-func (e *Engine) buildLists(tokens []Token, table string) []tokenList {
-	tab := e.db.MustTable(table)
-	schema := tab.Schema()
-	var lists []tokenList
-	for _, tok := range tokens {
+// in a ranked list of possible entities"). Lists are aligned with
+// tokens — a token with no surviving candidates gets an empty list,
+// which the TA merge treats as immediately exhausted — so callers like
+// LinkIndividualBest can slice per token without rebuilding.
+func (ctx *linkCtx) buildLists(tokens []Token, feats []*tokenFeats, route map[TokenType][]ctxAttr, table string) []tokenList {
+	lists := make([]tokenList, len(tokens))
+	for i := range tokens {
 		best := map[warehouse.RowID]float64{}
-		for _, at := range e.targets[tok.Type] {
-			if at.Table != table {
-				continue
-			}
-			ci := schemaCol(schema, at.Column)
-			kind := schema.Columns[ci].Match
-			for _, row := range tab.Candidates(at.Column, tok.Text) {
-				sim := similarity(kind, tok.Text, tab.GetString(row, at.Column))
-				if sim < e.floorFor(kind) {
+		cas := route[tokens[i].Type]
+		for j := range cas {
+			ca := &cas[j]
+			ctx.buf = ca.tab.CandidatesAppend(ctx.buf, ca.col, tokens[i].Text)
+			for _, row := range ctx.buf {
+				sim := ctx.sim(feats[i], ca, row)
+				if sim < ca.floor {
 					continue
 				}
-				w := e.weights[at] * sim
+				w := ca.weight * sim
 				if w > best[row] {
 					best[row] = w
 				}
@@ -245,7 +237,7 @@ func (e *Engine) buildLists(tokens []Token, table string) []tokenList {
 			}
 			return tl.entries[i].row < tl.entries[j].row
 		})
-		lists = append(lists, tl)
+		lists[i] = tl
 	}
 	return lists
 }
@@ -255,25 +247,13 @@ func (e *Engine) buildLists(tokens []Token, table string) []tokenList {
 // newly seen entity compute its exact aggregate score by random access;
 // stop when the k-th best score reaches the threshold τ = Σ_i (current
 // list frontier scores), which bounds every unseen entity.
-func (e *Engine) thresholdMerge(tokens []Token, table string, lists []tokenList, k int) []Match {
+func (ctx *linkCtx) thresholdMerge(tokens []Token, feats []*tokenFeats, route map[TokenType][]ctxAttr, table string, lists []tokenList, k int) []Match {
 	if len(lists) == 0 {
 		return nil
 	}
 	pos := make([]int, len(lists))
 	seen := map[warehouse.RowID]bool{}
-	var top []Match
-	pushTop := func(m Match) {
-		top = append(top, m)
-		sort.Slice(top, func(i, j int) bool {
-			if top[i].Score != top[j].Score {
-				return top[i].Score > top[j].Score
-			}
-			return top[i].Row < top[j].Row
-		})
-		if len(top) > k {
-			top = top[:k]
-		}
-	}
+	top := topK{k: k}
 	for {
 		advanced := false
 		for li := range lists {
@@ -285,7 +265,7 @@ func (e *Engine) thresholdMerge(tokens []Token, table string, lists []tokenList,
 			advanced = true
 			if !seen[entry.row] {
 				seen[entry.row] = true
-				pushTop(Match{Table: table, Row: entry.row, Score: e.scoreEntity(tokens, table, entry.row)})
+				top.push(Match{Table: table, Row: entry.row, Score: ctx.scoreEntity(tokens, feats, route, entry.row)})
 			}
 		}
 		if !advanced {
@@ -303,11 +283,18 @@ func (e *Engine) thresholdMerge(tokens []Token, table string, lists []tokenList,
 		if exhausted {
 			break
 		}
-		if len(top) >= k && top[k-1].Score >= tau {
+		if top.full() && top.kth().Score >= tau {
 			break
 		}
 	}
-	return top
+	return top.sorted()
+}
+
+// linkTable runs build + merge for one table within a shared context.
+func (ctx *linkCtx) linkTable(tokens []Token, feats []*tokenFeats, table string, k int) []Match {
+	route := ctx.route(table)
+	lists := ctx.buildLists(tokens, feats, route, table)
+	return ctx.thresholdMerge(tokens, feats, route, table, lists, k)
 }
 
 // LinkTable solves the single-type entity identification problem:
@@ -316,8 +303,8 @@ func (e *Engine) LinkTable(tokens []Token, table string, k int) []Match {
 	if k <= 0 {
 		k = 1
 	}
-	lists := e.buildLists(tokens, table)
-	return e.thresholdMerge(tokens, table, lists, k)
+	ctx := e.newLinkCtx()
+	return ctx.linkTable(tokens, ctx.resolveFeats(tokens), table, k)
 }
 
 // Link solves the multi-type problem: top-k (entity, type) pairs across
@@ -327,9 +314,11 @@ func (e *Engine) Link(tokens []Token, k int) []Match {
 	if k <= 0 {
 		k = 1
 	}
+	ctx := e.newLinkCtx()
+	feats := ctx.resolveFeats(tokens)
 	var all []Match
 	for _, table := range e.Tables() {
-		all = append(all, e.LinkTable(tokens, table, k)...)
+		all = append(all, ctx.linkTable(tokens, feats, table, k)...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].Score != all[j].Score {
@@ -353,11 +342,14 @@ func (e *Engine) LinkFullScan(tokens []Token, k int) []Match {
 	if k <= 0 {
 		k = 1
 	}
+	ctx := e.newLinkCtx()
+	feats := ctx.resolveFeats(tokens)
 	var all []Match
 	for _, table := range e.Tables() {
+		route := ctx.route(table)
 		tab := e.db.MustTable(table)
 		for row := 0; row < tab.Len(); row++ {
-			s := e.scoreEntity(tokens, table, warehouse.RowID(row))
+			s := ctx.scoreEntity(tokens, feats, route, warehouse.RowID(row))
 			if s > 0 {
 				all = append(all, Match{Table: table, Row: warehouse.RowID(row), Score: s})
 			}
@@ -383,10 +375,17 @@ func (e *Engine) LinkFullScan(tokens []Token, k int) []Match {
 // individual entities we take all the partially recognized entities
 // together"): each token votes for its single best entity and the
 // entity with the most votes wins.
+// Candidate lists are built once and sliced per token — the old
+// implementation rebuilt every list from scratch per token, turning the
+// vote into a quadratic pass.
 func (e *Engine) LinkIndividualBest(tokens []Token, table string) (Match, bool) {
+	ctx := e.newLinkCtx()
+	feats := ctx.resolveFeats(tokens)
+	route := ctx.route(table)
+	lists := ctx.buildLists(tokens, feats, route, table)
 	votes := map[warehouse.RowID]int{}
-	for _, tok := range tokens {
-		m := e.LinkTable([]Token{tok}, table, 1)
+	for i := range tokens {
+		m := ctx.thresholdMerge(tokens[i:i+1], feats[i:i+1], route, table, lists[i:i+1], 1)
 		if len(m) == 1 {
 			votes[m[0].Row]++
 		}

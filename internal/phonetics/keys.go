@@ -132,8 +132,17 @@ func PhoneDistance(a, b []Phone) float64 {
 		indel        = 0.7
 	)
 	la, lb := len(a), len(b)
-	prev := make([]float64, lb+1)
-	curr := make([]float64, lb+1)
+	// Word phone sequences are short; stack rows keep the DP
+	// allocation-free on the linking hot path.
+	var pBuf, cBuf [48]float64
+	var prev, curr []float64
+	if lb+1 > len(pBuf) {
+		prev = make([]float64, lb+1)
+		curr = make([]float64, lb+1)
+	} else {
+		prev = pBuf[:lb+1]
+		curr = cBuf[:lb+1]
+	}
 	for j := 0; j <= lb; j++ {
 		prev[j] = float64(j) * indel
 	}

@@ -1,0 +1,98 @@
+package warehouse
+
+import (
+	"strconv"
+	"strings"
+
+	"bivoc/internal/fuzzy"
+	"bivoc/internal/phonetics"
+)
+
+// MatchFeatures caches the derived forms of one stored cell that the
+// linking engine's similarity measures consume. The naive path
+// recomputes these per comparison — lowercasing the value, splitting it
+// into words, running grapheme-to-phoneme conversion, building n-gram
+// sets, extracting digits, parsing amounts — which made random access in
+// the Threshold-Algorithm merge pay full feature-extraction cost on
+// every call. Materializing them once at insert time turns each
+// comparison into pure arithmetic over cached slices and sets.
+//
+// Only the fields relevant to the column's MatchKind are populated; the
+// rest stay zero.
+type MatchFeatures struct {
+	// Lower is the lowercase value (all kinds; MatchExact compares it).
+	Lower string
+	// Words are the fields of Lower (MatchName).
+	Words []string
+	// WordPhones is the phone sequence of each word of Words (MatchName).
+	WordPhones [][]phonetics.Phone
+	// Grams is the padded character-trigram set of Lower (MatchText).
+	Grams map[string]struct{}
+	// Digits is the digit content of Lower (MatchDigits).
+	Digits string
+	// Amount is the parsed numeric value of Lower and AmountOK whether it
+	// parsed (MatchNumeric). Parsing mirrors linker.ParseAmount so cached
+	// and recomputed comparisons agree bit-for-bit.
+	Amount   float64
+	AmountOK bool
+}
+
+// matchFeatures derives the cached features of one value under a kind.
+func matchFeatures(kind MatchKind, value string) MatchFeatures {
+	f := MatchFeatures{Lower: strings.ToLower(value)}
+	switch kind {
+	case MatchName:
+		f.Words = strings.Fields(f.Lower)
+		f.WordPhones = make([][]phonetics.Phone, len(f.Words))
+		for i, w := range f.Words {
+			f.WordPhones[i] = phonetics.ToPhones(w)
+		}
+	case MatchText:
+		f.Grams = fuzzy.NGramSet(f.Lower, 3)
+	case MatchDigits:
+		f.Digits = fuzzy.DigitString(f.Lower)
+	case MatchNumeric:
+		f.Amount, f.AmountOK = parseAmount(f.Lower)
+	}
+	return f
+}
+
+// parseAmount mirrors linker.ParseAmount (which cannot be imported here
+// without a cycle): the float value of the trimmed string.
+func parseAmount(s string) (float64, bool) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Features returns the cached per-row match features of a column,
+// indexed by RowID, or nil for an unknown column. The column is
+// materialized on the first call (subsequent Inserts keep it aligned)
+// and safe for concurrent callers; the slice is shared — callers must
+// treat it as read-only.
+func (t *Table) Features(column string) []MatchFeatures {
+	t.featMu.RLock()
+	feats, ok := t.features[column]
+	t.featMu.RUnlock()
+	if ok {
+		return feats
+	}
+	ci := t.schema.col(column)
+	if ci < 0 {
+		return nil
+	}
+	t.featMu.Lock()
+	defer t.featMu.Unlock()
+	if feats, ok := t.features[column]; ok {
+		return feats // another caller built it while we waited
+	}
+	kind := t.schema.Columns[ci].Match
+	feats = make([]MatchFeatures, len(t.rows))
+	for r := range t.rows {
+		feats[r] = matchFeatures(kind, t.rows[r].vals[ci].Str)
+	}
+	t.features[column] = feats
+	return feats
+}

@@ -1,0 +1,108 @@
+package warehouse
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"bivoc/internal/fuzzy"
+	"bivoc/internal/phonetics"
+)
+
+// TestLookupDeduplicates pins the duplicate-candidates fix at the index
+// layer: a token sharing many trigram buckets with a stored value must
+// surface that row exactly once from lookupAppend, not once per shared
+// bucket key.
+func TestLookupDeduplicates(t *testing.T) {
+	ix := newIndex(MatchText)
+	ix.add("42 lake shore drive", 0) // dozens of trigrams
+	ix.add("9 hill st", 1)
+	got := ix.lookupAppend(nil, "42 lake shore drive")
+	if want := []RowID{0}; !reflect.DeepEqual(got, want) {
+		t.Errorf("lookupAppend = %v, want %v (one copy per row)", got, want)
+	}
+
+	dg := newIndex(MatchDigits)
+	dg.add("555-0142-0142", 7) // repeated digit grams
+	ids := dg.lookupAppend(nil, "555 0142 0142")
+	if want := []RowID{7}; !reflect.DeepEqual(ids, want) {
+		t.Errorf("digit lookupAppend = %v, want %v", ids, want)
+	}
+}
+
+// TestCandidatesAppendReusesBuffer checks the reusable-buffer contract:
+// the returned slice aliases the passed buffer when capacity suffices,
+// and results are sorted duplicate-free either way.
+func TestCandidatesAppendReusesBuffer(t *testing.T) {
+	tab := newCustomerTable(t)
+	for i := 0; i < 8; i++ {
+		insertCustomer(t, tab, "c"+string(rune('0'+i)), "anna maria anna", "555111222", "x", 1, "s")
+	}
+	buf := make([]RowID, 0, 64)
+	got := tab.CandidatesAppend(buf, "name", "anna")
+	if len(got) == 0 {
+		t.Fatal("no candidates")
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Error("CandidatesAppend did not reuse the provided buffer")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("not sorted-unique: %v", got)
+		}
+	}
+	// Repeated calls with the warm buffer must not regrow it.
+	buf = got
+	for i := 0; i < 20; i++ {
+		prev := &buf[:1][0]
+		buf = tab.CandidatesAppend(buf, "name", "anna")
+		if &buf[:1][0] != prev {
+			t.Fatal("warm buffer was reallocated")
+		}
+	}
+}
+
+// TestMatchFeaturesCached verifies the per-column feature cache holds the
+// same derived forms the similarity measures would recompute.
+func TestMatchFeaturesCached(t *testing.T) {
+	tab := newCustomerTable(t)
+	id := insertCustomer(t, tab, "C9", "John P Smith", "(555) 012-3456", "42 Lake Road", 123.5, "Gold")
+
+	name := tab.Features("name")[id]
+	if name.Lower != "john p smith" {
+		t.Errorf("Lower = %q", name.Lower)
+	}
+	if !reflect.DeepEqual(name.Words, strings.Fields("john p smith")) {
+		t.Errorf("Words = %v", name.Words)
+	}
+	if len(name.WordPhones) != 3 || !reflect.DeepEqual(name.WordPhones[0], phonetics.ToPhones("john")) {
+		t.Errorf("WordPhones = %v", name.WordPhones)
+	}
+
+	addr := tab.Features("address")[id]
+	if !reflect.DeepEqual(addr.Grams, fuzzy.NGramSet("42 lake road", 3)) {
+		t.Errorf("Grams mismatch: %v", addr.Grams)
+	}
+
+	phone := tab.Features("phone")[id]
+	if phone.Digits != "5550123456" {
+		t.Errorf("Digits = %q", phone.Digits)
+	}
+
+	bal := tab.Features("balance")[id]
+	if !bal.AmountOK || bal.Amount != 123.5 {
+		t.Errorf("Amount = %v ok=%v", bal.Amount, bal.AmountOK)
+	}
+
+	seg := tab.Features("segment")[id]
+	if seg.Lower != "gold" {
+		t.Errorf("segment Lower = %q", seg.Lower)
+	}
+	if tab.Features("ghost") != nil {
+		t.Error("unknown column should have no features")
+	}
+
+	if got, want := len(tab.Features("name")), tab.Len(); got != want {
+		t.Errorf("features len = %d, rows = %d", got, want)
+	}
+}

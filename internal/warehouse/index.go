@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"sort"
 	"strings"
 
 	"bivoc/internal/phonetics"
@@ -57,10 +58,25 @@ func (ix *index) add(value string, id RowID) {
 	}
 }
 
-func (ix *index) lookup(token string) []RowID {
-	var out []RowID
+// lookupAppend appends the ids of every bucket the token keys into onto
+// buf, then sorts and compacts in place so the result is duplicate-free.
+// A row whose value shares several bucket keys with the token (common for
+// trigram and digit-gram indexes) used to come back once per shared key,
+// multiplying downstream similarity calls; deduplicating here keeps the
+// multiplication out of every caller.
+func (ix *index) lookupAppend(buf []RowID, token string) []RowID {
 	for _, k := range ix.keysFor(token) {
-		out = append(out, ix.buckets[k]...)
+		buf = append(buf, ix.buckets[k]...)
+	}
+	if len(buf) < 2 {
+		return buf
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	out := buf[:1]
+	for _, id := range buf[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
 	}
 	return out
 }

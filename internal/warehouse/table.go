@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 )
 
 // ColumnType is the storage type of a column.
@@ -133,6 +134,13 @@ type Table struct {
 	pk      map[string]RowID
 	keyCol  int
 	indexes map[string]*index // column name → fuzzy/exact index
+	// features caches per-column derived match features (lowercase form,
+	// word phones, n-gram sets, ...) so the linking engine never
+	// re-derives them per comparison. Columns are materialized lazily on
+	// the first Features call — ingest-only pipelines that never link a
+	// column pay nothing for it — then kept aligned by Insert.
+	featMu   sync.RWMutex
+	features map[string][]MatchFeatures
 }
 
 // NewTable creates an empty table, building an index for every column
@@ -142,10 +150,11 @@ func NewTable(schema Schema) (*Table, error) {
 		return nil, err
 	}
 	t := &Table{
-		schema:  schema,
-		pk:      make(map[string]RowID),
-		keyCol:  -1,
-		indexes: make(map[string]*index),
+		schema:   schema,
+		pk:       make(map[string]RowID),
+		keyCol:   -1,
+		indexes:  make(map[string]*index),
+		features: make(map[string][]MatchFeatures),
 	}
 	if schema.Key != "" {
 		t.keyCol = schema.col(schema.Key)
@@ -190,6 +199,13 @@ func (t *Table) Insert(vals ...Value) (RowID, error) {
 	for i, c := range t.schema.Columns {
 		t.indexes[c.Name].add(vals[i].Str, id)
 	}
+	t.featMu.Lock()
+	for i, c := range t.schema.Columns {
+		if feats, ok := t.features[c.Name]; ok {
+			t.features[c.Name] = append(feats, matchFeatures(c.Match, vals[i].Str))
+		}
+	}
+	t.featMu.Unlock()
 	return id, nil
 }
 
@@ -290,21 +306,20 @@ func (t *Table) CrossTab(colA, colB string) map[[2]string]int {
 // highest-scoring entity can be determined efficiently, without computing
 // scores explicitly for all entities").
 func (t *Table) Candidates(column, token string) []RowID {
+	return t.CandidatesAppend(nil, column, token)
+}
+
+// CandidatesAppend is Candidates into a reusable buffer: it appends the
+// sorted, duplicate-free candidate ids to buf[:0] and returns the
+// (possibly grown) slice. The linking engine calls it once per
+// (token, attribute) pair, so reusing one buffer across the loop removes
+// a per-lookup allocation from the hot path.
+func (t *Table) CandidatesAppend(buf []RowID, column, token string) []RowID {
 	idx, ok := t.indexes[column]
 	if !ok {
-		return nil
+		return buf[:0]
 	}
-	ids := idx.lookup(token)
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := ids[:0]
-	var last RowID = -1
-	for _, id := range ids {
-		if id != last {
-			out = append(out, id)
-			last = id
-		}
-	}
-	return out
+	return idx.lookupAppend(buf[:0], token)
 }
 
 // AggStats holds the aggregate of a numeric column within one group.
