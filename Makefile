@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-pipeline bench-server bench-link bench-build examples smoke
+.PHONY: check vet build test race bench bench-pipeline bench-server bench-link bench-mine bench-build examples smoke
 
 check: vet build race examples smoke
 
@@ -42,6 +42,13 @@ bench-server:
 #   make bench-link BENCH_FLAGS='-cpuprofile=cpu.out'
 bench-link:
 	$(GO) test -bench='BenchmarkLink$$|BenchmarkLinkFullScan$$|BenchmarkDictionaryTag$$|BenchmarkRunCallAnalysis$$' -benchmem -run='^$$' $(BENCH_FLAGS) .
+
+# The analytics hot-path benchmarks recorded in BENCH_mine.json: every
+# mining operation naive vs fast, plus /v1/associate end to end. Pass
+# profiler hooks through BENCH_FLAGS, e.g.
+#   make bench-mine BENCH_FLAGS='-cpuprofile=cpu.out'
+bench-mine:
+	$(GO) test -bench='BenchmarkMine|BenchmarkServerAssociate' -benchmem -run='^$$' $(BENCH_FLAGS) .
 
 # One iteration of every benchmark, so benchmark code cannot rot.
 bench-build:

@@ -1,0 +1,137 @@
+package bivoc_test
+
+import (
+	"net/url"
+	"testing"
+
+	"bivoc/internal/mining"
+)
+
+// Analytics hot-path benchmarks: each operation runs once through the
+// naive hash-set oracle (mining.UseNaiveSets) and once through the
+// default sorted-postings path, over the same sealed call-analysis
+// index. `make bench-mine` records the pairs in BENCH_mine.json.
+
+// mineBenchIndex builds the sealed (and therefore Prepared) reference
+// index plus the dimension set the benchmarks query.
+func mineBenchIndex(b *testing.B) (*mining.Index, []mining.Dim) {
+	b.Helper()
+	ca := referenceAnalysis(b)
+	dims := []mining.Dim{
+		mining.ConceptDim("customer intention", "weak start"),
+		mining.FieldDim("outcome", "reservation"),
+		mining.CategoryDim("discount"),
+		mining.AndDim(
+			mining.ConceptDim("customer intention", "weak start"),
+			mining.FieldDim("outcome", "reservation")),
+	}
+	return ca.Index, dims
+}
+
+// runMineModes benchmarks fn under the oracle and the fast path.
+func runMineModes(b *testing.B, fn func(b *testing.B)) {
+	for _, mode := range []struct {
+		name  string
+		naive bool
+	}{{"naive", true}, {"fast", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			old := mining.UseNaiveSets
+			mining.UseNaiveSets = mode.naive
+			defer func() { mining.UseNaiveSets = old }()
+			b.ReportAllocs()
+			b.ResetTimer()
+			fn(b)
+		})
+	}
+}
+
+func BenchmarkMineCount(b *testing.B) {
+	ix, dims := mineBenchIndex(b)
+	runMineModes(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, d := range dims {
+				ix.Count(d)
+			}
+		}
+	})
+}
+
+func BenchmarkMineCountBoth(b *testing.B) {
+	ix, dims := mineBenchIndex(b)
+	runMineModes(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix.CountBoth(dims[0], dims[1])
+			ix.CountBoth(dims[2], dims[3])
+		}
+	})
+}
+
+func BenchmarkMineDrillDown(b *testing.B) {
+	ix, dims := mineBenchIndex(b)
+	runMineModes(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix.DrillDown(dims[0], dims[1])
+		}
+	})
+}
+
+func BenchmarkMineRelativeFrequency(b *testing.B) {
+	ix, dims := mineBenchIndex(b)
+	runMineModes(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix.RelativeFrequency("discount", dims[3])
+		}
+	})
+}
+
+// BenchmarkMineAssociate crosses every city with every vehicle type —
+// the widest table the core layer builds — at 1/4/8 workers. The naive
+// oracle ignores the worker knob (it exists to prove the fast path is
+// byte-identical at any fan-out, and to overlap cells when a cell's
+// postings work is large); on a single-core host the fast path's win
+// comes from hoisted column marginals, the conjunction memo, and
+// merge-based cell counts, not parallelism.
+func BenchmarkMineAssociate(b *testing.B) {
+	ca := referenceAnalysis(b)
+	var rows, cols []mining.Dim
+	for _, c := range ca.Index.ConceptsInCategory("place") {
+		rows = append(rows, mining.ConceptDim("place", c))
+	}
+	for _, v := range ca.Index.ConceptsInCategory("vehicle type") {
+		cols = append(cols, mining.ConceptDim("vehicle type", v))
+	}
+	b.Run("naive", func(b *testing.B) {
+		mining.UseNaiveSets = true
+		defer func() { mining.UseNaiveSets = false }()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ca.Index.Associate(rows, cols, 0.95)
+		}
+	})
+	for _, workers := range []int{1, 4, 8} {
+		b.Run("fast-workers="+itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ca.Index.AssociateN(rows, cols, 0.95, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkServerAssociate measures /v1/associate end to end with the
+// response cache disabled, so every request rebuilds its table through
+// the hot path. 1/4/8 clients share the iteration budget.
+func BenchmarkServerAssociate(b *testing.B) {
+	q := url.Values{
+		"row": {"strong start[customer intention]", "weak start[customer intention]"},
+		"col": {"outcome=reservation", "outcome=unbooked"},
+	}.Encode()
+	s := benchQueryServer(b, -1)
+	u := "http://" + s.Addr() + "/v1/associate?" + q
+	for _, clients := range []int{1, 4, 8} {
+		b.Run("clients="+itoa(clients), func(b *testing.B) {
+			serverQueryClients(b, u, clients)
+		})
+	}
+}

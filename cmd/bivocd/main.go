@@ -9,7 +9,7 @@
 //
 //	bivocd [-addr HOST:PORT] [-asr] [-notes] [-seed N] [-calls N]
 //	       [-days N] [-workers N] [-swap-interval D] [-swap-every N]
-//	       [-cache N] [-confidence P] [-drain-timeout D]
+//	       [-cache N] [-confidence P] [-assoc-workers N] [-drain-timeout D]
 //
 // Endpoints:
 //
@@ -53,6 +53,7 @@ func main() {
 	swapEvery := flag.Int("swap-every", 0, "publish a fresh snapshot every N ingested calls (0 = off)")
 	cacheSize := flag.Int("cache", 0, "query-result cache entries per snapshot (0 = default 256, negative = off)")
 	confidence := flag.Float64("confidence", 0.95, "default association-interval confidence")
+	assocWorkers := flag.Int("assoc-workers", 0, "workers per association-table request (0 = GOMAXPROCS)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain bound")
 	flag.Parse()
 
@@ -61,6 +62,7 @@ func main() {
 	cfg.SwapInterval = *swapInterval
 	cfg.SwapEvery = *swapEvery
 	cfg.CacheSize = *cacheSize
+	cfg.AssociateWorkers = *assocWorkers
 	cfg.DrainTimeout = *drainTimeout
 	cfg.Analysis.UseASR = *useASR
 	cfg.Analysis.UseNotes = *useNotes

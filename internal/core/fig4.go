@@ -72,6 +72,10 @@ func RunEmailCategoryAnalysis(cfg EmailAssociationConfig) (*EmailAssociation, er
 	for _, cat := range synth.EmailCategories() {
 		cols = append(cols, mining.FieldDim("category", cat))
 	}
+	// The index is fully built; prepare it so the association table (and
+	// any follow-on drill-downs over the returned Index) hit the sealed
+	// query caches.
+	ix.Prepare()
 	tbl := ix.Associate(rows, cols, cfg.Confidence)
 	return &EmailAssociation{Index: ix, Table: tbl}, nil
 }

@@ -23,6 +23,10 @@ type ServeConfig struct {
 	SwapEvery    int
 	// CacheSize bounds the per-snapshot query-result cache.
 	CacheSize int
+	// AssociateWorkers fans each /v1/associate cell grid across this
+	// many workers (0 = GOMAXPROCS); tables are byte-identical at any
+	// worker count.
+	AssociateWorkers int
 	// DrainTimeout bounds the graceful drain on shutdown.
 	DrainTimeout time.Duration
 }
@@ -67,11 +71,12 @@ func NewServeServer(cfg ServeConfig) (*server.Server, error) {
 		Addr:          cfg.Addr,
 		Source:        source,
 		PipelineStats: p.Stats,
-		SwapInterval:  cfg.SwapInterval,
-		SwapEvery:     cfg.SwapEvery,
-		CacheSize:     cfg.CacheSize,
-		Confidence:    cfg.Analysis.Confidence,
-		DrainTimeout:  cfg.DrainTimeout,
+		SwapInterval:     cfg.SwapInterval,
+		SwapEvery:        cfg.SwapEvery,
+		CacheSize:        cfg.CacheSize,
+		Confidence:       cfg.Analysis.Confidence,
+		AssociateWorkers: cfg.AssociateWorkers,
+		DrainTimeout:     cfg.DrainTimeout,
 	})
 }
 

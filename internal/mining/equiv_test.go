@@ -1,0 +1,226 @@
+package mining
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bivoc/internal/annotate"
+)
+
+// The naive-vs-fast equivalence suite: the hash-set implementations in
+// naive.go are the oracle, and every analytics entry point must return
+// byte-identical results from the sorted-postings fast path — on raw
+// indexes, on Prepared indexes (first call populates the caches, repeat
+// calls hit them), and at any Associate worker count.
+
+// withNaive runs fn with the naive oracle implementations selected.
+func withNaive(fn func()) {
+	old := UseNaiveSets
+	UseNaiveSets = true
+	defer func() { UseNaiveSets = old }()
+	fn()
+}
+
+// equivWorld is one randomly generated document collection plus the
+// dimension battery exercised against it.
+type equivWorld struct {
+	ix     *Index
+	dims   []Dim    // leaf + conjunction dimensions, incl. empty-result ones
+	cats   []string // categories, incl. one absent from the index
+	fields []string // field names, incl. one absent from the index
+}
+
+// newEquivWorld builds a random index: a few categories with overlapping
+// concept vocabularies, a couple of structured fields, and a spread of
+// time buckets, so postings lists range from empty through dense.
+func newEquivWorld(rng *rand.Rand, ndocs int) *equivWorld {
+	cats := []string{"issue", "brand", "sentiment"}
+	canon := map[string][]string{
+		"issue":     {"billing", "outage", "upgrade", "cancel", "roaming"},
+		"brand":     {"acme", "globex", "initech"},
+		"sentiment": {"positive", "negative"},
+	}
+	fieldVals := map[string][]string{
+		"outcome": {"reservation", "walkaway", "callback"},
+		"agent":   {"A1", "A2", "A3", "A4"},
+	}
+	ix := NewIndex()
+	for i := 0; i < ndocs; i++ {
+		var concepts []annotate.Concept
+		for _, cat := range cats {
+			for _, cn := range canon[cat] {
+				if rng.Intn(4) == 0 {
+					concepts = append(concepts, annotate.Concept{Category: cat, Canonical: cn})
+				}
+			}
+		}
+		// Repeat a concept sometimes: Add must still index it once.
+		if len(concepts) > 0 && rng.Intn(3) == 0 {
+			concepts = append(concepts, concepts[rng.Intn(len(concepts))])
+		}
+		fields := map[string]string{}
+		for f, vals := range fieldVals {
+			if rng.Intn(5) != 0 {
+				fields[f] = vals[rng.Intn(len(vals))]
+			}
+		}
+		ix.Add(Document{
+			ID:       fmt.Sprintf("doc-%04d", i),
+			Concepts: concepts,
+			Fields:   fields,
+			Time:     rng.Intn(6),
+		})
+	}
+	dims := []Dim{
+		ConceptDim("issue", "billing"),
+		ConceptDim("issue", "outage"),
+		ConceptDim("brand", "acme"),
+		ConceptDim("sentiment", "negative"),
+		ConceptDim("issue", "no-such-concept"), // empty postings
+		CategoryDim("issue"),
+		CategoryDim("brand"),
+		CategoryDim("missing-category"), // empty postings
+		FieldDim("outcome", "reservation"),
+		FieldDim("agent", "A2"),
+		FieldDim("outcome", "no-such-value"), // empty postings
+		AndDim(ConceptDim("issue", "billing"), FieldDim("outcome", "reservation")),
+		AndDim(CategoryDim("brand"), ConceptDim("sentiment", "negative"), FieldDim("agent", "A1")),
+		// Duplicate leaf: canonicalizes to the same conjunction cache key.
+		AndDim(ConceptDim("issue", "cancel"), ConceptDim("issue", "cancel")),
+		// Nested conjunction: flattening must agree with the naive recursion.
+		AndDim(ConceptDim("issue", "upgrade"),
+			AndDim(FieldDim("agent", "A3"), CategoryDim("sentiment"))),
+		// Conjunction with an empty leaf short-circuits to no documents.
+		AndDim(CategoryDim("issue"), ConceptDim("brand", "no-such-brand")),
+	}
+	return &equivWorld{
+		ix:     ix,
+		dims:   dims,
+		cats:   append(append([]string(nil), cats...), "missing-category"),
+		fields: []string{"outcome", "agent", "missing-field"},
+	}
+}
+
+// checkEquiv pins every analytics entry point: the fast-path result must
+// be deeply (bit-for-bit on floats) equal to the naive oracle's.
+func checkEquiv(t *testing.T, w *equivWorld) {
+	t.Helper()
+	ix := w.ix
+	for _, d := range w.dims {
+		var want int
+		withNaive(func() { want = ix.Count(d) })
+		if got := ix.Count(d); got != want {
+			t.Fatalf("Count(%s) = %d, naive %d", d.Label(), got, want)
+		}
+		var wantTrend []TrendPoint
+		withNaive(func() { wantTrend = ix.Trend(d) })
+		if got := ix.Trend(d); !reflect.DeepEqual(got, wantTrend) {
+			t.Fatalf("Trend(%s) = %v, naive %v", d.Label(), got, wantTrend)
+		}
+	}
+	// Pairs: every dimension against a rotating partner keeps the suite
+	// quadratic-free while still covering empty/leaf/conjunction mixes.
+	for i, a := range w.dims {
+		b := w.dims[(i*7+3)%len(w.dims)]
+		var wantN int
+		withNaive(func() { wantN = ix.CountBoth(a, b) })
+		if got := ix.CountBoth(a, b); got != wantN {
+			t.Fatalf("CountBoth(%s, %s) = %d, naive %d", a.Label(), b.Label(), got, wantN)
+		}
+		var wantDocs []Document
+		withNaive(func() { wantDocs = ix.DrillDown(a, b) })
+		if got := ix.DrillDown(a, b); !reflect.DeepEqual(got, wantDocs) {
+			t.Fatalf("DrillDown(%s, %s) diverges from naive", a.Label(), b.Label())
+		}
+	}
+	for _, cat := range w.cats {
+		var wantC []string
+		withNaive(func() { wantC = ix.ConceptsInCategory(cat) })
+		if got := ix.ConceptsInCategory(cat); !reflect.DeepEqual(got, wantC) {
+			t.Fatalf("ConceptsInCategory(%q) = %#v, naive %#v", cat, got, wantC)
+		}
+		for _, d := range w.dims {
+			var wantR []Relevance
+			withNaive(func() { wantR = ix.RelativeFrequency(cat, d) })
+			if got := ix.RelativeFrequency(cat, d); !reflect.DeepEqual(got, wantR) {
+				t.Fatalf("RelativeFrequency(%q, %s) diverges from naive:\n got %#v\nwant %#v",
+					cat, d.Label(), got, wantR)
+			}
+		}
+	}
+	for _, f := range w.fields {
+		var wantV []string
+		withNaive(func() { wantV = ix.FieldValues(f) })
+		if got := ix.FieldValues(f); !reflect.DeepEqual(got, wantV) {
+			t.Fatalf("FieldValues(%q) = %#v, naive %#v", f, got, wantV)
+		}
+	}
+	rows := []Dim{w.dims[0], w.dims[2], w.dims[4], w.dims[11]}
+	cols := []Dim{w.dims[8], w.dims[9], w.dims[10]}
+	for _, conf := range []float64{0, 0.90, 0.95, 0.99} {
+		var want *AssocTable
+		withNaive(func() { want = ix.Associate(rows, cols, conf) })
+		for _, workers := range []int{1, 4, 8} {
+			got := ix.AssociateN(rows, cols, conf, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("AssociateN(conf=%v, workers=%d) diverges from naive:\n got %#v\nwant %#v",
+					conf, workers, got, want)
+			}
+		}
+	}
+	// Degenerate tables must also agree (and not divide by zero).
+	var wantEmpty *AssocTable
+	withNaive(func() { wantEmpty = ix.Associate(nil, cols, 0.95) })
+	if got := ix.AssociateN(nil, cols, 0.95, 8); !reflect.DeepEqual(got, wantEmpty) {
+		t.Fatalf("AssociateN with no rows diverges from naive")
+	}
+}
+
+// TestNaiveFastEquivalence is the core property suite: over random
+// worlds, the fast path must be indistinguishable from the hash-set
+// oracle, before Prepare, after Prepare (twice, so memoized conjunction
+// and Wilson caches are exercised on both the miss and the hit path).
+func TestNaiveFastEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20090))
+	for trial := 0; trial < 6; trial++ {
+		trial := trial
+		ndocs := 30 + rng.Intn(150)
+		seed := rng.Int63()
+		t.Run(fmt.Sprintf("world-%d", trial), func(t *testing.T) {
+			w := newEquivWorld(rand.New(rand.NewSource(seed)), ndocs)
+			checkEquiv(t, w) // raw index: no prepared caches
+			w.ix.Prepare()
+			w.ix.Prepare()   // Prepare is idempotent
+			checkEquiv(t, w) // prepared: cold caches
+			checkEquiv(t, w) // prepared: warm conjunction + Wilson caches
+		})
+	}
+}
+
+// TestAddInvalidatesPrepare pins that growing a Prepared index drops its
+// caches rather than serving answers over a stale snapshot.
+func TestAddInvalidatesPrepare(t *testing.T) {
+	w := newEquivWorld(rand.New(rand.NewSource(7)), 40)
+	w.ix.Prepare()
+	before := w.ix.ConceptsInCategory("issue")
+	w.ix.Add(Document{
+		ID: "late-arrival",
+		Concepts: []annotate.Concept{
+			{Category: "issue", Canonical: "zz-brand-new"},
+		},
+	})
+	after := w.ix.ConceptsInCategory("issue")
+	found := false
+	for _, c := range after {
+		if c == "zz-brand-new" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ConceptsInCategory after post-Prepare Add = %v (stale cache? before: %v)",
+			after, before)
+	}
+	checkEquiv(t, w) // un-prepared again; must still match the oracle
+}

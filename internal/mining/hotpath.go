@@ -1,0 +1,252 @@
+package mining
+
+import (
+	"sort"
+	"sync"
+)
+
+// UseNaiveSets forces every query call to run on the original hash-set
+// implementations (naive.go) instead of the sorted-postings set algebra
+// in this file. It exists as a test oracle, exactly like
+// linker.UseNaiveSimilarity: equivalence tests flip it to prove the
+// fast path is byte-identical to the original. The flag is read once
+// per query call (into the call's queryCtx), so concurrent queries each
+// see a consistent setting.
+var UseNaiveSets bool
+
+// gallopFactor is the size disparity at which a pair intersection
+// switches from the linear merge to galloping (exponential probe +
+// binary search) through the longer list. Below it the merge's
+// branch-predictable scan wins; above it skipping dominates.
+const gallopFactor = 16
+
+// queryCtx is the scratch state of one query call. The Index itself
+// stays read-only during queries (the serving layer answers from many
+// handler goroutines over one sealed index), so every mutable buffer
+// the set algebra needs lives here, pooled across calls: intersections
+// accumulate into reusable []int buffers instead of per-call maps.
+type queryCtx struct {
+	naive bool
+	free  [][]int // reusable postings buffers
+	lists [][]int // reusable leaf-list headers for k-way intersection
+}
+
+var queryCtxPool = sync.Pool{New: func() any { return new(queryCtx) }}
+
+// acquireQueryCtx returns a pooled scratch context with the oracle flag
+// sampled once for the whole call.
+func acquireQueryCtx() *queryCtx {
+	ctx := queryCtxPool.Get().(*queryCtx)
+	ctx.naive = UseNaiveSets
+	return ctx
+}
+
+func releaseQueryCtx(ctx *queryCtx) { queryCtxPool.Put(ctx) }
+
+// getBuf pops a reusable buffer (length 0) from the context.
+func (ctx *queryCtx) getBuf() []int {
+	if n := len(ctx.free); n > 0 {
+		b := ctx.free[n-1]
+		ctx.free = ctx.free[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+// putBuf returns a buffer for reuse by later resolutions in this call
+// or, via the pool, by later calls.
+func (ctx *queryCtx) putBuf(b []int) {
+	if b == nil {
+		return
+	}
+	ctx.free = append(ctx.free, b)
+}
+
+// leafPostings returns the inverted list of a non-conjunction
+// dimension. The result aliases index-internal storage: read-only (see
+// the postings contract on Index).
+func (ix *Index) leafPostings(d Dim) []int {
+	switch {
+	case d.Field != "":
+		return ix.byField[[2]string{d.Field, d.Value}]
+	case d.Canonical != "":
+		return ix.byConcept[[2]string{d.Category, d.Canonical}]
+	default:
+		return ix.byCat[d.Category]
+	}
+}
+
+// resolve returns the sorted postings of any dimension. The result is
+// read-only; owned reports whether it is a ctx scratch buffer the
+// caller must return via putBuf once done (false when it aliases an
+// index-internal list or a memoized conjunction).
+func (ix *Index) resolve(ctx *queryCtx, d Dim) (posts []int, owned bool) {
+	if len(d.And) == 0 {
+		return ix.leafPostings(d), false
+	}
+	if p := ix.prep; p != nil {
+		// Sealed index: memoize the conjunction under its canonical
+		// label, so "a ∧ b", "b ∧ a" and "a ∧ b ∧ a" share one entry.
+		key := d.CanonicalLabel()
+		if posts, ok := p.conjCached(key); ok {
+			return posts, false
+		}
+		res, resOwned := ix.intersectFast(ctx, d.And)
+		stored := append([]int(nil), res...) // never alias scratch into the memo
+		if resOwned {
+			ctx.putBuf(res)
+		}
+		p.conjStore(key, stored)
+		return stored, false
+	}
+	return ix.intersectFast(ctx, d.And)
+}
+
+// gatherLeafLists walks a conjunction tree and appends the inverted
+// list of every leaf. Flattening is sound because intersection is
+// associative: ∩(a, ∩(b, c)) = ∩(a, b, c).
+func (ix *Index) gatherLeafLists(d Dim, lists [][]int) [][]int {
+	if len(d.And) == 0 {
+		return append(lists, ix.leafPostings(d))
+	}
+	for _, c := range d.And {
+		lists = ix.gatherLeafLists(c, lists)
+	}
+	return lists
+}
+
+// intersectFast intersects the postings of a conjunction's children by
+// k-way sorted merge, smallest lists first. Ownership as in resolve.
+func (ix *Index) intersectFast(ctx *queryCtx, dims []Dim) (posts []int, owned bool) {
+	lists := ctx.lists[:0]
+	for _, d := range dims {
+		lists = ix.gatherLeafLists(d, lists)
+	}
+	ctx.lists = lists[:0] // return the header buffer regardless of exit path
+	for _, l := range lists {
+		if len(l) == 0 {
+			return nil, false
+		}
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	if len(lists) == 1 {
+		return lists[0], false
+	}
+	cur := intersectInto(ctx.getBuf(), lists[0], lists[1])
+	for _, l := range lists[2:] {
+		if len(cur) == 0 {
+			break
+		}
+		next := intersectInto(ctx.getBuf(), cur, l)
+		ctx.putBuf(cur)
+		cur = next
+	}
+	return cur, true
+}
+
+// intersectInto writes the sorted intersection of sorted lists a and b
+// into dst (reset to length 0) and returns it. Linear merge for
+// comparable sizes, galloping through the longer list when the sizes
+// are badly skewed. dst must not alias a or b.
+func intersectInto(dst, a, b []int) []int {
+	dst = dst[:0]
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return dst
+	}
+	if len(b) >= gallopFactor*len(a) {
+		j := 0
+		for _, x := range a {
+			j = gallopTo(b, j, x)
+			if j == len(b) {
+				break
+			}
+			if b[j] == x {
+				dst = append(dst, x)
+				j++
+			}
+		}
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			dst = append(dst, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return dst
+}
+
+// countIntersect returns |a ∩ b| for sorted lists without materializing
+// the intersection — the CountBoth/Associate/RelativeFrequency inner
+// loop. Same merge/gallop split as intersectInto.
+func countIntersect(a, b []int) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	n := 0
+	if len(b) >= gallopFactor*len(a) {
+		j := 0
+		for _, x := range a {
+			j = gallopTo(b, j, x)
+			if j == len(b) {
+				break
+			}
+			if b[j] == x {
+				n++
+				j++
+			}
+		}
+		return n
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			n++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// gallopTo returns the smallest k in [lo, len(b)) with b[k] >= x, or
+// len(b) if none, by exponential probing from lo followed by a binary
+// search over the bracketed window. Amortized O(log gap) per advance,
+// which is what makes skewed intersections sublinear in the long list.
+func gallopTo(b []int, lo, x int) int {
+	n := len(b)
+	if lo >= n || b[lo] >= x {
+		return lo
+	}
+	// Invariant: b[prev] < x.
+	prev, step := lo, 1
+	for {
+		next := prev + step
+		if next >= n {
+			return prev + 1 + sort.SearchInts(b[prev+1:], x)
+		}
+		if b[next] >= x {
+			return prev + 1 + sort.SearchInts(b[prev+1:next+1], x)
+		}
+		prev = next
+		step <<= 1
+	}
+}

@@ -1,0 +1,125 @@
+package mining
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// snapshotPostings deep-copies every inverted list in the index so a
+// test can later prove no query wrote through them.
+func snapshotPostings(ix *Index) map[string][]int {
+	snap := map[string][]int{}
+	for k, v := range ix.byConcept {
+		snap["concept/"+k[0]+"/"+k[1]] = append([]int(nil), v...)
+	}
+	for k, v := range ix.byCat {
+		snap["cat/"+k] = append([]int(nil), v...)
+	}
+	for k, v := range ix.byField {
+		snap["field/"+k[0]+"/"+k[1]] = append([]int(nil), v...)
+	}
+	return snap
+}
+
+// runQueryBattery drives every analytics entry point, including repeat
+// calls that hit the prepared caches, and mutates every slice a query
+// returns — if any of them aliases index internals, the comparison
+// against the pre-battery snapshot will catch it.
+func runQueryBattery(ix *Index, w *equivWorld) {
+	for range [2]int{} { // twice: cache-miss then cache-hit paths
+		for _, d := range w.dims {
+			ix.Count(d)
+			for _, pt := range ix.Trend(d) {
+				_ = pt
+			}
+		}
+		for i, a := range w.dims {
+			b := w.dims[(i+5)%len(w.dims)]
+			ix.CountBoth(a, b)
+			docs := ix.DrillDown(a, b)
+			for j := range docs {
+				docs[j].ID = "clobbered"
+			}
+		}
+		for _, cat := range w.cats {
+			names := ix.ConceptsInCategory(cat)
+			for j := range names {
+				names[j] = "clobbered"
+			}
+			rel := ix.RelativeFrequency(cat, w.dims[11])
+			for j := range rel {
+				rel[j].Concept = "clobbered"
+			}
+		}
+		for _, f := range w.fields {
+			vals := ix.FieldValues(f)
+			for j := range vals {
+				vals[j] = "clobbered"
+			}
+		}
+		tbl := ix.AssociateN(w.dims[:4], w.dims[8:11], 0.95, 4)
+		for i := range tbl.Cells {
+			for j := range tbl.Cells[i] {
+				tbl.Cells[i][j].N = -1
+			}
+		}
+	}
+}
+
+// TestQueriesNeverMutatePostings enforces the postings contract on Index:
+// internal inverted lists (and the prepared caches built over them) are
+// read-only views, so a sealed index can serve concurrent handlers
+// without locks. The fast path accumulates into scratch buffers instead
+// of writing through resolved postings; this test fails if any query
+// mutates an inverted list or hands a caller a slice that aliases one.
+func TestQueriesNeverMutatePostings(t *testing.T) {
+	for _, prepare := range []bool{false, true} {
+		w := newEquivWorld(rand.New(rand.NewSource(42)), 120)
+		if prepare {
+			w.ix.Prepare()
+		}
+		before := snapshotPostings(w.ix)
+		runQueryBattery(w.ix, w)
+		after := snapshotPostings(w.ix)
+		if !reflect.DeepEqual(before, after) {
+			for k, b := range before {
+				if !reflect.DeepEqual(b, after[k]) {
+					t.Errorf("prepare=%v: postings %q mutated by queries:\n before %v\n after  %v",
+						prepare, k, b, after[k])
+				}
+			}
+			t.Fatalf("prepare=%v: query battery mutated index postings", prepare)
+		}
+		// Results must still match the oracle after the battery mutated
+		// every returned slice — i.e. callers got copies, not cache views.
+		checkEquiv(t, w)
+	}
+}
+
+// TestConjunctionMemoStability pins that the memoized conjunction cache
+// returns stable answers: the same canonical key served twice (including
+// via differently-ordered but equivalent Dim trees) yields identical
+// results, and the cached postings are not scratch that later queries
+// recycle.
+func TestConjunctionMemoStability(t *testing.T) {
+	w := newEquivWorld(rand.New(rand.NewSource(99)), 150)
+	w.ix.Prepare()
+	a := AndDim(ConceptDim("issue", "billing"), FieldDim("outcome", "reservation"))
+	b := AndDim(FieldDim("outcome", "reservation"), ConceptDim("issue", "billing"))
+	if a.CanonicalLabel() != b.CanonicalLabel() {
+		t.Fatalf("reordered conjunctions canonicalize differently: %q vs %q",
+			a.CanonicalLabel(), b.CanonicalLabel())
+	}
+	first := w.ix.Count(a)
+	// Churn the scratch pools with unrelated queries.
+	runQueryBattery(w.ix, w)
+	if got := w.ix.Count(b); got != first {
+		t.Fatalf("memoized conjunction unstable: first Count=%d, after churn Count=%d", first, got)
+	}
+	var naive int
+	withNaive(func() { naive = w.ix.Count(a) })
+	if first != naive {
+		t.Fatalf("memoized conjunction Count=%d, naive %d", first, naive)
+	}
+}

@@ -17,8 +17,10 @@ package mining
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"bivoc/internal/annotate"
 	"bivoc/internal/stats"
@@ -87,11 +89,24 @@ func (d Dim) Label() string {
 }
 
 // Index stores documents with inverted lists per concept and field.
+//
+// Postings contract: every inverted list is kept sorted by document
+// position (Add appends monotonically increasing positions), and every
+// internal accessor that returns postings — leafPostings, resolve, the
+// conjunction memo — returns read-only views. Query code must never
+// write through them: intersections accumulate into queryCtx scratch
+// buffers or freshly allocated memo slices instead. This is what lets a
+// sealed index answer from many server handlers concurrently without a
+// lock, and it is enforced by TestQueriesNeverMutatePostings.
 type Index struct {
 	docs      []Document
 	byConcept map[[2]string][]int // {category, canonical} → doc positions
 	byCat     map[string][]int    // category → doc positions
 	byField   map[[2]string][]int // {field, value} → doc positions
+
+	// prep holds the sealed-index query caches (see Prepare); nil while
+	// the index is still being built.
+	prep *prepared
 }
 
 // NewIndex returns an empty index.
@@ -104,8 +119,11 @@ func NewIndex() *Index {
 }
 
 // Add indexes a document. Inverted lists record each document at most
-// once per key (documents often repeat a concept).
+// once per key (documents often repeat a concept). Adding to a Prepared
+// index drops its prepared caches — they describe a snapshot that no
+// longer exists.
 func (ix *Index) Add(doc Document) {
+	ix.prep = nil
 	pos := len(ix.docs)
 	ix.docs = append(ix.docs, doc)
 	seenC := map[[2]string]bool{}
@@ -132,74 +150,39 @@ func (ix *Index) Len() int { return len(ix.docs) }
 // Doc returns the i-th document.
 func (ix *Index) Doc(i int) Document { return ix.docs[i] }
 
-// postings returns the document positions matching a dimension.
-func (ix *Index) postings(d Dim) []int {
-	if len(d.And) > 0 {
-		return ix.intersect(d.And)
-	}
-	switch {
-	case d.Field != "":
-		return ix.byField[[2]string{d.Field, d.Value}]
-	case d.Canonical != "":
-		return ix.byConcept[[2]string{d.Category, d.Canonical}]
-	default:
-		return ix.byCat[d.Category]
-	}
-}
-
-// intersect returns document positions matching every dimension,
-// smallest-list-first for efficiency.
-func (ix *Index) intersect(dims []Dim) []int {
-	if len(dims) == 0 {
-		return nil
-	}
-	lists := make([][]int, len(dims))
-	for i, d := range dims {
-		lists[i] = ix.postings(d)
-	}
-	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
-	current := map[int]bool{}
-	for _, p := range lists[0] {
-		current[p] = true
-	}
-	for _, list := range lists[1:] {
-		next := map[int]bool{}
-		for _, p := range list {
-			if current[p] {
-				next[p] = true
-			}
-		}
-		current = next
-		if len(current) == 0 {
-			break
-		}
-	}
-	out := make([]int, 0, len(current))
-	for p := range current {
-		out = append(out, p)
-	}
-	sort.Ints(out)
-	return out
-}
-
 // Count returns how many documents match the dimension.
-func (ix *Index) Count(d Dim) int { return len(ix.postings(d)) }
+func (ix *Index) Count(d Dim) int {
+	ctx := acquireQueryCtx()
+	defer releaseQueryCtx(ctx)
+	if ctx.naive {
+		return len(ix.postingsNaive(d))
+	}
+	posts, owned := ix.resolve(ctx, d)
+	n := len(posts)
+	if owned {
+		ctx.putBuf(posts)
+	}
+	return n
+}
 
-// CountBoth returns how many documents match both dimensions.
+// CountBoth returns how many documents match both dimensions. The joint
+// count is computed by a sorted merge (or gallop, for skewed list
+// sizes) over the two postings — the intersection itself is never
+// materialized.
 func (ix *Index) CountBoth(a, b Dim) int {
-	pa, pb := ix.postings(a), ix.postings(b)
-	if len(pa) > len(pb) {
-		pa, pb = pb, pa
+	ctx := acquireQueryCtx()
+	defer releaseQueryCtx(ctx)
+	if ctx.naive {
+		return ix.countBothNaive(a, b)
 	}
-	set := make(map[int]bool, len(pa))
-	for _, p := range pa {
-		set[p] = true
+	pa, ownedA := ix.resolve(ctx, a)
+	pb, ownedB := ix.resolve(ctx, b)
+	n := countIntersect(pa, pb)
+	if ownedB {
+		ctx.putBuf(pb)
 	}
-	n := 0
-	for _, p := range pb {
-		if set[p] {
-			n++
-		}
+	if ownedA {
+		ctx.putBuf(pa)
 	}
 	return n
 }
@@ -208,57 +191,55 @@ func (ix *Index) CountBoth(a, b Dim) int {
 // cell-to-documents navigation of Figure 4 ("one can drill down through
 // table cells right upto individual documents").
 func (ix *Index) DrillDown(a, b Dim) []Document {
-	pa, pb := ix.postings(a), ix.postings(b)
-	set := make(map[int]bool, len(pa))
-	for _, p := range pa {
-		set[p] = true
+	ctx := acquireQueryCtx()
+	defer releaseQueryCtx(ctx)
+	if ctx.naive {
+		return ix.drillDownNaive(a, b)
 	}
+	pa, ownedA := ix.resolve(ctx, a)
+	pb, ownedB := ix.resolve(ctx, b)
+	both := intersectInto(ctx.getBuf(), pa, pb)
 	var out []Document
-	for _, p := range pb {
-		if set[p] {
-			out = append(out, ix.docs[p])
-		}
+	for _, p := range both {
+		out = append(out, ix.docs[p])
+	}
+	ctx.putBuf(both)
+	if ownedB {
+		ctx.putBuf(pb)
+	}
+	if ownedA {
+		ctx.putBuf(pa)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // ConceptsInCategory returns the distinct canonical forms of a category,
-// sorted by document frequency (descending, ties lexicographic).
+// sorted by document frequency (descending, ties lexicographic). On a
+// Prepared index this is a precomputed lookup.
 func (ix *Index) ConceptsInCategory(category string) []string {
-	type cc struct {
-		canon string
-		n     int
+	if p := ix.prep; p != nil && !UseNaiveSets {
+		names := p.catNames[category]
+		out := make([]string, len(names))
+		copy(out, names)
+		return out
 	}
-	var all []cc
-	for k, posts := range ix.byConcept {
-		if k[0] == category {
-			all = append(all, cc{k[1], len(posts)})
-		}
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].n != all[j].n {
-			return all[i].n > all[j].n
-		}
-		return all[i].canon < all[j].canon
-	})
-	out := make([]string, len(all))
-	for i, c := range all {
-		out[i] = c.canon
-	}
-	return out
+	return ix.conceptsInCategoryNaive(category)
 }
 
 // FieldValues returns the distinct values of a structured field, sorted.
+// On a Prepared index this is a precomputed lookup.
 func (ix *Index) FieldValues(field string) []string {
-	var out []string
-	for k := range ix.byField {
-		if k[0] == field {
-			out = append(out, k[1])
+	if p := ix.prep; p != nil && !UseNaiveSets {
+		vals := p.fieldVals[field]
+		if len(vals) == 0 {
+			return nil
 		}
+		out := make([]string, len(vals))
+		copy(out, vals)
+		return out
 	}
-	sort.Strings(out)
-	return out
+	return ix.fieldValuesNaive(field)
 }
 
 // Relevance is one row of a relative-frequency report.
@@ -278,35 +259,44 @@ type Relevance struct {
 // sorting phrases in a category based on the relative frequencies,
 // relevant concepts for a specific data set are revealed").
 func (ix *Index) RelativeFrequency(category string, featured Dim) []Relevance {
-	subset := ix.postings(featured)
-	subSet := make(map[int]bool, len(subset))
-	for _, p := range subset {
-		subSet[p] = true
+	ctx := acquireQueryCtx()
+	defer releaseQueryCtx(ctx)
+	if ctx.naive {
+		return ix.relativeFrequencyNaive(category, featured)
 	}
+	subset, owned := ix.resolve(ctx, featured)
 	n := len(ix.docs)
 	var out []Relevance
-	for k, posts := range ix.byConcept {
-		if k[0] != category {
-			continue
-		}
-		inSub := 0
-		for _, p := range posts {
-			if subSet[p] {
-				inSub++
-			}
-		}
+	addRow := func(canon string, posts []int) {
 		r := Relevance{
-			Concept:  k[1],
-			InSubset: inSub, SubsetSize: len(subset),
+			Concept:  canon,
+			InSubset: countIntersect(posts, subset), SubsetSize: len(subset),
 			InAll: len(posts), N: n,
 		}
 		if len(subset) > 0 && len(posts) > 0 && n > 0 {
-			pSub := float64(inSub) / float64(len(subset))
+			pSub := float64(r.InSubset) / float64(len(subset))
 			pAll := float64(len(posts)) / float64(n)
 			r.Ratio = pSub / pAll
 		}
 		out = append(out, r)
 	}
+	if p := ix.prep; p != nil {
+		for _, e := range p.catEntries[category] {
+			addRow(e.canon, e.posts)
+		}
+	} else {
+		for k, posts := range ix.byConcept {
+			if k[0] == category {
+				addRow(k[1], posts)
+			}
+		}
+	}
+	if owned {
+		ctx.putBuf(subset)
+	}
+	// Concepts are unique within a category, so (Ratio desc, Concept asc)
+	// is a total order and the report is deterministic regardless of how
+	// the rows were enumerated above.
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Ratio != out[j].Ratio {
 			return out[i].Ratio > out[j].Ratio
@@ -343,44 +333,114 @@ type AssocTable struct {
 	Confidence float64
 }
 
+// AssociateWorkers is the package default for the parallel cell grid
+// when Associate (or AssociateN with workers == 0) builds a table; 0 or
+// negative means GOMAXPROCS. Tables are byte-identical at any worker
+// count, so this is purely a throughput knob (cmd/bivocd exposes it as
+// -assoc-workers).
+var AssociateWorkers int
+
 // Associate builds the two-dimensional association table between row
 // and column dimensions at the given confidence level for the interval
-// estimate (0 < confidence < 1; 0.95 is typical).
+// estimate (0 < confidence < 1; 0.95 is typical). The cell grid is
+// fanned across AssociateWorkers workers.
 func (ix *Index) Associate(rows, cols []Dim, confidence float64) *AssocTable {
+	return ix.AssociateN(rows, cols, confidence, 0)
+}
+
+// AssociateN is Associate with an explicit worker count for the cell
+// grid (0 falls back to AssociateWorkers, then GOMAXPROCS). Every cell
+// is a pure function of hoisted, read-only marginals written to its own
+// slot, so the assembled table is byte-identical at any worker count —
+// the same guarantee the streaming pipeline makes for ingest.
+func (ix *Index) AssociateN(rows, cols []Dim, confidence float64, workers int) *AssocTable {
 	if confidence <= 0 || confidence >= 1 {
 		confidence = 0.95
 	}
+	ctx := acquireQueryCtx()
+	defer releaseQueryCtx(ctx)
+	if ctx.naive {
+		return ix.associateNaive(rows, cols, confidence)
+	}
 	n := len(ix.docs)
+	z := stats.WilsonZ(confidence)
 	tbl := &AssocTable{Rows: rows, Cols: cols, Confidence: confidence}
 	tbl.Cells = make([][]Cell, len(rows))
-	for i, rd := range rows {
+	for i := range tbl.Cells {
 		tbl.Cells[i] = make([]Cell, len(cols))
-		nver := ix.Count(rd)
-		for j, cd := range cols {
-			nhor := ix.Count(cd)
-			ncell := ix.CountBoth(rd, cd)
-			cell := Cell{
-				Row: rd, Col: cd,
-				Ncell: ncell, Nver: nver, Nhor: nhor, N: n,
-			}
-			if n > 0 && nver > 0 && nhor > 0 {
-				pCell := float64(ncell) / float64(n)
-				pVer := float64(nver) / float64(n)
-				pHor := float64(nhor) / float64(n)
-				if pVer > 0 && pHor > 0 {
-					cell.PointIndex = pCell / (pVer * pHor)
-				}
-				// Conservative (smallest) value of the index: lower bound
-				// of the cell density over upper bounds of the marginals.
-				cellIv := stats.WilsonInterval(ncell, n, confidence)
-				verIv := stats.WilsonInterval(nver, n, confidence)
-				horIv := stats.WilsonInterval(nhor, n, confidence)
-				if verIv.Hi > 0 && horIv.Hi > 0 {
-					cell.LowerIndex = cellIv.Lo / (verIv.Hi * horIv.Hi)
-				}
-			}
-			tbl.Cells[i][j] = cell
+	}
+	// Hoist every marginal out of the cell loop: postings, counts and
+	// Wilson intervals are derived once per row and once per column (the
+	// naive path recomputes each column's count and interval in every
+	// row). The interval cache on a Prepared index persists them across
+	// tables too.
+	rowPosts := ix.marginPostings(ctx, rows)
+	colPosts := ix.marginPostings(ctx, cols)
+	verIv := make([]stats.Interval, len(rows))
+	horIv := make([]stats.Interval, len(cols))
+	for i := range rows {
+		verIv[i] = ix.wilsonMarginal(len(rowPosts[i]), n, confidence, z)
+	}
+	for j := range cols {
+		horIv[j] = ix.wilsonMarginal(len(colPosts[j]), n, confidence, z)
+	}
+
+	// fill computes one cell from read-only inputs into its own slot.
+	fill := func(i, j int) {
+		rp, cp := rowPosts[i], colPosts[j]
+		ncell := countIntersect(rp, cp)
+		nver, nhor := len(rp), len(cp)
+		cell := Cell{
+			Row: rows[i], Col: cols[j],
+			Ncell: ncell, Nver: nver, Nhor: nhor, N: n,
 		}
+		if n > 0 && nver > 0 && nhor > 0 {
+			pCell := float64(ncell) / float64(n)
+			pVer := float64(nver) / float64(n)
+			pHor := float64(nhor) / float64(n)
+			if pVer > 0 && pHor > 0 {
+				cell.PointIndex = pCell / (pVer * pHor)
+			}
+			// Conservative (smallest) value of the index: lower bound
+			// of the cell density over upper bounds of the marginals.
+			cellIv := stats.WilsonIntervalZ(ncell, n, z)
+			if verIv[i].Hi > 0 && horIv[j].Hi > 0 {
+				cell.LowerIndex = cellIv.Lo / (verIv[i].Hi * horIv[j].Hi)
+			}
+		}
+		tbl.Cells[i][j] = cell
+	}
+
+	cells := len(rows) * len(cols)
+	w := workers
+	if w <= 0 {
+		w = AssociateWorkers
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > cells {
+		w = cells
+	}
+	if w <= 1 {
+		for k := 0; k < cells; k++ {
+			fill(k/len(cols), k%len(cols))
+		}
+	} else {
+		var wg sync.WaitGroup
+		for wkr := 0; wkr < w; wkr++ {
+			wg.Add(1)
+			go func(wkr int) {
+				defer wg.Done()
+				for k := wkr; k < cells; k += w {
+					fill(k/len(cols), k%len(cols))
+				}
+			}(wkr)
+		}
+		wg.Wait()
+	}
+
+	for i := range rows {
 		rowTotal := 0
 		for j := range cols {
 			rowTotal += tbl.Cells[i][j].Ncell
@@ -392,6 +452,24 @@ func (ix *Index) Associate(rows, cols []Dim, confidence float64) *AssocTable {
 		}
 	}
 	return tbl
+}
+
+// marginPostings materializes the postings of every dimension for the
+// lifetime of one Associate call: leaf and memoized lists are shared
+// read-only views; scratch-computed conjunctions are copied out so the
+// scratch can be reused.
+func (ix *Index) marginPostings(ctx *queryCtx, dims []Dim) [][]int {
+	out := make([][]int, len(dims))
+	for i, d := range dims {
+		posts, owned := ix.resolve(ctx, d)
+		if owned {
+			out[i] = append([]int(nil), posts...)
+			ctx.putBuf(posts)
+		} else {
+			out[i] = posts
+		}
+	}
+	return out
 }
 
 // StrongestCells returns all cells ordered by descending LowerIndex —
@@ -445,9 +523,18 @@ type TrendPoint struct {
 // occurrences of each concept in a certain period may allow us to
 // analyze trends in the topics".
 func (ix *Index) Trend(d Dim) []TrendPoint {
+	ctx := acquireQueryCtx()
+	defer releaseQueryCtx(ctx)
+	if ctx.naive {
+		return ix.trendNaive(d)
+	}
+	posts, owned := ix.resolve(ctx, d)
 	counts := map[int]int{}
-	for _, p := range ix.postings(d) {
+	for _, p := range posts {
 		counts[ix.docs[p].Time]++
+	}
+	if owned {
+		ctx.putBuf(posts)
 	}
 	out := make([]TrendPoint, 0, len(counts))
 	for t, c := range counts {

@@ -1,0 +1,241 @@
+package mining
+
+import (
+	"sort"
+
+	"bivoc/internal/stats"
+)
+
+// This file preserves the original hash-set implementations of the
+// query engine, verbatim, behind the UseNaiveSets oracle flag (the same
+// shape as linker.UseNaiveSimilarity): equivalence tests flip the flag
+// to prove the sorted-postings fast path in hotpath.go returns
+// byte-identical results. Nothing here is reached unless UseNaiveSets
+// is set when a query call acquires its queryCtx.
+
+// postingsNaive returns the document positions matching a dimension.
+func (ix *Index) postingsNaive(d Dim) []int {
+	if len(d.And) > 0 {
+		return ix.intersectNaive(d.And)
+	}
+	switch {
+	case d.Field != "":
+		return ix.byField[[2]string{d.Field, d.Value}]
+	case d.Canonical != "":
+		return ix.byConcept[[2]string{d.Category, d.Canonical}]
+	default:
+		return ix.byCat[d.Category]
+	}
+}
+
+// intersectNaive returns document positions matching every dimension,
+// smallest-list-first for efficiency.
+func (ix *Index) intersectNaive(dims []Dim) []int {
+	if len(dims) == 0 {
+		return nil
+	}
+	lists := make([][]int, len(dims))
+	for i, d := range dims {
+		lists[i] = ix.postingsNaive(d)
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	current := map[int]bool{}
+	for _, p := range lists[0] {
+		current[p] = true
+	}
+	for _, list := range lists[1:] {
+		next := map[int]bool{}
+		for _, p := range list {
+			if current[p] {
+				next[p] = true
+			}
+		}
+		current = next
+		if len(current) == 0 {
+			break
+		}
+	}
+	out := make([]int, 0, len(current))
+	for p := range current {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// countBothNaive counts documents matching both dimensions through a
+// materialized hash set.
+func (ix *Index) countBothNaive(a, b Dim) int {
+	pa, pb := ix.postingsNaive(a), ix.postingsNaive(b)
+	if len(pa) > len(pb) {
+		pa, pb = pb, pa
+	}
+	set := make(map[int]bool, len(pa))
+	for _, p := range pa {
+		set[p] = true
+	}
+	n := 0
+	for _, p := range pb {
+		if set[p] {
+			n++
+		}
+	}
+	return n
+}
+
+// drillDownNaive returns the documents matching both dimensions via a
+// hash-set membership scan.
+func (ix *Index) drillDownNaive(a, b Dim) []Document {
+	pa, pb := ix.postingsNaive(a), ix.postingsNaive(b)
+	set := make(map[int]bool, len(pa))
+	for _, p := range pa {
+		set[p] = true
+	}
+	var out []Document
+	for _, p := range pb {
+		if set[p] {
+			out = append(out, ix.docs[p])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// conceptsInCategoryNaive scans the concept map for the category.
+func (ix *Index) conceptsInCategoryNaive(category string) []string {
+	type cc struct {
+		canon string
+		n     int
+	}
+	var all []cc
+	for k, posts := range ix.byConcept {
+		if k[0] == category {
+			all = append(all, cc{k[1], len(posts)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].canon < all[j].canon
+	})
+	out := make([]string, len(all))
+	for i, c := range all {
+		out[i] = c.canon
+	}
+	return out
+}
+
+// fieldValuesNaive scans the field map for the field's values.
+func (ix *Index) fieldValuesNaive(field string) []string {
+	var out []string
+	for k := range ix.byField {
+		if k[0] == field {
+			out = append(out, k[1])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// relativeFrequencyNaive is the hash-set relevancy analysis.
+func (ix *Index) relativeFrequencyNaive(category string, featured Dim) []Relevance {
+	subset := ix.postingsNaive(featured)
+	subSet := make(map[int]bool, len(subset))
+	for _, p := range subset {
+		subSet[p] = true
+	}
+	n := len(ix.docs)
+	var out []Relevance
+	for k, posts := range ix.byConcept {
+		if k[0] != category {
+			continue
+		}
+		inSub := 0
+		for _, p := range posts {
+			if subSet[p] {
+				inSub++
+			}
+		}
+		r := Relevance{
+			Concept:  k[1],
+			InSubset: inSub, SubsetSize: len(subset),
+			InAll: len(posts), N: n,
+		}
+		if len(subset) > 0 && len(posts) > 0 && n > 0 {
+			pSub := float64(inSub) / float64(len(subset))
+			pAll := float64(len(posts)) / float64(n)
+			r.Ratio = pSub / pAll
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ratio != out[j].Ratio {
+			return out[i].Ratio > out[j].Ratio
+		}
+		return out[i].Concept < out[j].Concept
+	})
+	return out
+}
+
+// associateNaive builds the association table sequentially, recomputing
+// every column marginal (and its Wilson interval) once per row — the
+// original shape the hoisted fast path is proven against.
+func (ix *Index) associateNaive(rows, cols []Dim, confidence float64) *AssocTable {
+	n := len(ix.docs)
+	tbl := &AssocTable{Rows: rows, Cols: cols, Confidence: confidence}
+	tbl.Cells = make([][]Cell, len(rows))
+	for i, rd := range rows {
+		tbl.Cells[i] = make([]Cell, len(cols))
+		nver := len(ix.postingsNaive(rd))
+		for j, cd := range cols {
+			nhor := len(ix.postingsNaive(cd))
+			ncell := ix.countBothNaive(rd, cd)
+			cell := Cell{
+				Row: rd, Col: cd,
+				Ncell: ncell, Nver: nver, Nhor: nhor, N: n,
+			}
+			if n > 0 && nver > 0 && nhor > 0 {
+				pCell := float64(ncell) / float64(n)
+				pVer := float64(nver) / float64(n)
+				pHor := float64(nhor) / float64(n)
+				if pVer > 0 && pHor > 0 {
+					cell.PointIndex = pCell / (pVer * pHor)
+				}
+				// Conservative (smallest) value of the index: lower bound
+				// of the cell density over upper bounds of the marginals.
+				cellIv := stats.WilsonInterval(ncell, n, confidence)
+				verIv := stats.WilsonInterval(nver, n, confidence)
+				horIv := stats.WilsonInterval(nhor, n, confidence)
+				if verIv.Hi > 0 && horIv.Hi > 0 {
+					cell.LowerIndex = cellIv.Lo / (verIv.Hi * horIv.Hi)
+				}
+			}
+			tbl.Cells[i][j] = cell
+		}
+		rowTotal := 0
+		for j := range cols {
+			rowTotal += tbl.Cells[i][j].Ncell
+		}
+		if rowTotal > 0 {
+			for j := range cols {
+				tbl.Cells[i][j].RowShare = float64(tbl.Cells[i][j].Ncell) / float64(rowTotal)
+			}
+		}
+	}
+	return tbl
+}
+
+// trendNaive buckets the naive postings by document time.
+func (ix *Index) trendNaive(d Dim) []TrendPoint {
+	counts := map[int]int{}
+	for _, p := range ix.postingsNaive(d) {
+		counts[ix.docs[p].Time]++
+	}
+	out := make([]TrendPoint, 0, len(counts))
+	for t, c := range counts {
+		out = append(out, TrendPoint{t, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}

@@ -169,6 +169,13 @@ func FuzzParseDim(f *testing.F) {
 	f.Add("a[b] ∧ c=d ∧ e")
 	f.Add("a=b[c]")
 	f.Add("")
+	// Conjunction shapes that hit the memoized-conjunction cache: the
+	// prepared index keys its memo by CanonicalLabel, so reordered and
+	// duplicated conjuncts must all canonicalize to one key.
+	f.Add("b ∧ a ∧ b")
+	f.Add("c=d ∧ a[b]")
+	f.Add("x[y] ∧ x[y]")
+	f.Add("e ∧ c=d ∧ a[b] ∧ e")
 	f.Fuzz(func(t *testing.T, label string) {
 		d, err := ParseDim(label)
 		if err != nil {
@@ -181,8 +188,16 @@ func FuzzParseDim(f *testing.F) {
 		if !reflect.DeepEqual(again, d) {
 			t.Fatalf("round-trip drift: %q → %#v → %q → %#v", label, d, d.Label(), again)
 		}
-		if _, err := ParseDim(d.CanonicalLabel()); err != nil {
+		canon, err := ParseDim(d.CanonicalLabel())
+		if err != nil {
 			t.Fatalf("canonical label %q of parseable %q does not parse: %v", d.CanonicalLabel(), label, err)
+		}
+		// The canonical label is the conjunction-memo cache key: parsing
+		// it back and re-canonicalizing must reach a fixed point, or two
+		// spellings of one query could occupy (and miss) separate entries.
+		if canon.CanonicalLabel() != d.CanonicalLabel() {
+			t.Fatalf("canonical label not a fixed point: %q → %q → %q",
+				label, d.CanonicalLabel(), canon.CanonicalLabel())
 		}
 	})
 }

@@ -1,0 +1,133 @@
+package mining
+
+import (
+	"sort"
+	"sync"
+
+	"bivoc/internal/stats"
+)
+
+// prepared carries the query structures a sealed index precomputes so
+// the serving hot path stops paying for them per request:
+//
+//   - per-category canonical concept lists with document frequencies and
+//     per-field value lists, already in report order, making
+//     ConceptsInCategory / FieldValues O(1) lookups (the /v1/concepts
+//     discovery endpoint) instead of full map scans with a sort;
+//   - memoized conjunction postings keyed by Dim.CanonicalLabel, so the
+//     drill-down conjunctions analysts re-issue ("weak start ∧
+//     outcome=reservation") intersect once per snapshot;
+//   - cached Wilson intervals for the marginal counts Associate keeps
+//     re-deriving across tables served at one confidence level.
+//
+// The precomputed lists are immutable after prepare; the two memo maps
+// are guarded by mu because sealed indexes are queried from many server
+// handlers at once.
+type prepared struct {
+	catEntries map[string][]catEntry
+	catNames   map[string][]string
+	fieldVals  map[string][]string
+
+	mu     sync.RWMutex
+	conj   map[string][]int
+	wilson map[wilsonKey]stats.Interval
+}
+
+// catEntry is one canonical concept of a category with its postings,
+// held in ConceptsInCategory order (frequency desc, ties lexicographic).
+type catEntry struct {
+	canon string
+	posts []int
+}
+
+// wilsonKey caches one marginal interval; the trial count n is the
+// index's document count, fixed per index, so it is not part of the key.
+type wilsonKey struct {
+	successes  int
+	confidence float64
+}
+
+// Prepare precomputes the sealed-index query structures above. It is
+// idempotent and is called automatically by StreamIndex.Seal; batch
+// builders that assemble an Index by hand (core.RunEmailCategoryAnalysis)
+// call it once indexing is done. Prepare must happen-before any
+// concurrent queries, and a later Add drops the prepared state (the
+// caches would be stale), returning the index to the uncached fast path.
+func (ix *Index) Prepare() {
+	if ix.prep != nil {
+		return
+	}
+	p := &prepared{
+		catEntries: make(map[string][]catEntry),
+		catNames:   make(map[string][]string),
+		fieldVals:  make(map[string][]string),
+		conj:       make(map[string][]int),
+		wilson:     make(map[wilsonKey]stats.Interval),
+	}
+	for k, posts := range ix.byConcept {
+		p.catEntries[k[0]] = append(p.catEntries[k[0]], catEntry{canon: k[1], posts: posts})
+	}
+	for cat, entries := range p.catEntries {
+		sort.Slice(entries, func(i, j int) bool {
+			if len(entries[i].posts) != len(entries[j].posts) {
+				return len(entries[i].posts) > len(entries[j].posts)
+			}
+			return entries[i].canon < entries[j].canon
+		})
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.canon
+		}
+		p.catNames[cat] = names
+	}
+	for k := range ix.byField {
+		p.fieldVals[k[0]] = append(p.fieldVals[k[0]], k[1])
+	}
+	for _, vals := range p.fieldVals {
+		sort.Strings(vals)
+	}
+	ix.prep = p
+}
+
+// conjCached returns the memoized postings of a canonicalized
+// conjunction, if already computed. The result is read-only.
+func (p *prepared) conjCached(key string) ([]int, bool) {
+	p.mu.RLock()
+	posts, ok := p.conj[key]
+	p.mu.RUnlock()
+	return posts, ok
+}
+
+// conjStore memoizes a conjunction's postings. posts must be a private
+// copy (never a scratch buffer). First store wins so concurrent misses
+// publish one canonical slice.
+func (p *prepared) conjStore(key string, posts []int) {
+	p.mu.Lock()
+	if _, ok := p.conj[key]; !ok {
+		p.conj[key] = posts
+	}
+	p.mu.Unlock()
+}
+
+// wilsonMarginal returns the Wilson interval for a marginal count,
+// served from the sealed index's cache when prepared. z must equal
+// stats.WilsonZ(confidence); results are bit-identical to
+// stats.WilsonInterval for the same arguments.
+func (ix *Index) wilsonMarginal(successes, n int, confidence, z float64) stats.Interval {
+	p := ix.prep
+	if p == nil {
+		return stats.WilsonIntervalZ(successes, n, z)
+	}
+	key := wilsonKey{successes, confidence}
+	p.mu.RLock()
+	iv, ok := p.wilson[key]
+	p.mu.RUnlock()
+	if ok {
+		return iv
+	}
+	iv = stats.WilsonIntervalZ(successes, n, z)
+	p.mu.Lock()
+	p.wilson[key] = iv
+	p.mu.Unlock()
+	return iv
+}

@@ -170,6 +170,10 @@ func (s *StreamIndex) Seal() *Index {
 	for _, d := range docs {
 		rebuilt.Add(d)
 	}
+	// A sealed index is immutable and concurrently queried, so it carries
+	// the prepared query caches: category vocabularies, conjunction
+	// memoization, Wilson marginal cache (see Index.Prepare).
+	rebuilt.Prepare()
 	s.ix = rebuilt
 	return rebuilt
 }

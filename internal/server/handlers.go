@@ -288,7 +288,7 @@ func (s *Server) handleAssociate(w http.ResponseWriter, r *http.Request) {
 		strings.Join(colLabels, "\x01"),
 		strconv.FormatFloat(confidence, 'g', -1, 64))
 	s.respond(w, key, func(sn *snapshot) (any, error) {
-		tbl := sn.ix.Associate(rows, cols, confidence)
+		tbl := sn.ix.AssociateN(rows, cols, confidence, s.cfg.AssociateWorkers)
 		cells := make([][]AssocCellJSON, len(tbl.Cells))
 		for i, row := range tbl.Cells {
 			cells[i] = make([]AssocCellJSON, len(row))

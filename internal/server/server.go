@@ -72,6 +72,10 @@ type Config struct {
 	// Confidence is the association-interval confidence used when a
 	// query does not pass its own. Default 0.95.
 	Confidence float64
+	// AssociateWorkers fans the /v1/associate cell grid across this many
+	// workers per request (0 = mining package default, which resolves to
+	// GOMAXPROCS). Tables are byte-identical at any worker count.
+	AssociateWorkers int
 	// DrainTimeout bounds the graceful drain of in-flight requests
 	// during Run's shutdown. Default 5s.
 	DrainTimeout time.Duration
@@ -168,7 +172,10 @@ func (s *Server) publish(docs []mining.Document, sealed bool) {
 	defer s.pubMu.Unlock()
 	// Rebuild through StreamIndex: AddBatch enforces ID uniqueness and
 	// Seal rebuilds in ID order, making every snapshot byte-identical to
-	// batch-indexing the same documents.
+	// batch-indexing the same documents. Seal also runs mining's
+	// Prepare step, so every published snapshot carries the sealed-index
+	// query caches (category vocabularies, conjunction memo, Wilson
+	// marginal cache) handlers then hit lock-free or read-mostly.
 	si := mining.NewStreamIndex()
 	si.AddBatch(docs)
 	s.snap.Store(&snapshot{

@@ -278,10 +278,24 @@ type Interval struct {
 // proportion with successes out of n trials at the given confidence
 // level (e.g. 0.95).
 func WilsonInterval(successes, n int, confidence float64) Interval {
+	return WilsonIntervalZ(successes, n, WilsonZ(confidence))
+}
+
+// WilsonZ returns the two-sided normal critical value the Wilson
+// interval uses at the given confidence level. Hot paths that evaluate
+// many intervals at one confidence (the association cell grid) compute
+// it once and call WilsonIntervalZ; the results are bit-identical to
+// WilsonInterval because this is the exact expression it evaluates.
+func WilsonZ(confidence float64) float64 {
+	return NormalQuantile(1 - (1-confidence)/2)
+}
+
+// WilsonIntervalZ is WilsonInterval with the critical value z already
+// computed (see WilsonZ).
+func WilsonIntervalZ(successes, n int, z float64) Interval {
 	if n <= 0 {
 		return Interval{0, 1}
 	}
-	z := NormalQuantile(1 - (1-confidence)/2)
 	nf := float64(n)
 	p := float64(successes) / nf
 	denom := 1 + z*z/nf
