@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-pipeline bench-server bench-link bench-mine bench-build examples smoke
+.PHONY: check vet build test race bench bench-pipeline bench-server bench-link bench-mine bench-store bench-build examples smoke
 
 check: vet build race examples smoke
 
@@ -18,8 +18,10 @@ build:
 test:
 	$(GO) test ./...
 
+# -timeout raised past the go test default: internal/core's full ASR
+# decode suite exceeds 10m under the race detector on small hosts.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Quick loop while developing: skips the slow ASR decodes.
 short:
@@ -49,6 +51,15 @@ bench-link:
 #   make bench-mine BENCH_FLAGS='-cpuprofile=cpu.out'
 bench-mine:
 	$(GO) test -bench='BenchmarkMine|BenchmarkServerAssociate' -benchmem -run='^$$' $(BENCH_FLAGS) .
+
+# The persistence benchmarks recorded in BENCH_store.json: seal-time
+# segment writes, cold segment load vs full pipeline rebuild (the
+# warm-restart payoff), WAL append cost per fsync cadence, and
+# disk-loaded vs in-memory query latency. Pass profiler hooks through
+# BENCH_FLAGS, e.g.
+#   make bench-store BENCH_FLAGS='-cpuprofile=cpu.out'
+bench-store:
+	$(GO) test -bench='BenchmarkStore' -benchmem -run='^$$' $(BENCH_FLAGS) .
 
 # One iteration of every benchmark, so benchmark code cannot rot.
 bench-build:

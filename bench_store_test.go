@@ -1,0 +1,176 @@
+package bivoc_test
+
+import (
+	"testing"
+
+	"bivoc/internal/mining"
+	"bivoc/internal/store"
+)
+
+// Persistence benchmarks: what a seal costs (encode + fsync + rename),
+// what a restart costs (cold segment load vs re-running the whole
+// ingest pipeline — the warm-restart payoff), what WAL durability costs
+// per document at each fsync cadence, and whether a disk-loaded index
+// answers queries as fast as the pipeline-built one. `make bench-store`
+// records the results in BENCH_store.json.
+
+// storeBenchIndex builds the sealed 2000-call reference index once per
+// benchmark process.
+func storeBenchIndex(b *testing.B) *mining.Index {
+	b.Helper()
+	return referenceAnalysis(b).Index
+}
+
+// BenchmarkStoreSegmentEncode measures pure serialization: sealed index
+// to segment bytes (string-table interning, varint postings deltas, CRC).
+func BenchmarkStoreSegmentEncode(b *testing.B) {
+	ix := storeBenchIndex(b)
+	snap := ix.Export()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(store.EncodeSegment(snap))
+	}
+	b.ReportMetric(float64(n), "segment_bytes")
+}
+
+// BenchmarkStoreSegmentWrite measures the full atomic seal-time write:
+// encode, temp file, fsync, rename, directory fsync, prune.
+func BenchmarkStoreSegmentWrite(b *testing.B) {
+	ix := storeBenchIndex(b)
+	st, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ResetTimer()
+	var stats store.Stats
+	for i := 0; i < b.N; i++ {
+		if stats, err = st.WriteSegment(ix); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(stats.SegmentBytes), "segment_bytes")
+}
+
+// BenchmarkStoreRestart is the headline warm-restart comparison: the two
+// ways a daemon can reach a query-ready sealed index over the reference
+// corpus. pipeline-rebuild re-runs the whole ingest (transcribe, link,
+// annotate, index, seal — what a restart cost before the store existed);
+// segment-load reads, decodes, validates, and Prepares the segment.
+func BenchmarkStoreRestart(b *testing.B) {
+	ix := storeBenchIndex(b)
+	st, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	stats, err := st.WriteSegment(ix)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("pipeline-rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := referenceAnalysis(b).Index; got.Len() != ix.Len() {
+				b.Fatalf("rebuild produced %d docs, want %d", got.Len(), ix.Len())
+			}
+		}
+	})
+	b.Run("segment-load", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			got, _, err := store.LoadSegment(stats.SegmentPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got.Len() != ix.Len() {
+				b.Fatalf("segment loaded %d docs, want %d", got.Len(), ix.Len())
+			}
+		}
+	})
+}
+
+// BenchmarkStoreWALAppend measures per-document WAL durability cost at
+// each fsync cadence: every document (the default — nothing acknowledged
+// is ever lost) vs amortized over 64 (a bounded re-ingest window).
+func BenchmarkStoreWALAppend(b *testing.B) {
+	ix := storeBenchIndex(b)
+	docs := make([]mining.Document, ix.Len())
+	for i := range docs {
+		docs[i] = ix.Doc(i)
+	}
+	for _, cadence := range []struct {
+		name string
+		n    int
+	}{{"sync-every-1", 1}, {"sync-every-64", 64}} {
+		b.Run(cadence.name, func(b *testing.B) {
+			st, err := store.Open(b.TempDir(), store.Options{SyncEvery: cadence.n})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.AppendWAL(docs[i%len(docs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreQueryDiskVsMemory runs the mining hot path — four-dim
+// Count plus a 2x2 Associate — against the pipeline-built index and the
+// same index after a disk round trip. The disk-loaded index is rebuilt
+// by FromSnapshot and re-Prepared, so parity here means the segment
+// format preserves everything the query layer's performance depends on
+// (sorted postings, prepared caches).
+func BenchmarkStoreQueryDiskVsMemory(b *testing.B) {
+	mem := storeBenchIndex(b)
+	st, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	stats, err := st.WriteSegment(mem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	disk, _, err := store.LoadSegment(stats.SegmentPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	dims := []mining.Dim{
+		mining.ConceptDim("customer intention", "weak start"),
+		mining.FieldDim("outcome", "reservation"),
+		mining.CategoryDim("discount"),
+		mining.AndDim(
+			mining.ConceptDim("customer intention", "weak start"),
+			mining.FieldDim("outcome", "reservation")),
+	}
+	rows := []mining.Dim{
+		mining.ConceptDim("customer intention", "strong start"),
+		mining.ConceptDim("customer intention", "weak start"),
+	}
+	cols := []mining.Dim{
+		mining.FieldDim("outcome", "reservation"),
+		mining.FieldDim("outcome", "unbooked"),
+	}
+	for _, src := range []struct {
+		name string
+		ix   *mining.Index
+	}{{"memory", mem}, {"disk", disk}} {
+		b.Run(src.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, d := range dims {
+					src.ix.Count(d)
+				}
+				src.ix.Associate(rows, cols, 0.95)
+			}
+		})
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"time"
 
 	"bivoc/internal/mining"
+	"bivoc/internal/pipeline"
 	"bivoc/internal/server"
+	"bivoc/internal/store"
 	"bivoc/internal/synth"
 )
 
@@ -29,6 +31,15 @@ type ServeConfig struct {
 	AssociateWorkers int
 	// DrainTimeout bounds the graceful drain on shutdown.
 	DrainTimeout time.Duration
+	// DataDir, when non-empty, makes the daemon durable (internal/store):
+	// sealed indexes are written there as binary segments, ingested
+	// documents are WAL-logged, and a restart recovers segment + WAL tail
+	// instead of re-running the pipeline over already-durable calls.
+	DataDir string
+	// WALSyncEvery fsyncs the ingest WAL every N documents (0/1 = every
+	// document; larger values trade fsync cost for a bounded re-ingest
+	// window after a crash).
+	WALSyncEvery int
 }
 
 // DefaultServeConfig serves reference transcripts (UseASR off, so the
@@ -64,19 +75,41 @@ func NewServeServer(cfg ServeConfig) (*server.Server, error) {
 		ca.Recognizer = rec
 	}
 	p, toDoc := ca.buildCallPipeline()
-	source := func(ctx context.Context, emit func(mining.Document) error) error {
-		return p.Run(ctx, ca.callSource(), func(j callJob) error { return emit(toDoc(j)) })
+	source := func(ctx context.Context, already func(string) bool, emit func(mining.Document) error) error {
+		// Skip already-durable calls before the pipeline, not after it:
+		// on a warm restart the transcribe/link/annotate stages never run
+		// for recovered documents. Per-call RNG substreams are keyed by
+		// call ID, so the surviving calls transcribe identically whether
+		// or not their neighbors were skipped.
+		calls := ca.World.Calls
+		fresh := make([]int, 0, len(calls))
+		for i := range calls {
+			if already == nil || !already(calls[i].ID) {
+				fresh = append(fresh, i)
+			}
+		}
+		src := pipeline.IndexedSource(len(fresh), func(i int) callJob { return callJob{idx: fresh[i]} })
+		return p.Run(ctx, src, func(j callJob) error { return emit(toDoc(j)) })
+	}
+	var st *store.Store
+	if cfg.DataDir != "" {
+		var err error
+		st, err = store.Open(cfg.DataDir, store.Options{SyncEvery: cfg.WALSyncEvery})
+		if err != nil {
+			return nil, err
+		}
 	}
 	return server.New(server.Config{
-		Addr:          cfg.Addr,
-		Source:        source,
-		PipelineStats: p.Stats,
+		Addr:             cfg.Addr,
+		Source:           source,
+		PipelineStats:    p.Stats,
 		SwapInterval:     cfg.SwapInterval,
 		SwapEvery:        cfg.SwapEvery,
 		CacheSize:        cfg.CacheSize,
 		Confidence:       cfg.Analysis.Confidence,
 		AssociateWorkers: cfg.AssociateWorkers,
 		DrainTimeout:     cfg.DrainTimeout,
+		Persist:          st,
 	})
 }
 

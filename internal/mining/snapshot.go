@@ -1,0 +1,139 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IndexSnapshot is the exported, order-deterministic view of an Index's
+// internals: the document store plus the three inverted-list families,
+// each sorted by key. It is the bridge between the mining layer and the
+// persistence layer (internal/store): Export materializes one from a
+// sealed index, the store serializes it as a binary segment, and
+// FromSnapshot rebuilds a queryable Index from a decoded snapshot
+// without re-paying the per-document Add path.
+//
+// Postings in a snapshot obey the same contract as in the live index:
+// every list is strictly increasing document positions in
+// [0, len(Docs)). FromSnapshot validates that contract and refuses
+// structurally invalid snapshots — a decoded segment must never load
+// into an index that silently answers queries wrong.
+type IndexSnapshot struct {
+	Docs []Document
+	// Concepts holds the {category, canonical} → postings lists, sorted
+	// by category then canonical.
+	Concepts []KeyedPostings
+	// Categories holds the category → postings lists, sorted by category.
+	Categories []CatPostings
+	// Fields holds the {field, value} → postings lists, sorted by field
+	// then value.
+	Fields []KeyedPostings
+}
+
+// KeyedPostings is one inverted list under a two-part key — either
+// {category, canonical} or {field, value}.
+type KeyedPostings struct {
+	Key   [2]string
+	Posts []int
+}
+
+// CatPostings is one per-category inverted list.
+type CatPostings struct {
+	Category string
+	Posts    []int
+}
+
+// Export materializes the index as an IndexSnapshot. The snapshot
+// shares postings slices and documents with the index — treat it as
+// read-only and do not mutate the index while holding it. Entry order
+// is deterministic (sorted by key), so the same index always exports
+// the same snapshot regardless of map iteration order.
+func (ix *Index) Export() *IndexSnapshot {
+	s := &IndexSnapshot{
+		Docs:       ix.docs,
+		Concepts:   make([]KeyedPostings, 0, len(ix.byConcept)),
+		Categories: make([]CatPostings, 0, len(ix.byCat)),
+		Fields:     make([]KeyedPostings, 0, len(ix.byField)),
+	}
+	for k, posts := range ix.byConcept {
+		s.Concepts = append(s.Concepts, KeyedPostings{Key: k, Posts: posts})
+	}
+	for cat, posts := range ix.byCat {
+		s.Categories = append(s.Categories, CatPostings{Category: cat, Posts: posts})
+	}
+	for k, posts := range ix.byField {
+		s.Fields = append(s.Fields, KeyedPostings{Key: k, Posts: posts})
+	}
+	sortKeyed(s.Concepts)
+	sortKeyed(s.Fields)
+	sort.Slice(s.Categories, func(i, j int) bool {
+		return s.Categories[i].Category < s.Categories[j].Category
+	})
+	return s
+}
+
+func sortKeyed(entries []KeyedPostings) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Key[0] != entries[j].Key[0] {
+			return entries[i].Key[0] < entries[j].Key[0]
+		}
+		return entries[i].Key[1] < entries[j].Key[1]
+	})
+}
+
+// FromSnapshot rebuilds an Index from a snapshot, validating the
+// postings contract (strictly increasing positions in range, unique
+// keys) along the way. The returned index answers every query exactly
+// as the index the snapshot was exported from; callers that want the
+// sealed-index caches call Prepare on it. The snapshot's slices are
+// adopted, not copied — do not reuse them afterwards.
+func FromSnapshot(s *IndexSnapshot) (*Index, error) {
+	ix := &Index{
+		docs:      s.Docs,
+		byConcept: make(map[[2]string][]int, len(s.Concepts)),
+		byCat:     make(map[string][]int, len(s.Categories)),
+		byField:   make(map[[2]string][]int, len(s.Fields)),
+	}
+	n := len(s.Docs)
+	for _, e := range s.Concepts {
+		if err := checkPostings("concept", e.Key[0]+"/"+e.Key[1], e.Posts, n); err != nil {
+			return nil, err
+		}
+		if _, dup := ix.byConcept[e.Key]; dup {
+			return nil, fmt.Errorf("mining: snapshot: duplicate concept key %q/%q", e.Key[0], e.Key[1])
+		}
+		ix.byConcept[e.Key] = e.Posts
+	}
+	for _, e := range s.Categories {
+		if err := checkPostings("category", e.Category, e.Posts, n); err != nil {
+			return nil, err
+		}
+		if _, dup := ix.byCat[e.Category]; dup {
+			return nil, fmt.Errorf("mining: snapshot: duplicate category key %q", e.Category)
+		}
+		ix.byCat[e.Category] = e.Posts
+	}
+	for _, e := range s.Fields {
+		if err := checkPostings("field", e.Key[0]+"="+e.Key[1], e.Posts, n); err != nil {
+			return nil, err
+		}
+		if _, dup := ix.byField[e.Key]; dup {
+			return nil, fmt.Errorf("mining: snapshot: duplicate field key %q=%q", e.Key[0], e.Key[1])
+		}
+		ix.byField[e.Key] = e.Posts
+	}
+	return ix, nil
+}
+
+// checkPostings enforces the postings contract on one decoded list.
+func checkPostings(kind, key string, posts []int, n int) error {
+	prev := -1
+	for _, p := range posts {
+		if p <= prev || p >= n {
+			return fmt.Errorf("mining: snapshot: %s %q postings violate the sorted-in-range contract (pos %d after %d, %d docs)",
+				kind, key, p, prev, n)
+		}
+		prev = p
+	}
+	return nil
+}

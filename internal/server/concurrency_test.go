@@ -35,7 +35,7 @@ func TestConcurrentQueriesDuringSwaps(t *testing.T) {
 	docs := testDocs(totalDocs)
 	// Trickle the docs so the swaps interleave with queries instead of
 	// finishing before the clients ramp up.
-	src := func(ctx context.Context, emit func(mining.Document) error) error {
+	src := func(ctx context.Context, _ func(string) bool, emit func(mining.Document) error) error {
 		for _, d := range docs {
 			if err := emit(d); err != nil {
 				return err
@@ -142,7 +142,7 @@ func checkParityQuery(client *http.Client, u string, s *Server, lastGen *uint64)
 func TestCacheNeverServesStaleGeneration(t *testing.T) {
 	const swapEvery = 10
 	feed := make(chan mining.Document)
-	src := func(ctx context.Context, emit func(mining.Document) error) error {
+	src := func(ctx context.Context, _ func(string) bool, emit func(mining.Document) error) error {
 		for d := range feed {
 			if err := emit(d); err != nil {
 				return err

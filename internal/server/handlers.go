@@ -135,15 +135,39 @@ type CacheStatsJSON struct {
 	Capacity int    `json:"capacity"`
 }
 
+// StoreStatsJSON is the persistence section of /statsz (present only
+// when the daemon runs with a data directory): the durable segment, the
+// ingest WAL, and what the last warm start recovered.
+type StoreStatsJSON struct {
+	SegmentGeneration uint64 `json:"segment_generation"`
+	SegmentPath       string `json:"segment_path,omitempty"`
+	SegmentBytes      int64  `json:"segment_bytes"`
+	SegmentDocs       int    `json:"segment_docs"`
+	WALRecords        int    `json:"wal_records"`
+	WALBytes          int64  `json:"wal_bytes"`
+	// LastSealUnixMS is the wall time the current segment was written by
+	// this process (0 for segments inherited from an earlier run).
+	LastSealUnixMS int64 `json:"last_seal_unix_ms,omitempty"`
+	// Recovered* describe the warm start: documents adopted from the
+	// segment, documents replayed from the WAL tail, torn-tail bytes
+	// dropped.
+	RecoveredSegmentDocs int    `json:"recovered_segment_docs"`
+	RecoveredWALDocs     int    `json:"recovered_wal_docs"`
+	RecoveredWALDropped  int64  `json:"recovered_wal_dropped_bytes,omitempty"`
+	PersistError         string `json:"persist_error,omitempty"`
+}
+
 // StatszResponse answers /statsz: snapshot generation, cache counters,
-// and the ingest pipeline's per-stage stats (schema pinned by
-// pipeline.StageStats.MarshalJSON).
+// the ingest pipeline's per-stage stats (schema pinned by
+// pipeline.StageStats.MarshalJSON), and — when persistence is on — the
+// store section.
 type StatszResponse struct {
 	Generation  uint64                `json:"generation"`
 	Sealed      bool                  `json:"sealed"`
 	Docs        int                   `json:"docs"`
 	Cache       CacheStatsJSON        `json:"cache"`
 	Pipeline    []pipeline.StageStats `json:"pipeline"`
+	Store       *StoreStatsJSON       `json:"store,omitempty"`
 	IngestError string                `json:"ingest_error,omitempty"`
 }
 
@@ -493,6 +517,27 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cfg.PipelineStats != nil {
 		resp.Pipeline = s.cfg.PipelineStats()
+	}
+	if s.cfg.Persist != nil {
+		st := s.cfg.Persist.Stats()
+		ss := &StoreStatsJSON{
+			SegmentGeneration:    st.SegmentGen,
+			SegmentPath:          st.SegmentPath,
+			SegmentBytes:         st.SegmentBytes,
+			SegmentDocs:          st.SegmentDocs,
+			WALRecords:           st.WALRecords,
+			WALBytes:             st.WALBytes,
+			RecoveredSegmentDocs: s.recInfo.segmentDocs,
+			RecoveredWALDocs:     s.recInfo.walDocs,
+			RecoveredWALDropped:  s.recInfo.walDropped,
+		}
+		if !st.LastSeal.IsZero() {
+			ss.LastSealUnixMS = st.LastSeal.UnixMilli()
+		}
+		if err := s.PersistErr(); err != nil {
+			ss.PersistError = err.Error()
+		}
+		resp.Store = ss
 	}
 	if err := s.IngestErr(); err != nil {
 		resp.IngestError = err.Error()

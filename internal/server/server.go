@@ -41,13 +41,22 @@ import (
 
 	"bivoc/internal/mining"
 	"bivoc/internal/pipeline"
+	"bivoc/internal/store"
 )
 
 // DocSource feeds the server's ingest loop: it calls emit once per
 // mining document and returns when the stream is exhausted (the server
 // then publishes the final, sealed snapshot) or when ctx is cancelled.
 // core.NewServeServer adapts the call-analysis pipeline into one.
-type DocSource func(ctx context.Context, emit func(mining.Document) error) error
+//
+// already reports whether a document ID is durable from a previous run
+// (recovered from the persistence layer's segment + WAL). Sources
+// should skip such items before paying any pipeline work — that skip is
+// what turns a restart over a persisted corpus from an O(corpus)
+// re-ingest into a warm, sub-second resume. Sources that predate
+// persistence may ignore it; the ingest loop drops already-durable
+// documents it receives anyway.
+type DocSource func(ctx context.Context, already func(id string) bool, emit func(mining.Document) error) error
 
 // Config assembles a Server.
 type Config struct {
@@ -79,6 +88,12 @@ type Config struct {
 	// DrainTimeout bounds the graceful drain of in-flight requests
 	// during Run's shutdown. Default 5s.
 	DrainTimeout time.Duration
+	// Persist, when set, makes the daemon durable: the store's recovered
+	// state (latest segment + WAL tail) seeds the first snapshot and the
+	// ingest skip set, every ingested document is WAL-appended, and the
+	// final sealed index is written as a new segment. Open it with
+	// store.Open; the server takes ownership (Shutdown closes it).
+	Persist *store.Store
 }
 
 func (c Config) cacheSize() int {
@@ -134,18 +149,39 @@ type Server struct {
 	ingestDone chan struct{}
 	serveDone  chan struct{}
 
-	errMu     sync.Mutex
-	ingestErr error
-	serveErr  error
+	errMu      sync.Mutex
+	ingestErr  error
+	serveErr   error
+	persistErr error
+
+	// Recovered warm-start state (nil / empty without Config.Persist):
+	// the segment-loaded index, the durable documents to seed the ingest
+	// accumulator with, and their ID skip set.
+	recIx   *mining.Index
+	recDocs []mining.Document
+	recIDs  map[string]bool
+	recInfo recoveryInfo
 
 	// handlerDelay pads every /v1 handler; test hook for exercising the
 	// graceful drain with genuinely in-flight requests.
 	handlerDelay time.Duration
 }
 
-// New returns an unstarted server. The initial snapshot is generation
-// zero over an empty index, so queries are answerable (with zero
-// counts) before the first swap.
+// recoveryInfo summarizes what a warm start adopted from disk, for
+// /statsz and the daemon's startup line.
+type recoveryInfo struct {
+	segmentDocs int
+	walDocs     int
+	walDropped  int64
+	skipped     []string
+}
+
+// New returns an unstarted server. Without persistence the initial
+// snapshot is generation zero over an empty index, so queries are
+// answerable (with zero counts) before the first swap. With
+// Config.Persist, the initial snapshot is the store's recovered state —
+// the daemon serves its pre-crash corpus from the first request, before
+// ingest has re-processed anything.
 func New(cfg Config) (*Server, error) {
 	if cfg.Source == nil {
 		return nil, errors.New("server: Config.Source is required")
@@ -155,13 +191,45 @@ func New(cfg Config) (*Server, error) {
 		ingestDone: make(chan struct{}),
 		serveDone:  make(chan struct{}),
 	}
+	ix := mining.NewStreamIndex().Seal()
+	if cfg.Persist != nil {
+		rec := cfg.Persist.Recovered()
+		s.recDocs = rec.Docs()
+		s.recIDs = rec.IDs()
+		s.recInfo = recoveryInfo{
+			segmentDocs: rec.SegmentDocs,
+			walDocs:     len(rec.WALDocs),
+			walDropped:  rec.WALDropped,
+			skipped:     rec.SkippedSegments,
+		}
+		if rec.Index != nil && len(rec.WALDocs) == 0 {
+			// Clean warm start: the segment's index is already sealed,
+			// Prepared, and ID-ordered — serve it as-is, no rebuild.
+			s.recIx = rec.Index
+			ix = rec.Index
+		} else if len(s.recDocs) > 0 {
+			// Segment + WAL tail (or WAL only): rebuild once so the
+			// first snapshot is byte-identical to batch-indexing the
+			// durable documents.
+			si := mining.NewStreamIndex()
+			si.AddBatch(s.recDocs)
+			ix = si.Seal()
+		}
+	}
 	s.snap.Store(&snapshot{
 		gen:   0,
-		ix:    mining.NewStreamIndex().Seal(),
+		ix:    ix,
 		cache: newLRUCache(cfg.cacheSize()),
 	})
 	s.mux = s.buildMux()
 	return s, nil
+}
+
+// RecoveryInfo reports what a warm start adopted from the persistence
+// layer: documents loaded from the segment, documents replayed from the
+// WAL tail, and torn-tail bytes dropped.
+func (s *Server) RecoveryInfo() (segmentDocs, walDocs int, walDropped int64) {
+	return s.recInfo.segmentDocs, s.recInfo.walDocs, s.recInfo.walDropped
 }
 
 // publish seals an index over docs and swaps it in as the next
@@ -186,18 +254,41 @@ func (s *Server) publish(docs []mining.Document, sealed bool) {
 	})
 }
 
+// publishIndex swaps in an already-sealed index without a rebuild — the
+// warm-restart fast path for a segment-loaded index that ingest found
+// nothing to add to.
+func (s *Server) publishIndex(ix *mining.Index, sealed bool) {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	s.snap.Store(&snapshot{
+		gen:    s.gen.Add(1),
+		ix:     ix,
+		sealed: sealed,
+		cache:  newLRUCache(s.cfg.cacheSize()),
+	})
+}
+
 // runIngest drives the document source, swapping in fresh snapshots on
 // the configured cadences and a final one when the source is done —
 // sealed if the source was genuinely exhausted, unsealed if the ingest
 // context was cancelled mid-stream.
+//
+// With persistence configured, the accumulator starts from the
+// recovered durable documents, every newly ingested document is
+// WAL-appended before it counts as accepted, and a genuine seal writes
+// the sealed index as a new segment, then resets the WAL. Persistence
+// failures degrade, not kill: the daemon keeps serving from RAM and
+// surfaces the error on /statsz.
 func (s *Server) runIngest(ctx context.Context) error {
 	var mu sync.Mutex
-	var docs []mining.Document
+	docs := append([]mining.Document(nil), s.recDocs...)
+	newDocs := 0
 	copyDocs := func() []mining.Document {
 		mu.Lock()
 		defer mu.Unlock()
 		return append([]mining.Document(nil), docs...)
 	}
+	already := func(id string) bool { return s.recIDs[id] }
 
 	var tickWG sync.WaitGroup
 	tickCtx, tickStop := context.WithCancel(ctx)
@@ -219,13 +310,25 @@ func (s *Server) runIngest(ctx context.Context) error {
 		}()
 	}
 
-	err := s.cfg.Source(ctx, func(d mining.Document) error {
+	err := s.cfg.Source(ctx, already, func(d mining.Document) error {
 		if ctx.Err() != nil {
 			return ctx.Err()
+		}
+		if s.recIDs[d.ID] {
+			// Durable from a previous run; the source should have
+			// skipped it, but replays are harmless — drop, don't doubly
+			// index.
+			return nil
+		}
+		if s.cfg.Persist != nil {
+			if werr := s.cfg.Persist.AppendWAL(d); werr != nil {
+				s.setPersistErr(werr)
+			}
 		}
 		mu.Lock()
 		docs = append(docs, d)
 		n := len(docs)
+		newDocs++
 		mu.Unlock()
 		if s.cfg.SwapEvery > 0 && n%s.cfg.SwapEvery == 0 {
 			s.publish(copyDocs(), false)
@@ -240,8 +343,48 @@ func (s *Server) runIngest(ctx context.Context) error {
 		// source; publish what arrived and report a clean stop.
 		err = nil
 	}
-	s.publish(copyDocs(), err == nil && ctx.Err() == nil)
+	sealed := err == nil && ctx.Err() == nil
+	if sealed && s.recIx != nil && newDocs == 0 {
+		// Warm restart over a complete corpus: the segment-loaded index
+		// already is the sealed index — republish it instead of paying
+		// the O(corpus) rebuild, and leave the identical segment alone.
+		s.publishIndex(s.recIx, true)
+		return nil
+	}
+	s.publish(copyDocs(), sealed)
+	if s.cfg.Persist != nil {
+		if sealed {
+			// The just-published snapshot is the sealed index; make it
+			// durable, then drop the WAL it supersedes.
+			if _, werr := s.cfg.Persist.WriteSegment(s.snap.Load().ix); werr != nil {
+				s.setPersistErr(werr)
+			} else if werr := s.cfg.Persist.ResetWAL(); werr != nil {
+				s.setPersistErr(werr)
+			}
+		} else if werr := s.cfg.Persist.SyncWAL(); werr != nil {
+			// Interrupted mid-stream: force the WAL tail down so the
+			// next boot recovers everything accepted so far.
+			s.setPersistErr(werr)
+		}
+	}
 	return err
+}
+
+// setPersistErr records the first persistence failure (later ones keep
+// the original root cause).
+func (s *Server) setPersistErr(err error) {
+	s.errMu.Lock()
+	if s.persistErr == nil {
+		s.persistErr = err
+	}
+	s.errMu.Unlock()
+}
+
+// PersistErr returns the first persistence-layer failure, if any.
+func (s *Server) PersistErr() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.persistErr
 }
 
 // Start listens on Config.Addr and launches the ingest loop and the
@@ -345,6 +488,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	err := hs.Shutdown(ctx) // drains in-flight requests
 	<-s.ingestDone
 	<-s.serveDone
+	if s.cfg.Persist != nil {
+		// The ingest loop (the only writer) is done; sync and release
+		// the WAL handle.
+		err = errors.Join(err, s.cfg.Persist.Close())
+	}
 	s.errMu.Lock()
 	defer s.errMu.Unlock()
 	return errors.Join(err, s.serveErr)

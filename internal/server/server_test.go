@@ -58,7 +58,7 @@ func batchIndex(docs []mining.Document) *mining.Index {
 }
 
 func sliceSource(docs []mining.Document) DocSource {
-	return func(ctx context.Context, emit func(mining.Document) error) error {
+	return func(ctx context.Context, _ func(string) bool, emit func(mining.Document) error) error {
 		for _, d := range docs {
 			if err := emit(d); err != nil {
 				return err
@@ -324,13 +324,13 @@ func TestEndpointsMatchDirectIndex(t *testing.T) {
 
 	t.Run("errors", func(t *testing.T) {
 		for _, u := range []string{
-			base + "/v1/count",                          // missing dim
+			base + "/v1/count", // missing dim
 			base + "/v1/count?dim=" + url.QueryEscape("a=b[c]"), // ambiguous label
-			base + "/v1/associate?row=x",                // missing col
-			base + "/v1/relfreq?featured=x",             // missing category
-			base + "/v1/trend?dim=x&dim=y",              // two dims
-			base + "/v1/concepts",                       // neither selector
-			base + "/v1/drilldown?row=x&col=y&limit=-1", // bad limit
+			base + "/v1/associate?row=x",                        // missing col
+			base + "/v1/relfreq?featured=x",                     // missing category
+			base + "/v1/trend?dim=x&dim=y",                      // two dims
+			base + "/v1/concepts",                               // neither selector
+			base + "/v1/drilldown?row=x&col=y&limit=-1",         // bad limit
 		} {
 			status, body := get(t, u)
 			if status != http.StatusBadRequest {
@@ -353,7 +353,7 @@ func TestEndpointsMatchDirectIndex(t *testing.T) {
 func TestMidIngestSnapshotMatchesBatch(t *testing.T) {
 	const firstBatch, total = 48, 96
 	feed := make(chan mining.Document)
-	src := func(ctx context.Context, emit func(mining.Document) error) error {
+	src := func(ctx context.Context, _ func(string) bool, emit func(mining.Document) error) error {
 		for d := range feed {
 			if err := emit(d); err != nil {
 				return err
@@ -384,8 +384,8 @@ func TestMidIngestSnapshotMatchesBatch(t *testing.T) {
 	body := getOK(t, base+"/v1/count?"+url.Values{"dim": {dim.Label()}}.Encode(), &got)
 	want := CountResponse{
 		Generation: 1, Sealed: false,
-		Total: ix.Len(),
-		Dims:  []string{dim.CanonicalLabel()},
+		Total:  ix.Len(),
+		Dims:   []string{dim.CanonicalLabel()},
 		Counts: []int{ix.Count(dim)},
 	}
 	if !bytes.Equal(body, mustJSON(t, want)) {
@@ -415,7 +415,7 @@ func TestMidIngestSnapshotMatchesBatch(t *testing.T) {
 // new generation.
 func TestCacheHitsAreByteIdenticalAndInvalidatedOnSwap(t *testing.T) {
 	feed := make(chan mining.Document)
-	src := func(ctx context.Context, emit func(mining.Document) error) error {
+	src := func(ctx context.Context, _ func(string) bool, emit func(mining.Document) error) error {
 		for d := range feed {
 			if err := emit(d); err != nil {
 				return err

@@ -22,7 +22,7 @@ import (
 func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 	// A source that trickles forever until cancelled: shutdown must stop
 	// it via context, not by exhausting it.
-	src := func(ctx context.Context, emit func(mining.Document) error) error {
+	src := func(ctx context.Context, _ func(string) bool, emit func(mining.Document) error) error {
 		for i := 0; ; i++ {
 			select {
 			case <-ctx.Done():

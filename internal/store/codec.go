@@ -1,0 +1,127 @@
+// Package store is the persistence subsystem of BIVoC: a versioned
+// binary segment format for sealed mining indexes plus an append-only
+// ingest write-ahead log, giving bivocd warm restarts (load the latest
+// durable segment, replay the WAL tail) instead of re-paying the full
+// O(corpus) pipeline rebuild on every launch.
+//
+// Layout of a data directory:
+//
+//	seg-<generation>.seg   immutable sealed-index segments (newest wins)
+//	wal.log                append-only log of documents ingested since
+//	                       the last segment was written
+//	*.tmp                  in-flight atomic writes; orphans from crashes
+//	                       are removed on Open
+//
+// Durability protocol: every ingested document is appended to the WAL
+// (fsynced on a configurable cadence); when the ingest stream seals,
+// the whole sealed index is written as a new segment — temp file,
+// fsync, rename, directory fsync — and only then is the WAL reset. A
+// crash at any point recovers to segment ∪ WAL-tail, deduplicated by
+// document ID, so the worst case after a torn fsync window is a few
+// re-ingested documents, never corruption and never silent loss of
+// acknowledged-durable data.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// errCorrupt is wrapped by every decoder error so callers can
+// distinguish "this file is damaged" from I/O errors.
+var errCorrupt = errors.New("store: corrupt data")
+
+// corruptf builds a decoder error wrapping errCorrupt.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errCorrupt, fmt.Sprintf(format, args...))
+}
+
+// IsCorrupt reports whether err marks damaged on-disk data (as opposed
+// to an I/O failure reaching it).
+func IsCorrupt(err error) bool { return errors.Is(err, errCorrupt) }
+
+// writer accumulates the binary encoding: unsigned and zigzag varints,
+// length-prefixed byte strings. All integers are varint — segment files
+// for delta-encoded postings are dominated by small numbers.
+type writer struct {
+	buf []byte
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (w *writer) uvarint(v uint64) {
+	n := binary.PutUvarint(w.tmp[:], v)
+	w.buf = append(w.buf, w.tmp[:n]...)
+}
+
+func (w *writer) varint(v int64) {
+	n := binary.PutVarint(w.tmp[:], v)
+	w.buf = append(w.buf, w.tmp[:n]...)
+}
+
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// reader decodes the writer's encoding with strict bounds checking:
+// every accessor returns an error instead of panicking, whatever the
+// input bytes — the contract FuzzSegmentDecode enforces.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, corruptf("truncated uvarint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, corruptf("truncated varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// count reads a length/count prefix and sanity-bounds it: a count can
+// never exceed the bytes remaining, so a bit-flipped length cannot make
+// the decoder attempt a giant allocation.
+func (r *reader) count(what string) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(r.buf)-r.off) {
+		return 0, corruptf("%s count %d exceeds remaining %d bytes", what, v, len(r.buf)-r.off)
+	}
+	return int(v), nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.count("string length")
+	if err != nil {
+		return "", err
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+// intFromU converts a decoded uvarint into a non-negative int, guarding
+// 32-bit overflow.
+func intFromU(v uint64, what string) (int, error) {
+	if v > uint64(math.MaxInt32) {
+		return 0, corruptf("%s %d out of range", what, v)
+	}
+	return int(v), nil
+}

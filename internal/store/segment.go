@@ -1,0 +1,376 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"sort"
+
+	"bivoc/internal/annotate"
+	"bivoc/internal/mining"
+)
+
+// Segment format, version 1. A segment is the complete serialization of
+// one sealed mining.Index — documents plus all three inverted-list
+// families — laid out so the natural shape of the in-memory index (PR
+// 5's born-sorted postings) becomes the natural shape on disk:
+//
+//	header   magic "BVSG" | version uint32 LE
+//	body     string table   uvarint count, then len-prefixed strings
+//	                        (sorted unique; every doc ID, concept
+//	                        category/canonical, field name/value is a
+//	                        uvarint reference into it)
+//	         documents      uvarint count, then per document:
+//	                        id ref · time varint · concepts (count,
+//	                        then cat ref · canon ref · start · end) ·
+//	                        fields (count, key-sorted, then key ref ·
+//	                        value ref)
+//	         postings ×3    concept {cat, canon} / category {cat} /
+//	                        field {name, value} lists, key-sorted; each
+//	                        list is a uvarint length followed by varint
+//	                        deltas from the previous position (first
+//	                        delta from -1), so sorted lists of nearby
+//	                        document positions encode in ~1 byte/entry
+//	footer   fixed 24 bytes: body length uint64 LE · document count
+//	         uint64 LE · version uint32 LE · CRC-32 (IEEE, over header
+//	         and body) uint32 LE
+//
+// The footer is written last and read first: a reader validates magic,
+// version, length, and checksum before decoding a single body byte, so
+// truncated, bit-flipped, or foreign files are rejected up front.
+// DecodeSegment additionally bounds-checks every count and reference,
+// and mining.FromSnapshot re-validates the postings contract — a
+// segment either loads into an index byte-identical to the one written,
+// or it errors; it never panics and never silently loads wrong data.
+
+var segMagic = [4]byte{'B', 'V', 'S', 'G'}
+
+const (
+	// SegmentVersion is the current on-disk format version. Readers
+	// reject other versions rather than guessing at compatibility.
+	SegmentVersion = 1
+
+	segHeaderLen = 8  // magic + version
+	segFooterLen = 24 // bodyLen + docCount + version + crc32
+)
+
+// EncodeSegment serializes an index snapshot into segment bytes.
+// Encoding is deterministic: the same snapshot always yields the same
+// bytes (the string table is sorted, snapshot entries are key-sorted by
+// mining.Export, and document fields are emitted key-sorted).
+func EncodeSegment(snap *mining.IndexSnapshot) []byte {
+	strs, ref := buildStringTable(snap)
+
+	w := &writer{buf: make([]byte, 0, 1<<16)}
+	w.buf = append(w.buf, segMagic[:]...)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, SegmentVersion)
+
+	w.uvarint(uint64(len(strs)))
+	for _, s := range strs {
+		w.str(s)
+	}
+
+	w.uvarint(uint64(len(snap.Docs)))
+	fieldKeys := make([]string, 0, 8)
+	for _, d := range snap.Docs {
+		w.uvarint(ref[d.ID])
+		w.varint(int64(d.Time))
+		w.uvarint(uint64(len(d.Concepts)))
+		for _, c := range d.Concepts {
+			w.uvarint(ref[c.Category])
+			w.uvarint(ref[c.Canonical])
+			w.varint(int64(c.Start))
+			w.varint(int64(c.End))
+		}
+		fieldKeys = fieldKeys[:0]
+		for k := range d.Fields {
+			fieldKeys = append(fieldKeys, k)
+		}
+		sort.Strings(fieldKeys)
+		w.uvarint(uint64(len(fieldKeys)))
+		for _, k := range fieldKeys {
+			w.uvarint(ref[k])
+			w.uvarint(ref[d.Fields[k]])
+		}
+	}
+
+	w.uvarint(uint64(len(snap.Concepts)))
+	for _, e := range snap.Concepts {
+		w.uvarint(ref[e.Key[0]])
+		w.uvarint(ref[e.Key[1]])
+		writePostings(w, e.Posts)
+	}
+	w.uvarint(uint64(len(snap.Categories)))
+	for _, e := range snap.Categories {
+		w.uvarint(ref[e.Category])
+		writePostings(w, e.Posts)
+	}
+	w.uvarint(uint64(len(snap.Fields)))
+	for _, e := range snap.Fields {
+		w.uvarint(ref[e.Key[0]])
+		w.uvarint(ref[e.Key[1]])
+		writePostings(w, e.Posts)
+	}
+
+	bodyLen := uint64(len(w.buf) - segHeaderLen)
+	crc := crc32.ChecksumIEEE(w.buf)
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, bodyLen)
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(len(snap.Docs)))
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, SegmentVersion)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc)
+	return w.buf
+}
+
+// buildStringTable collects every string a snapshot references, sorted
+// unique, plus the string → index map used while encoding.
+func buildStringTable(snap *mining.IndexSnapshot) ([]string, map[string]uint64) {
+	set := map[string]struct{}{}
+	add := func(s string) { set[s] = struct{}{} }
+	for _, d := range snap.Docs {
+		add(d.ID)
+		for _, c := range d.Concepts {
+			add(c.Category)
+			add(c.Canonical)
+		}
+		for k, v := range d.Fields {
+			add(k)
+			add(v)
+		}
+	}
+	for _, e := range snap.Concepts {
+		add(e.Key[0])
+		add(e.Key[1])
+	}
+	for _, e := range snap.Categories {
+		add(e.Category)
+	}
+	for _, e := range snap.Fields {
+		add(e.Key[0])
+		add(e.Key[1])
+	}
+	strs := make([]string, 0, len(set))
+	for s := range set {
+		strs = append(strs, s)
+	}
+	sort.Strings(strs)
+	ref := make(map[string]uint64, len(strs))
+	for i, s := range strs {
+		ref[s] = uint64(i)
+	}
+	return strs, ref
+}
+
+// writePostings emits one sorted postings list as varint deltas.
+func writePostings(w *writer, posts []int) {
+	w.uvarint(uint64(len(posts)))
+	prev := -1
+	for _, p := range posts {
+		w.uvarint(uint64(p - prev))
+		prev = p
+	}
+}
+
+// DecodeSegment parses segment bytes back into an index snapshot,
+// validating the envelope (magic, version, length, CRC) before the body
+// and bounds-checking every reference inside it. Errors satisfy
+// IsCorrupt; the function never panics on any input.
+func DecodeSegment(data []byte) (*mining.IndexSnapshot, error) {
+	if len(data) < segHeaderLen+segFooterLen {
+		return nil, corruptf("segment too short (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != segMagic {
+		return nil, corruptf("bad segment magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != SegmentVersion {
+		return nil, corruptf("unsupported segment version %d (want %d)", v, SegmentVersion)
+	}
+	foot := data[len(data)-segFooterLen:]
+	bodyLen := binary.LittleEndian.Uint64(foot[0:8])
+	docCount := binary.LittleEndian.Uint64(foot[8:16])
+	if v := binary.LittleEndian.Uint32(foot[16:20]); v != SegmentVersion {
+		return nil, corruptf("footer version %d disagrees with header", v)
+	}
+	if bodyLen != uint64(len(data)-segHeaderLen-segFooterLen) {
+		return nil, corruptf("footer body length %d, file has %d body bytes",
+			bodyLen, len(data)-segHeaderLen-segFooterLen)
+	}
+	wantCRC := binary.LittleEndian.Uint32(foot[20:24])
+	if got := crc32.ChecksumIEEE(data[:len(data)-segFooterLen]); got != wantCRC {
+		return nil, corruptf("checksum mismatch: file %08x, computed %08x", wantCRC, got)
+	}
+
+	r := &reader{buf: data[:len(data)-segFooterLen], off: segHeaderLen}
+
+	nStrs, err := r.count("string table")
+	if err != nil {
+		return nil, err
+	}
+	strs := make([]string, nStrs)
+	for i := range strs {
+		if strs[i], err = r.str(); err != nil {
+			return nil, err
+		}
+	}
+	str := func(what string) (string, error) {
+		idx, err := r.uvarint()
+		if err != nil {
+			return "", err
+		}
+		if idx >= uint64(len(strs)) {
+			return "", corruptf("%s string ref %d out of table (size %d)", what, idx, len(strs))
+		}
+		return strs[idx], nil
+	}
+
+	nDocs, err := r.count("document")
+	if err != nil {
+		return nil, err
+	}
+	if uint64(nDocs) != docCount {
+		return nil, corruptf("body has %d documents, footer says %d", nDocs, docCount)
+	}
+	snap := &mining.IndexSnapshot{Docs: make([]mining.Document, nDocs)}
+	for i := range snap.Docs {
+		d := &snap.Docs[i]
+		if d.ID, err = str("doc id"); err != nil {
+			return nil, err
+		}
+		tm, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		d.Time = int(tm)
+		nc, err := r.count("concept")
+		if err != nil {
+			return nil, err
+		}
+		if nc > 0 {
+			d.Concepts = make([]annotate.Concept, nc)
+			for j := range d.Concepts {
+				c := &d.Concepts[j]
+				if c.Category, err = str("concept category"); err != nil {
+					return nil, err
+				}
+				if c.Canonical, err = str("concept canonical"); err != nil {
+					return nil, err
+				}
+				start, err := r.varint()
+				if err != nil {
+					return nil, err
+				}
+				end, err := r.varint()
+				if err != nil {
+					return nil, err
+				}
+				c.Start, c.End = int(start), int(end)
+			}
+		}
+		nf, err := r.count("field")
+		if err != nil {
+			return nil, err
+		}
+		if nf > 0 {
+			d.Fields = make(map[string]string, nf)
+			for j := 0; j < nf; j++ {
+				k, err := str("field name")
+				if err != nil {
+					return nil, err
+				}
+				v, err := str("field value")
+				if err != nil {
+					return nil, err
+				}
+				if _, dup := d.Fields[k]; dup {
+					return nil, corruptf("document %q repeats field %q", d.ID, k)
+				}
+				d.Fields[k] = v
+			}
+		}
+	}
+
+	nConc, err := r.count("concept postings")
+	if err != nil {
+		return nil, err
+	}
+	snap.Concepts = make([]mining.KeyedPostings, nConc)
+	for i := range snap.Concepts {
+		e := &snap.Concepts[i]
+		if e.Key[0], err = str("postings category"); err != nil {
+			return nil, err
+		}
+		if e.Key[1], err = str("postings canonical"); err != nil {
+			return nil, err
+		}
+		if e.Posts, err = readPostings(r, nDocs); err != nil {
+			return nil, err
+		}
+	}
+	nCat, err := r.count("category postings")
+	if err != nil {
+		return nil, err
+	}
+	snap.Categories = make([]mining.CatPostings, nCat)
+	for i := range snap.Categories {
+		e := &snap.Categories[i]
+		if e.Category, err = str("postings category"); err != nil {
+			return nil, err
+		}
+		if e.Posts, err = readPostings(r, nDocs); err != nil {
+			return nil, err
+		}
+	}
+	nField, err := r.count("field postings")
+	if err != nil {
+		return nil, err
+	}
+	snap.Fields = make([]mining.KeyedPostings, nField)
+	for i := range snap.Fields {
+		e := &snap.Fields[i]
+		if e.Key[0], err = str("postings field"); err != nil {
+			return nil, err
+		}
+		if e.Key[1], err = str("postings value"); err != nil {
+			return nil, err
+		}
+		if e.Posts, err = readPostings(r, nDocs); err != nil {
+			return nil, err
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, corruptf("%d trailing bytes after segment body", r.remaining())
+	}
+	return snap, nil
+}
+
+// readPostings decodes one delta-encoded list, enforcing strictly
+// increasing positions inside [0, nDocs).
+func readPostings(r *reader, nDocs int) ([]int, error) {
+	n, err := r.count("postings")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	posts := make([]int, n)
+	prev := -1
+	for i := range posts {
+		dv, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		delta, err := intFromU(dv, "postings delta")
+		if err != nil {
+			return nil, err
+		}
+		if delta == 0 {
+			return nil, corruptf("zero postings delta (duplicate position %d)", prev)
+		}
+		p := prev + delta
+		if p >= nDocs {
+			return nil, corruptf("postings position %d beyond %d documents", p, nDocs)
+		}
+		posts[i] = p
+		prev = p
+	}
+	return posts, nil
+}

@@ -1,0 +1,414 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"bivoc/internal/mining"
+)
+
+// Options configures a Store.
+type Options struct {
+	// SyncEvery fsyncs the WAL after every Nth appended document. 1 (and
+	// the default 0) syncs every append — nothing acknowledged is ever
+	// lost; larger values amortize the fsync at the cost of a bounded
+	// window of documents that may need re-ingesting after a crash.
+	SyncEvery int
+}
+
+func (o Options) syncEvery() int {
+	if o.SyncEvery < 1 {
+		return 1
+	}
+	return o.SyncEvery
+}
+
+// Recovery is what Open reconstructed from the data directory: the
+// index loaded from the newest readable segment (already Prepared, so
+// it can be published and queried immediately) and the WAL tail of
+// documents ingested after that segment was written, deduplicated
+// against it.
+type Recovery struct {
+	// Index is the segment-loaded index, nil when no segment exists yet.
+	Index *mining.Index
+	// SegmentGen / SegmentDocs identify the loaded segment.
+	SegmentGen  uint64
+	SegmentDocs int
+	// WALDocs are the intact WAL records not already in the segment, in
+	// append order.
+	WALDocs []mining.Document
+	// WALDropped counts torn-tail bytes truncated from the WAL —
+	// documents inside the configured fsync window when the process
+	// died, which ingest will simply re-process.
+	WALDropped int64
+	// SkippedSegments names segment files that failed validation and
+	// were passed over for an older generation.
+	SkippedSegments []string
+}
+
+// Docs returns segment documents followed by the WAL tail — everything
+// durable, in the order the serving layer should re-adopt it.
+func (r *Recovery) Docs() []mining.Document {
+	var out []mining.Document
+	if r.Index != nil {
+		out = make([]mining.Document, 0, r.Index.Len()+len(r.WALDocs))
+		for i := 0; i < r.Index.Len(); i++ {
+			out = append(out, r.Index.Doc(i))
+		}
+	}
+	return append(out, r.WALDocs...)
+}
+
+// IDs returns the set of durable document IDs — the ingest skip set
+// for warm restarts.
+func (r *Recovery) IDs() map[string]bool {
+	ids := make(map[string]bool, len(r.WALDocs))
+	if r.Index != nil {
+		for i := 0; i < r.Index.Len(); i++ {
+			ids[r.Index.Doc(i).ID] = true
+		}
+	}
+	for _, d := range r.WALDocs {
+		ids[d.ID] = true
+	}
+	return ids
+}
+
+// Stats is the store's operational state, surfaced on /statsz.
+type Stats struct {
+	SegmentGen   uint64
+	SegmentPath  string
+	SegmentBytes int64
+	SegmentDocs  int
+	WALRecords   int
+	WALBytes     int64
+	// LastSeal is the wall time the current segment was written by this
+	// process; zero for segments inherited from an earlier run.
+	LastSeal time.Time
+}
+
+// Store is one data directory: at most one segment lineage plus the
+// ingest WAL. Methods are safe for concurrent use (one ingest writer,
+// many stats readers).
+type Store struct {
+	dir       string
+	syncEvery int
+
+	mu       sync.Mutex
+	rec      *Recovery
+	wal      *os.File
+	walLen   int64
+	walRecs  int
+	unsynced int
+	segGen   uint64 // generation of the loaded/serving segment
+	maxGen   uint64 // highest generation present on disk (damaged ones included)
+	segPath  string
+	segBytes int64
+	segDocs  int
+	lastSeal time.Time
+}
+
+// Open prepares a data directory for serving: creates it if missing,
+// removes orphaned temp files from interrupted segment writes, loads
+// the newest readable segment (falling back across generations if the
+// newest is damaged), replays the WAL tail, truncates any torn record,
+// and leaves the WAL open for append. The recovered state is available
+// via Recovered.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating data dir: %w", err)
+	}
+	s := &Store{dir: dir, syncEvery: opts.syncEvery()}
+	if err := s.cleanOrphans(); err != nil {
+		return nil, err
+	}
+	rec := &Recovery{}
+	gens, err := s.scanSegments()
+	if err != nil {
+		return nil, err
+	}
+	if len(gens) > 0 {
+		// New segments number past every file present, including damaged
+		// ones a recovery skipped — names never collide.
+		s.maxGen = gens[len(gens)-1]
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		path := s.segmentPath(gens[i])
+		ix, size, err := LoadSegment(path)
+		if err != nil {
+			if !IsCorrupt(err) {
+				return nil, err
+			}
+			rec.SkippedSegments = append(rec.SkippedSegments, filepath.Base(path))
+			continue
+		}
+		rec.Index, rec.SegmentGen, rec.SegmentDocs = ix, gens[i], ix.Len()
+		s.segGen, s.segPath, s.segBytes, s.segDocs = gens[i], path, size, ix.Len()
+		break
+	}
+	walPath := filepath.Join(dir, "wal.log")
+	walDocs, goodLen, dropped, err := replayWAL(walPath)
+	if err != nil {
+		return nil, err
+	}
+	rec.WALDropped = dropped
+	seen := map[string]bool{}
+	if rec.Index != nil {
+		for i := 0; i < rec.Index.Len(); i++ {
+			seen[rec.Index.Doc(i).ID] = true
+		}
+	}
+	for _, d := range walDocs {
+		// A crash between segment rename and WAL reset leaves both
+		// holding the same documents; the segment wins.
+		if !seen[d.ID] {
+			seen[d.ID] = true
+			rec.WALDocs = append(rec.WALDocs, d)
+		}
+	}
+	f, goodLen, err := openWALForAppend(walPath, goodLen)
+	if err != nil {
+		return nil, err
+	}
+	s.wal, s.walLen, s.walRecs = f, goodLen, len(walDocs)
+	s.rec = rec
+	return s, nil
+}
+
+// Recovered returns what Open reconstructed from disk.
+func (s *Store) Recovered() *Recovery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec
+}
+
+// Dir returns the data directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// cleanOrphans removes *.tmp files left by interrupted atomic writes.
+func (s *Store) cleanOrphans() error {
+	matches, err := filepath.Glob(filepath.Join(s.dir, "*.tmp"))
+	if err != nil {
+		return fmt.Errorf("store: scanning temp files: %w", err)
+	}
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: removing orphaned %s: %w", m, err)
+		}
+	}
+	return nil
+}
+
+func (s *Store) segmentPath(gen uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("seg-%016d.seg", gen))
+}
+
+// scanSegments returns the segment generations present, ascending.
+func (s *Store) scanSegments() ([]uint64, error) {
+	matches, err := filepath.Glob(filepath.Join(s.dir, "seg-*.seg"))
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning segments: %w", err)
+	}
+	var gens []uint64
+	for _, m := range matches {
+		base := filepath.Base(m)
+		var gen uint64
+		if _, err := fmt.Sscanf(strings.TrimSuffix(base, ".seg"), "seg-%d", &gen); err != nil {
+			continue // not ours
+		}
+		gens = append(gens, gen)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// LoadSegment reads and validates one segment file into a Prepared,
+// query-ready index. Decode errors satisfy IsCorrupt.
+func LoadSegment(path string) (*mining.Index, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: reading segment: %w", err)
+	}
+	snap, err := DecodeSegment(data)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: segment %s: %w", filepath.Base(path), err)
+	}
+	ix, err := mining.FromSnapshot(snap)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: store: segment %s: %v", errCorrupt, filepath.Base(path), err)
+	}
+	ix.Prepare()
+	return ix, int64(len(data)), nil
+}
+
+// WriteSegment atomically persists a sealed index as the next segment
+// generation: encode, write to a temp file, fsync, rename into place,
+// fsync the directory. Older generations beyond one fallback are
+// pruned. The WAL is untouched — call ResetWAL once the segment is
+// durable (a crash in between is handled by recovery's dedup).
+func (s *Store) WriteSegment(ix *mining.Index) (Stats, error) {
+	data := EncodeSegment(ix.Export())
+	s.mu.Lock()
+	gen := max(s.segGen, s.maxGen) + 1
+	s.mu.Unlock()
+
+	path := s.segmentPath(gen)
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, data); err != nil {
+		os.Remove(tmp)
+		return Stats{}, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return Stats{}, fmt.Errorf("store: publishing segment: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return Stats{}, err
+	}
+
+	s.mu.Lock()
+	s.segGen, s.maxGen = gen, gen
+	s.segPath, s.segBytes, s.segDocs = path, int64(len(data)), ix.Len()
+	s.lastSeal = time.Now()
+	s.mu.Unlock()
+
+	// Keep the previous generation as a fallback against latent media
+	// corruption; prune everything older.
+	gens, err := s.scanSegments()
+	if err == nil {
+		for _, g := range gens {
+			if g+1 < gen {
+				os.Remove(s.segmentPath(g))
+			}
+		}
+	}
+	return s.Stats(), nil
+}
+
+// writeFileSync writes data to path and fsyncs it before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating %s: %w", filepath.Base(path), err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a completed rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: opening data dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing data dir: %w", err)
+	}
+	return nil
+}
+
+// AppendWAL logs one ingested document, fsyncing on the configured
+// cadence. Called from the single ingest goroutine.
+func (s *Store) AppendWAL(doc mining.Document) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return fmt.Errorf("store: AppendWAL on a closed store")
+	}
+	rec := appendWALRecord(nil, doc)
+	if _, err := s.wal.Write(rec); err != nil {
+		return fmt.Errorf("store: appending WAL record: %w", err)
+	}
+	s.walLen += int64(len(rec))
+	s.walRecs++
+	s.unsynced++
+	if s.unsynced >= s.syncEvery {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: syncing WAL: %w", err)
+		}
+		s.unsynced = 0
+	}
+	return nil
+}
+
+// SyncWAL forces any buffered-in-kernel WAL records to disk regardless
+// of the cadence.
+func (s *Store) SyncWAL() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil || s.unsynced == 0 {
+		return nil
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: syncing WAL: %w", err)
+	}
+	s.unsynced = 0
+	return nil
+}
+
+// ResetWAL empties the log — every record is now covered by a durable
+// segment.
+func (s *Store) ResetWAL() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return fmt.Errorf("store: ResetWAL on a closed store")
+	}
+	if err := s.wal.Truncate(walHeaderLen); err != nil {
+		return fmt.Errorf("store: resetting WAL: %w", err)
+	}
+	if _, err := s.wal.Seek(walHeaderLen, 0); err != nil {
+		return fmt.Errorf("store: resetting WAL: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: syncing reset WAL: %w", err)
+	}
+	s.walLen, s.walRecs, s.unsynced = walHeaderLen, 0, 0
+	return nil
+}
+
+// Stats returns the store's current persistence state.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		SegmentGen:   s.segGen,
+		SegmentPath:  s.segPath,
+		SegmentBytes: s.segBytes,
+		SegmentDocs:  s.segDocs,
+		WALRecords:   s.walRecs,
+		WALBytes:     s.walLen,
+		LastSeal:     s.lastSeal,
+	}
+}
+
+// Close syncs and closes the WAL. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Sync()
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	s.wal = nil
+	return err
+}

@@ -1,0 +1,442 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bivoc/internal/annotate"
+	"bivoc/internal/mining"
+)
+
+// corpus builds n deterministic documents spanning every dimension
+// family (several concept categories, fields, time buckets).
+func corpus(n int, seed int64) []mining.Document {
+	rnd := rand.New(rand.NewSource(seed))
+	cats := []string{"intent", "discount", "place"}
+	canon := []string{"weak start", "strong start", "aaa", "coupon", "austin"}
+	outcomes := []string{"reservation", "unbooked", "service"}
+	docs := make([]mining.Document, n)
+	for i := range docs {
+		var cs []annotate.Concept
+		for j := 0; j < rnd.Intn(4); j++ {
+			cs = append(cs, annotate.Concept{
+				Category:  cats[rnd.Intn(len(cats))],
+				Canonical: canon[rnd.Intn(len(canon))],
+				Start:     rnd.Intn(20),
+				End:       20 + rnd.Intn(20),
+			})
+		}
+		docs[i] = mining.Document{
+			ID:       fmt.Sprintf("doc-%05d", i),
+			Concepts: cs,
+			Fields: map[string]string{
+				"outcome": outcomes[rnd.Intn(len(outcomes))],
+				"agent":   fmt.Sprintf("A%d", rnd.Intn(5)),
+			},
+			Time: rnd.Intn(10),
+		}
+	}
+	return docs
+}
+
+// sealedIndex builds the sealed, Prepared index over docs — the object
+// segments persist.
+func sealedIndex(docs []mining.Document) *mining.Index {
+	si := mining.NewStreamIndex()
+	si.AddBatch(docs)
+	return si.Seal()
+}
+
+// indexQueriesEqual compares two indexes across every query family and
+// reports the first divergence.
+func indexQueriesEqual(t *testing.T, got, want *mining.Index) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("Len: got %d want %d", got.Len(), want.Len())
+	}
+	weak := mining.ConceptDim("intent", "weak start")
+	res := mining.FieldDim("outcome", "reservation")
+	conj := mining.AndDim(weak, res)
+	for _, d := range []mining.Dim{weak, res, conj, mining.CategoryDim("discount")} {
+		if a, b := got.Count(d), want.Count(d); a != b {
+			t.Errorf("Count(%s): got %d want %d", d.Label(), a, b)
+		}
+		if !reflect.DeepEqual(got.Trend(d), want.Trend(d)) {
+			t.Errorf("Trend(%s) diverges", d.Label())
+		}
+	}
+	if !reflect.DeepEqual(got.DrillDown(weak, res), want.DrillDown(weak, res)) {
+		t.Error("DrillDown diverges")
+	}
+	if !reflect.DeepEqual(got.RelativeFrequency("discount", conj), want.RelativeFrequency("discount", conj)) {
+		t.Error("RelativeFrequency diverges")
+	}
+	rows := []mining.Dim{weak, mining.ConceptDim("intent", "strong start")}
+	cols := []mining.Dim{res, mining.FieldDim("outcome", "unbooked")}
+	if !reflect.DeepEqual(got.Associate(rows, cols, 0.95), want.Associate(rows, cols, 0.95)) {
+		t.Error("Associate diverges")
+	}
+	for _, cat := range []string{"intent", "discount", "place"} {
+		if !reflect.DeepEqual(got.ConceptsInCategory(cat), want.ConceptsInCategory(cat)) {
+			t.Errorf("ConceptsInCategory(%s) diverges", cat)
+		}
+	}
+	if !reflect.DeepEqual(got.FieldValues("outcome"), want.FieldValues("outcome")) {
+		t.Error("FieldValues diverges")
+	}
+}
+
+func TestSegmentEncodeDecodeRoundTrip(t *testing.T) {
+	ix := sealedIndex(corpus(200, 1))
+	snap, err := DecodeSegment(EncodeSegment(ix.Export()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mining.FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Prepare()
+	indexQueriesEqual(t, got, ix)
+}
+
+func TestSegmentEncodeDeterministic(t *testing.T) {
+	ix := sealedIndex(corpus(100, 2))
+	if !bytes.Equal(EncodeSegment(ix.Export()), EncodeSegment(ix.Export())) {
+		t.Error("two encodings of the same index differ")
+	}
+}
+
+// TestSegmentDecodeRejectsDamage flips, truncates and contaminates real
+// segment bytes and requires a clean error (IsCorrupt) every time.
+func TestSegmentDecodeRejectsDamage(t *testing.T) {
+	good := EncodeSegment(sealedIndex(corpus(60, 3)).Export())
+	check := func(name string, data []byte) {
+		t.Helper()
+		if _, err := DecodeSegment(data); err == nil {
+			t.Errorf("%s: decoder accepted damaged segment", name)
+		} else if !IsCorrupt(err) {
+			t.Errorf("%s: error does not satisfy IsCorrupt: %v", name, err)
+		}
+	}
+	check("empty", nil)
+	check("magic only", good[:4])
+	check("truncated half", good[:len(good)/2])
+	check("truncated one byte", good[:len(good)-1])
+	for _, off := range []int{0, 5, segHeaderLen + 3, len(good) / 2, len(good) - 5} {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x40
+		check(fmt.Sprintf("bit flip at %d", off), bad)
+	}
+	check("trailing garbage", append(append([]byte(nil), good...), 0xFF, 0x01))
+	wrongVersion := append([]byte(nil), good...)
+	wrongVersion[4] = 99
+	check("wrong version", wrongVersion)
+}
+
+func TestStoreWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	docs := corpus(150, 4)
+	ix := sealedIndex(docs)
+
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := st.Recovered(); rec.Index != nil || len(rec.WALDocs) != 0 {
+		t.Fatalf("fresh dir recovered state: %+v", rec)
+	}
+	info, err := st.WriteSegment(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SegmentGen != 1 || info.SegmentDocs != len(docs) || info.SegmentBytes <= 0 {
+		t.Fatalf("segment stats: %+v", info)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := st2.Recovered()
+	if rec.Index == nil || rec.SegmentGen != 1 || len(rec.WALDocs) != 0 {
+		t.Fatalf("recovery: gen=%d docs=%d wal=%d", rec.SegmentGen, rec.SegmentDocs, len(rec.WALDocs))
+	}
+	indexQueriesEqual(t, rec.Index, ix)
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	docs := corpus(40, 5)
+	st, err := Open(dir, Options{SyncEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		if err := st.AppendWAL(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := st2.Recovered()
+	if rec.Index != nil {
+		t.Fatal("no segment was written, but recovery has one")
+	}
+	if !reflect.DeepEqual(rec.WALDocs, docs) {
+		t.Fatalf("WAL replay returned %d docs, want %d (or content diverges)", len(rec.WALDocs), len(docs))
+	}
+}
+
+// TestWALTornTail simulates a crash mid-record: appending garbage and
+// cutting a record short must both replay to exactly the intact prefix,
+// and the reopened WAL must truncate the tail and keep appending.
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	docs := corpus(20, 6)
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs[:10] {
+		if err := st.AppendWAL(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	walPath := filepath.Join(dir, "wal.log")
+
+	// Crash mid-write: a partial record at the tail.
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append([]byte(nil), full...)
+	torn = appendWALRecord(torn, docs[10])
+	torn = torn[:len(torn)-3]
+	if err := os.WriteFile(walPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := st2.Recovered()
+	if len(rec.WALDocs) != 10 || rec.WALDropped == 0 {
+		t.Fatalf("torn replay: %d docs, %d dropped bytes", len(rec.WALDocs), rec.WALDropped)
+	}
+	// The torn tail must be gone: appending and replaying again yields
+	// exactly 11 records.
+	if err := st2.AppendWAL(docs[10]); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	st3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if got := st3.Recovered().WALDocs; !reflect.DeepEqual(got, docs[:11]) {
+		t.Fatalf("after truncate+append: %d docs, want 11 matching", len(got))
+	}
+}
+
+// TestRecoveryDedupSegmentAndWAL covers the crash window between
+// segment rename and WAL reset: both hold the same documents, and
+// recovery must keep each exactly once (segment copy wins).
+func TestRecoveryDedupSegmentAndWAL(t *testing.T) {
+	dir := t.TempDir()
+	docs := corpus(30, 7)
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		if err := st.AppendWAL(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.WriteSegment(sealedIndex(docs)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash here: no ResetWAL.
+	st.Close()
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := st2.Recovered()
+	if rec.Index == nil || rec.Index.Len() != len(docs) {
+		t.Fatalf("segment not recovered: %+v", rec)
+	}
+	if len(rec.WALDocs) != 0 {
+		t.Fatalf("WAL docs not deduplicated against segment: %d left", len(rec.WALDocs))
+	}
+	if got := len(rec.Docs()); got != len(docs) {
+		t.Fatalf("Docs() = %d, want %d", got, len(docs))
+	}
+}
+
+// TestSegmentFallback damages the newest segment and requires recovery
+// to fall back to the previous generation.
+func TestSegmentFallback(t *testing.T) {
+	dir := t.TempDir()
+	docsA, docsB := corpus(30, 8), corpus(45, 9)
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.WriteSegment(sealedIndex(docsA)); err != nil {
+		t.Fatal(err)
+	}
+	info, err := st.WriteSegment(sealedIndex(docsB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Flip a byte in the newest segment.
+	data, err := os.ReadFile(info.SegmentPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 1
+	if err := os.WriteFile(info.SegmentPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := st2.Recovered()
+	if rec.SegmentGen != 1 || rec.Index == nil || rec.Index.Len() != len(docsA) {
+		t.Fatalf("fallback failed: gen=%d docs=%v", rec.SegmentGen, rec.SegmentDocs)
+	}
+	if len(rec.SkippedSegments) != 1 {
+		t.Fatalf("SkippedSegments = %v, want one entry", rec.SkippedSegments)
+	}
+	// The next segment write must not collide with the damaged gen 2.
+	if info, err := st2.WriteSegment(sealedIndex(docsB)); err != nil || info.SegmentGen != 3 {
+		t.Fatalf("next WriteSegment: gen=%d err=%v", info.SegmentGen, err)
+	}
+}
+
+// TestOrphanCleanup: temp files from interrupted writes disappear on
+// Open; real segments survive.
+func TestOrphanCleanup(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.WriteSegment(sealedIndex(corpus(10, 10))); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	orphan := filepath.Join(dir, "seg-0000000000000002.seg.tmp")
+	if err := os.WriteFile(orphan, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("orphaned temp file survived Open")
+	}
+	if rec := st2.Recovered(); rec.Index == nil || rec.Index.Len() != 10 {
+		t.Error("real segment did not survive orphan cleanup")
+	}
+}
+
+// TestSegmentPruning: after several seals only the newest segment and
+// one fallback generation remain on disk.
+func TestSegmentPruning(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := st.WriteSegment(sealedIndex(corpus(10+i, int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens, err := st.scanSegments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gens, []uint64{3, 4}) {
+		t.Fatalf("segments on disk after pruning: %v, want [3 4]", gens)
+	}
+}
+
+// TestResetWAL: records vanish, the header survives, appends keep
+// working.
+func TestResetWAL(t *testing.T) {
+	dir := t.TempDir()
+	docs := corpus(12, 11)
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		if err := st.AppendWAL(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.ResetWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if s := st.Stats(); s.WALRecords != 0 || s.WALBytes != walHeaderLen {
+		t.Fatalf("stats after reset: %+v", s)
+	}
+	if err := st.AppendWAL(docs[0]); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Recovered().WALDocs; len(got) != 1 || got[0].ID != docs[0].ID {
+		t.Fatalf("replay after reset+append: %v", got)
+	}
+}
+
+// TestWALRejectsForeignFile: a wal.log that was never a WAL must error,
+// not silently read as empty.
+func TestWALRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal.log"), []byte("not a wal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil || !IsCorrupt(err) {
+		t.Fatalf("Open on foreign wal.log: err=%v, want corrupt", err)
+	}
+}

@@ -1,0 +1,226 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"bivoc/internal/annotate"
+	"bivoc/internal/mining"
+)
+
+// Write-ahead log, version 1. The WAL extends the pipeline's failure
+// semantics (PR 2: in-process retries, dead-letter budgets) across
+// process death: every document the ingest loop accepts is appended
+// here before it is only held in RAM, so a crashed daemon restarts from
+// segment ∪ WAL-tail instead of losing the stream.
+//
+//	header   magic "BVWL" | version uint32 LE
+//	record   uvarint payload length | payload | CRC-32 (IEEE, over the
+//	         payload) uint32 LE
+//	payload  one document with inline strings: id · time varint ·
+//	         concepts (count, then category · canonical · start · end) ·
+//	         fields (count, key-sorted, then name · value)
+//
+// Records are self-checking and independently decodable, so replay
+// tolerates the one failure mode an append-only log has: a torn tail
+// from a crash mid-write (or mid-fsync-window). Replay stops at the
+// first record that is short or fails its CRC, reports how many bytes
+// it dropped, and the writer truncates the file back to the last good
+// record before appending again.
+
+var walMagic = [4]byte{'B', 'V', 'W', 'L'}
+
+const (
+	walVersion   = 1
+	walHeaderLen = 8
+)
+
+// appendWALRecord encodes one document as a WAL record into buf.
+func appendWALRecord(buf []byte, doc mining.Document) []byte {
+	w := &writer{buf: make([]byte, 0, 256)}
+	w.str(doc.ID)
+	w.varint(int64(doc.Time))
+	w.uvarint(uint64(len(doc.Concepts)))
+	for _, c := range doc.Concepts {
+		w.str(c.Category)
+		w.str(c.Canonical)
+		w.varint(int64(c.Start))
+		w.varint(int64(c.End))
+	}
+	keys := make([]string, 0, len(doc.Fields))
+	for k := range doc.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.str(k)
+		w.str(doc.Fields[k])
+	}
+
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(w.buf)))
+	buf = append(buf, hdr[:n]...)
+	buf = append(buf, w.buf...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(w.buf))
+}
+
+// decodeWALPayload parses one record payload back into a document.
+func decodeWALPayload(payload []byte) (mining.Document, error) {
+	r := &reader{buf: payload}
+	var doc mining.Document
+	var err error
+	if doc.ID, err = r.str(); err != nil {
+		return doc, err
+	}
+	tm, err := r.varint()
+	if err != nil {
+		return doc, err
+	}
+	doc.Time = int(tm)
+	nc, err := r.count("concept")
+	if err != nil {
+		return doc, err
+	}
+	if nc > 0 {
+		doc.Concepts = make([]annotate.Concept, nc)
+		for i := range doc.Concepts {
+			c := &doc.Concepts[i]
+			if c.Category, err = r.str(); err != nil {
+				return doc, err
+			}
+			if c.Canonical, err = r.str(); err != nil {
+				return doc, err
+			}
+			start, err := r.varint()
+			if err != nil {
+				return doc, err
+			}
+			end, err := r.varint()
+			if err != nil {
+				return doc, err
+			}
+			c.Start, c.End = int(start), int(end)
+		}
+	}
+	nf, err := r.count("field")
+	if err != nil {
+		return doc, err
+	}
+	if nf > 0 {
+		doc.Fields = make(map[string]string, nf)
+		for i := 0; i < nf; i++ {
+			k, err := r.str()
+			if err != nil {
+				return doc, err
+			}
+			v, err := r.str()
+			if err != nil {
+				return doc, err
+			}
+			if _, dup := doc.Fields[k]; dup {
+				return doc, corruptf("WAL document %q repeats field %q", doc.ID, k)
+			}
+			doc.Fields[k] = v
+		}
+	}
+	if r.remaining() != 0 {
+		return doc, corruptf("%d trailing bytes in WAL record for %q", r.remaining(), doc.ID)
+	}
+	return doc, nil
+}
+
+// replayWAL reads every intact record from a WAL file. It returns the
+// decoded documents, the byte offset just past the last good record
+// (the truncation point for re-opening the log for append), and the
+// number of torn-tail bytes dropped. A missing file is an empty log. A
+// bad header is corruption — unlike a torn tail, it means the file was
+// never a WAL, and silently treating it as empty could shadow data.
+func replayWAL(path string) (docs []mining.Document, goodLen int64, dropped int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, 0, nil
+		}
+		return nil, 0, 0, fmt.Errorf("store: reading WAL: %w", err)
+	}
+	return replayWALData(data)
+}
+
+// replayWALData is replayWAL over in-memory bytes (also the fuzz
+// surface: it must error, never panic, on arbitrary input).
+func replayWALData(data []byte) (docs []mining.Document, goodLen int64, dropped int64, err error) {
+	if len(data) < walHeaderLen {
+		if len(data) == 0 {
+			return nil, 0, 0, nil
+		}
+		return nil, 0, 0, corruptf("WAL header truncated (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != walMagic {
+		return nil, 0, 0, corruptf("bad WAL magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != walVersion {
+		return nil, 0, 0, corruptf("unsupported WAL version %d (want %d)", v, walVersion)
+	}
+	off := int64(walHeaderLen)
+	for off < int64(len(data)) {
+		plen, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			break // torn tail: length prefix incomplete
+		}
+		rem := int64(len(data)) - off - int64(n)
+		if rem < 4 || plen > uint64(rem-4) {
+			break // torn tail: record shorter than payload + CRC
+		}
+		start := off + int64(n)
+		payload := data[start : start+int64(plen)]
+		want := binary.LittleEndian.Uint32(data[start+int64(plen) : start+int64(plen)+4])
+		if crc32.ChecksumIEEE(payload) != want {
+			break // torn or bit-flipped record
+		}
+		doc, derr := decodeWALPayload(payload)
+		if derr != nil {
+			// CRC passed but the payload does not parse: written by a
+			// different codec, not a torn tail. Refuse the whole log.
+			return nil, 0, 0, fmt.Errorf("store: WAL record at offset %d: %w", off, derr)
+		}
+		docs = append(docs, doc)
+		off = start + int64(plen) + 4
+	}
+	return docs, off, int64(len(data)) - off, nil
+}
+
+// openWALForAppend opens (creating if needed) the WAL positioned for
+// appending at goodLen, truncating any torn tail found by replay.
+func openWALForAppend(path string, goodLen int64) (*os.File, int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: opening WAL: %w", err)
+	}
+	if goodLen < walHeaderLen {
+		// Fresh or empty file: (re)write the header.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("store: truncating WAL: %w", err)
+		}
+		hdr := append([]byte{}, walMagic[:]...)
+		hdr = binary.LittleEndian.AppendUint32(hdr, walVersion)
+		if _, err := f.WriteAt(hdr, 0); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("store: writing WAL header: %w", err)
+		}
+		goodLen = walHeaderLen
+	} else if err := f.Truncate(goodLen); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("store: truncating WAL torn tail: %w", err)
+	}
+	if _, err := f.Seek(goodLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("store: seeking WAL: %w", err)
+	}
+	return f, goodLen, nil
+}
