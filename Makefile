@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-pipeline bench-server bench-link bench-mine bench-store bench-build examples smoke
+.PHONY: check vet build test race bench bench-pipeline bench-server bench-link bench-mine bench-store bench-seg bench-build examples smoke
 
 check: vet build race examples smoke
 
@@ -60,6 +60,14 @@ bench-mine:
 #   make bench-store BENCH_FLAGS='-cpuprofile=cpu.out'
 bench-store:
 	$(GO) test -bench='BenchmarkStore' -benchmem -run='^$$' $(BENCH_FLAGS) .
+
+# The segment-architecture benchmarks recorded in BENCH_seg.json: swap
+# latency vs corpus size at a fixed ingest batch (monolithic reseal vs
+# segmented seal) and monolithic vs 8-segment fan-in query latency.
+# Pass profiler hooks through BENCH_FLAGS, e.g.
+#   make bench-seg BENCH_FLAGS='-cpuprofile=cpu.out'
+bench-seg:
+	$(GO) test -bench='BenchmarkSeg' -benchmem -run='^$$' $(BENCH_FLAGS) .
 
 # One iteration of every benchmark, so benchmark code cannot rot.
 bench-build:

@@ -1,0 +1,139 @@
+package bivoc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"bivoc/internal/annotate"
+	"bivoc/internal/mining"
+)
+
+// Segment-architecture benchmarks: what a snapshot swap costs under the
+// old monolithic rebuild (reseal the whole corpus) versus the segmented
+// publish (seal only the pending batch), across a 10x corpus growth at
+// a fixed batch size — the O(corpus) vs O(new docs) claim — plus the
+// query-side price of fanning in across segments. `make bench-seg`
+// records the results in BENCH_seg.json.
+
+// segBenchDoc builds the i-th synthetic document of the swap corpus:
+// topic/place concepts, outcome/parity fields, a time bucket — the same
+// dimensional shape as the serving-layer tests.
+func segBenchDoc(i int) mining.Document {
+	topics := []string{"billing", "coverage", "roadside", "upgrade", "refund"}
+	parity := "even"
+	if i%2 == 1 {
+		parity = "odd"
+	}
+	concepts := []annotate.Concept{
+		{Category: "topic", Canonical: topics[i%len(topics)]},
+	}
+	if i%5 == 0 {
+		concepts = append(concepts, annotate.Concept{Category: "place", Canonical: "austin"})
+	}
+	return mining.Document{
+		ID:       fmt.Sprintf("seg-%07d", i),
+		Concepts: concepts,
+		Fields:   map[string]string{"parity": parity, "outcome": []string{"reservation", "unbooked", "service"}[i%3]},
+		Time:     i / 100,
+	}
+}
+
+func segBenchDocs(n int) []mining.Document {
+	docs := make([]mining.Document, n)
+	for i := range docs {
+		docs[i] = segBenchDoc(i)
+	}
+	return docs
+}
+
+// sealBatch is the segmented publish path: seal exactly these docs.
+func sealBatch(docs []mining.Document) *mining.Index {
+	si := mining.NewStreamIndex()
+	si.AddBatch(docs)
+	return si.Seal()
+}
+
+// BenchmarkSegSwap is the headline tentpole comparison: publish cost at
+// a fixed 200-document ingest batch as the already-indexed corpus grows
+// 10x (2k → 20k docs). monolithic-reseal is what the serving layer did
+// before segments (rebuild corpus+batch); segmented-seal is what it
+// does now (seal only the batch). The acceptance bar is the segmented
+// numbers staying flat (±20%) across the growth while the monolithic
+// ones scale with the corpus.
+func BenchmarkSegSwap(b *testing.B) {
+	const batchSize = 200
+	for _, corpusSize := range []int{2000, 20000} {
+		corpus := segBenchDocs(corpusSize)
+		batch := segBenchDocs(corpusSize + batchSize)[corpusSize:]
+		b.Run(fmt.Sprintf("monolithic-reseal/corpus-%d", corpusSize), func(b *testing.B) {
+			all := append(append([]mining.Document(nil), corpus...), batch...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ix := sealBatch(all); ix.Len() != corpusSize+batchSize {
+					b.Fatal("bad reseal")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("segmented-seal/corpus-%d", corpusSize), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ix := sealBatch(batch); ix.Len() != batchSize {
+					b.Fatal("bad batch seal")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSegQuery prices the read-side fan-in: the mining hot path
+// (four-dim Count, a 3x3 association table, a trend) against one
+// monolithic index versus a SegmentSet over the same corpus split into
+// 8 segments — the bound the background compactor maintains.
+func BenchmarkSegQuery(b *testing.B) {
+	const corpusSize, nsegs = 20000, 8
+	docs := segBenchDocs(corpusSize)
+	mono := sealBatch(docs)
+	parts := make([][]mining.Document, nsegs)
+	for i, d := range docs {
+		parts[i%nsegs] = append(parts[i%nsegs], d)
+	}
+	segs := make([]*mining.Index, nsegs)
+	for i, p := range parts {
+		segs[i] = sealBatch(p)
+	}
+	set := mining.NewSegmentSet(segs...)
+
+	dims := []mining.Dim{
+		mining.ConceptDim("topic", "billing"),
+		mining.FieldDim("outcome", "reservation"),
+		mining.CategoryDim("place"),
+		mining.AndDim(mining.ConceptDim("topic", "billing"), mining.FieldDim("outcome", "reservation")),
+	}
+	rows := []mining.Dim{
+		mining.ConceptDim("topic", "billing"),
+		mining.ConceptDim("topic", "coverage"),
+		mining.ConceptDim("topic", "roadside"),
+	}
+	cols := []mining.Dim{
+		mining.FieldDim("outcome", "reservation"),
+		mining.FieldDim("outcome", "unbooked"),
+		mining.FieldDim("outcome", "service"),
+	}
+	for _, src := range []struct {
+		name string
+		q    mining.Querier
+	}{{"monolithic", mono}, {"segments-8", set}} {
+		b.Run(src.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, d := range dims {
+					src.q.Count(d)
+				}
+				src.q.AssociateN(rows, cols, 0.95, 1)
+				src.q.Trend(dims[0])
+			}
+		})
+	}
+}

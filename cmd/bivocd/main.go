@@ -9,8 +9,8 @@
 //
 //	bivocd [-addr HOST:PORT] [-asr] [-notes] [-seed N] [-calls N]
 //	       [-days N] [-workers N] [-swap-interval D] [-swap-every N]
-//	       [-cache N] [-confidence P] [-assoc-workers N] [-drain-timeout D]
-//	       [-data-dir PATH] [-wal-sync N]
+//	       [-max-segments N] [-cache N] [-confidence P] [-assoc-workers N]
+//	       [-drain-timeout D] [-data-dir PATH] [-wal-sync N]
 //
 // With -data-dir the daemon is durable: every ingested call is logged
 // to an on-disk WAL (fsynced every -wal-sync documents), the sealed
@@ -59,6 +59,7 @@ func main() {
 	workers := flag.Int("workers", 0, "per-stage ingest worker count (0 = GOMAXPROCS)")
 	swapInterval := flag.Duration("swap-interval", time.Second, "publish a fresh index snapshot this often (0 = off)")
 	swapEvery := flag.Int("swap-every", 0, "publish a fresh snapshot every N ingested calls (0 = off)")
+	maxSegments := flag.Int("max-segments", 0, "compact the serving index past this many segments (0 = default 8, negative = never)")
 	cacheSize := flag.Int("cache", 0, "query-result cache entries per snapshot (0 = default 256, negative = off)")
 	confidence := flag.Float64("confidence", 0.95, "default association-interval confidence")
 	assocWorkers := flag.Int("assoc-workers", 0, "workers per association-table request (0 = GOMAXPROCS)")
@@ -71,6 +72,7 @@ func main() {
 	cfg.Addr = *addr
 	cfg.SwapInterval = *swapInterval
 	cfg.SwapEvery = *swapEvery
+	cfg.MaxSegments = *maxSegments
 	cfg.CacheSize = *cacheSize
 	cfg.AssociateWorkers = *assocWorkers
 	cfg.DrainTimeout = *drainTimeout

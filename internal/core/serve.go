@@ -23,6 +23,10 @@ type ServeConfig struct {
 	// (time-based and every-N-documents; see server.Config).
 	SwapInterval time.Duration
 	SwapEvery    int
+	// MaxSegments bounds the serving index's live immutable segment
+	// count; past it a background compaction merges the smallest
+	// segments (0 = server default, negative = unbounded).
+	MaxSegments int
 	// CacheSize bounds the per-snapshot query-result cache.
 	CacheSize int
 	// AssociateWorkers fans each /v1/associate cell grid across this
@@ -105,6 +109,7 @@ func NewServeServer(cfg ServeConfig) (*server.Server, error) {
 		PipelineStats:    p.Stats,
 		SwapInterval:     cfg.SwapInterval,
 		SwapEvery:        cfg.SwapEvery,
+		MaxSegments:      cfg.MaxSegments,
 		CacheSize:        cfg.CacheSize,
 		Confidence:       cfg.Analysis.Confidence,
 		AssociateWorkers: cfg.AssociateWorkers,

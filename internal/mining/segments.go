@@ -1,0 +1,399 @@
+package mining
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"bivoc/internal/stats"
+)
+
+// This file implements the LSM-style segmented index: instead of one
+// monolithic Index resealed per snapshot swap (O(corpus)), the serving
+// layer holds N immutable sealed segments and publishes a swap by
+// sealing only the documents that arrived since the last one (O(new
+// docs)). Queries fan in across segments over disjoint document sets:
+//
+//   - counts, joint counts, trends and drill-downs are additive;
+//   - relative frequencies and association tables merge on the integer
+//     marginals first and only then apply the ratio / Wilson-interval
+//     float math, in exactly the monolithic operation order — never by
+//     averaging per-segment floats.
+//
+// That merge discipline is what makes a SegmentSet byte-identical to a
+// monolithic Index over the same corpus (the oracle pinned by
+// segments_test.go at segment counts {1, 2, 8} and across compactions).
+
+// Querier is the read side shared by the monolithic *Index and the
+// segmented *SegmentSet: every analytics entry point the serving layer
+// exposes. A snapshot can hold either implementation; responses are
+// byte-identical for the same corpus.
+type Querier interface {
+	Len() int
+	Count(d Dim) int
+	CountBoth(a, b Dim) int
+	DrillDown(a, b Dim) []Document
+	ConceptsInCategory(category string) []string
+	FieldValues(field string) []string
+	RelativeFrequency(category string, featured Dim) []Relevance
+	AssociateN(rows, cols []Dim, confidence float64, workers int) *AssocTable
+	Trend(d Dim) []TrendPoint
+}
+
+var (
+	_ Querier = (*Index)(nil)
+	_ Querier = (*SegmentSet)(nil)
+)
+
+// SegmentSet is an immutable view over sealed segments with disjoint
+// document sets (no document ID appears in more than one segment).
+// Like a sealed Index, it is safe for concurrent queries; segments are
+// never mutated through it.
+type SegmentSet struct {
+	segs  []*Index
+	total int
+}
+
+// NewSegmentSet returns a set over the given segments. The slice is
+// copied; the segments themselves are shared and must be treated as
+// sealed (Prepared) from here on.
+func NewSegmentSet(segs ...*Index) *SegmentSet {
+	s := &SegmentSet{segs: append([]*Index(nil), segs...)}
+	for _, ix := range s.segs {
+		s.total += ix.Len()
+	}
+	return s
+}
+
+// Segments returns the member segments (read-only).
+func (s *SegmentSet) Segments() []*Index { return s.segs }
+
+// SegmentLens returns the document count of each member segment.
+func (s *SegmentSet) SegmentLens() []int {
+	out := make([]int, len(s.segs))
+	for i, ix := range s.segs {
+		out[i] = ix.Len()
+	}
+	return out
+}
+
+// MergeSegments compacts segments into one sealed segment holding the
+// union of their documents (sorted by ID, the same order StreamIndex.Seal
+// produces). Every query result over the merged segment is identical to
+// the fan-in over its inputs, so compaction is invisible to readers.
+func MergeSegments(segs ...*Index) *Index {
+	var docs []Document
+	for _, ix := range segs {
+		docs = append(docs, ix.docs...)
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].ID < docs[j].ID })
+	out := NewIndex()
+	for _, d := range docs {
+		out.Add(d)
+	}
+	out.Prepare()
+	return out
+}
+
+// segPostings resolves a dimension's postings inside one segment,
+// honoring the per-call oracle flag: the naive hash-set path also
+// returns position-sorted lists, so countIntersect works on either.
+// Ownership as in resolve (naive results are never scratch-owned).
+func segPostings(ix *Index, ctx *queryCtx, d Dim) (posts []int, owned bool) {
+	if ctx.naive {
+		return ix.postingsNaive(d), false
+	}
+	return ix.resolve(ctx, d)
+}
+
+// Len returns the total number of documents across segments.
+func (s *SegmentSet) Len() int { return s.total }
+
+// Count sums the per-segment matches — segments hold disjoint documents.
+func (s *SegmentSet) Count(d Dim) int {
+	n := 0
+	for _, ix := range s.segs {
+		n += ix.Count(d)
+	}
+	return n
+}
+
+// CountBoth sums the per-segment joint counts.
+func (s *SegmentSet) CountBoth(a, b Dim) int {
+	n := 0
+	for _, ix := range s.segs {
+		n += ix.CountBoth(a, b)
+	}
+	return n
+}
+
+// DrillDown concatenates the per-segment matches and re-sorts by
+// document ID — the same total order the monolithic index returns,
+// because IDs are unique across segments.
+func (s *SegmentSet) DrillDown(a, b Dim) []Document {
+	var out []Document
+	for _, ix := range s.segs {
+		out = append(out, ix.DrillDown(a, b)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ConceptsInCategory merges per-segment document frequencies per
+// canonical form, then applies the monolithic report order (frequency
+// descending, ties lexicographic). Always non-nil, like the monolithic
+// paths.
+func (s *SegmentSet) ConceptsInCategory(category string) []string {
+	df := map[string]int{}
+	for _, ix := range s.segs {
+		for k, posts := range ix.byConcept {
+			if k[0] == category {
+				df[k[1]] += len(posts)
+			}
+		}
+	}
+	type cc struct {
+		canon string
+		n     int
+	}
+	all := make([]cc, 0, len(df))
+	for canon, n := range df {
+		all = append(all, cc{canon, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].canon < all[j].canon
+	})
+	out := make([]string, len(all))
+	for i, c := range all {
+		out[i] = c.canon
+	}
+	return out
+}
+
+// FieldValues unions the per-segment value sets, sorted; nil when the
+// field is absent everywhere (matching the monolithic index).
+func (s *SegmentSet) FieldValues(field string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, ix := range s.segs {
+		for k := range ix.byField {
+			if k[0] == field && !seen[k[1]] {
+				seen[k[1]] = true
+				out = append(out, k[1])
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RelativeFrequency merges the integer marginals per concept — subset
+// size, in-subset count, corpus frequency — across segments, then
+// applies the monolithic ratio math and ordering on the merged counts.
+func (s *SegmentSet) RelativeFrequency(category string, featured Dim) []Relevance {
+	type acc struct {
+		inSubset, inAll int
+	}
+	merged := map[string]*acc{}
+	subsetSize := 0
+	for _, ix := range s.segs {
+		ctx := acquireQueryCtx()
+		subset, owned := segPostings(ix, ctx, featured)
+		subsetSize += len(subset)
+		for k, posts := range ix.byConcept {
+			if k[0] != category {
+				continue
+			}
+			a := merged[k[1]]
+			if a == nil {
+				a = &acc{}
+				merged[k[1]] = a
+			}
+			a.inSubset += countIntersect(posts, subset)
+			a.inAll += len(posts)
+		}
+		if owned {
+			ctx.putBuf(subset)
+		}
+		releaseQueryCtx(ctx)
+	}
+	n := s.total
+	var out []Relevance
+	for canon, a := range merged {
+		r := Relevance{
+			Concept:  canon,
+			InSubset: a.inSubset, SubsetSize: subsetSize,
+			InAll: a.inAll, N: n,
+		}
+		if subsetSize > 0 && a.inAll > 0 && n > 0 {
+			pSub := float64(a.inSubset) / float64(subsetSize)
+			pAll := float64(a.inAll) / float64(n)
+			r.Ratio = pSub / pAll
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ratio != out[j].Ratio {
+			return out[i].Ratio > out[j].Ratio
+		}
+		return out[i].Concept < out[j].Concept
+	})
+	return out
+}
+
+// AssociateN builds the association table from marginals merged across
+// segments: per-dimension counts and per-cell joint counts are summed
+// as integers, and only then does each cell run the monolithic float
+// pipeline (point index, Wilson intervals from the merged counts via
+// stats.WilsonIntervalZ — never averaged per-segment intervals). The
+// cell grid fans across workers exactly like the monolithic path, and
+// the table is byte-identical at any worker count.
+func (s *SegmentSet) AssociateN(rows, cols []Dim, confidence float64, workers int) *AssocTable {
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	n := s.total
+	z := stats.WilsonZ(confidence)
+	tbl := &AssocTable{Rows: rows, Cols: cols, Confidence: confidence}
+	tbl.Cells = make([][]Cell, len(rows))
+	for i := range tbl.Cells {
+		tbl.Cells[i] = make([]Cell, len(cols))
+	}
+
+	// Materialize every marginal's postings once per segment; merged
+	// marginal counts follow by summing lengths.
+	segRow := make([][][]int, len(s.segs)) // [seg][row]postings
+	segCol := make([][][]int, len(s.segs)) // [seg][col]postings
+	for si, ix := range s.segs {
+		ctx := acquireQueryCtx()
+		segRow[si] = segMarginPostings(ix, ctx, rows)
+		segCol[si] = segMarginPostings(ix, ctx, cols)
+		releaseQueryCtx(ctx)
+	}
+	nver := make([]int, len(rows))
+	nhor := make([]int, len(cols))
+	for si := range s.segs {
+		for i := range rows {
+			nver[i] += len(segRow[si][i])
+		}
+		for j := range cols {
+			nhor[j] += len(segCol[si][j])
+		}
+	}
+	verIv := make([]stats.Interval, len(rows))
+	horIv := make([]stats.Interval, len(cols))
+	for i := range rows {
+		verIv[i] = stats.WilsonIntervalZ(nver[i], n, z)
+	}
+	for j := range cols {
+		horIv[j] = stats.WilsonIntervalZ(nhor[j], n, z)
+	}
+
+	// fill computes one cell from the merged integer marginals into its
+	// own slot — identical float operation order to Index.AssociateN.
+	fill := func(i, j int) {
+		ncell := 0
+		for si := range s.segs {
+			ncell += countIntersect(segRow[si][i], segCol[si][j])
+		}
+		cell := Cell{
+			Row: rows[i], Col: cols[j],
+			Ncell: ncell, Nver: nver[i], Nhor: nhor[j], N: n,
+		}
+		if n > 0 && nver[i] > 0 && nhor[j] > 0 {
+			pCell := float64(ncell) / float64(n)
+			pVer := float64(nver[i]) / float64(n)
+			pHor := float64(nhor[j]) / float64(n)
+			if pVer > 0 && pHor > 0 {
+				cell.PointIndex = pCell / (pVer * pHor)
+			}
+			cellIv := stats.WilsonIntervalZ(ncell, n, z)
+			if verIv[i].Hi > 0 && horIv[j].Hi > 0 {
+				cell.LowerIndex = cellIv.Lo / (verIv[i].Hi * horIv[j].Hi)
+			}
+		}
+		tbl.Cells[i][j] = cell
+	}
+
+	cells := len(rows) * len(cols)
+	w := workers
+	if w <= 0 {
+		w = AssociateWorkers
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > cells {
+		w = cells
+	}
+	if w <= 1 {
+		for k := 0; k < cells; k++ {
+			fill(k/len(cols), k%len(cols))
+		}
+	} else {
+		var wg sync.WaitGroup
+		for wkr := 0; wkr < w; wkr++ {
+			wg.Add(1)
+			go func(wkr int) {
+				defer wg.Done()
+				for k := wkr; k < cells; k += w {
+					fill(k/len(cols), k%len(cols))
+				}
+			}(wkr)
+		}
+		wg.Wait()
+	}
+
+	for i := range rows {
+		rowTotal := 0
+		for j := range cols {
+			rowTotal += tbl.Cells[i][j].Ncell
+		}
+		if rowTotal > 0 {
+			for j := range cols {
+				tbl.Cells[i][j].RowShare = float64(tbl.Cells[i][j].Ncell) / float64(rowTotal)
+			}
+		}
+	}
+	return tbl
+}
+
+// segMarginPostings materializes one segment's postings for every
+// dimension, outliving the queryCtx: scratch-owned conjunction results
+// are copied out, everything else aliases segment-internal (read-only)
+// lists.
+func segMarginPostings(ix *Index, ctx *queryCtx, dims []Dim) [][]int {
+	if ctx.naive {
+		out := make([][]int, len(dims))
+		for i, d := range dims {
+			out[i] = ix.postingsNaive(d)
+		}
+		return out
+	}
+	return ix.marginPostings(ctx, dims)
+}
+
+// Associate is AssociateN with the package-default worker count.
+func (s *SegmentSet) Associate(rows, cols []Dim, confidence float64) *AssocTable {
+	return s.AssociateN(rows, cols, confidence, 0)
+}
+
+// Trend merges the per-segment time-bucket counts, sorted by time.
+// Non-nil even when empty, like the monolithic index.
+func (s *SegmentSet) Trend(d Dim) []TrendPoint {
+	counts := map[int]int{}
+	for _, ix := range s.segs {
+		for _, p := range ix.Trend(d) {
+			counts[p.Time] += p.Count
+		}
+	}
+	out := make([]TrendPoint, 0, len(counts))
+	for t, c := range counts {
+		out = append(out, TrendPoint{t, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}

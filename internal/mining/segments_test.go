@@ -1,0 +1,181 @@
+package mining
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The segmented-index oracle suite: a SegmentSet over any partition of a
+// corpus must be byte-identical (bit-for-bit on floats) to a monolithic
+// Index over the same documents, on every Querier entry point, in both
+// the fast-path and naive-oracle modes, and across compactions.
+
+// partitionSegments splits docs round-robin into k sealed (Prepared)
+// segments. Round-robin interleaves IDs across segments, so per-segment
+// doc positions never coincide with monolithic positions — the harshest
+// layout for fan-in bugs.
+func partitionSegments(docs []Document, k int) []*Index {
+	segs := make([]*Index, k)
+	for i := range segs {
+		segs[i] = NewIndex()
+	}
+	for i, d := range docs {
+		segs[i%k].Add(d)
+	}
+	for _, ix := range segs {
+		ix.Prepare()
+	}
+	return segs
+}
+
+// checkSegmentEquiv pins every Querier entry point: the segmented
+// fan-in must deeply equal the monolithic result.
+func checkSegmentEquiv(t *testing.T, w *equivWorld, set *SegmentSet) {
+	t.Helper()
+	ix := w.ix
+	if got, want := set.Len(), ix.Len(); got != want {
+		t.Fatalf("Len() = %d, monolithic %d", got, want)
+	}
+	for _, d := range w.dims {
+		if got, want := set.Count(d), ix.Count(d); got != want {
+			t.Fatalf("Count(%s) = %d, monolithic %d", d.Label(), got, want)
+		}
+		if got, want := set.Trend(d), ix.Trend(d); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Trend(%s) = %v, monolithic %v", d.Label(), got, want)
+		}
+	}
+	for i, a := range w.dims {
+		b := w.dims[(i*7+3)%len(w.dims)]
+		if got, want := set.CountBoth(a, b), ix.CountBoth(a, b); got != want {
+			t.Fatalf("CountBoth(%s, %s) = %d, monolithic %d", a.Label(), b.Label(), got, want)
+		}
+		if got, want := set.DrillDown(a, b), ix.DrillDown(a, b); !reflect.DeepEqual(got, want) {
+			t.Fatalf("DrillDown(%s, %s) diverges from monolithic", a.Label(), b.Label())
+		}
+	}
+	for _, cat := range w.cats {
+		if got, want := set.ConceptsInCategory(cat), ix.ConceptsInCategory(cat); !reflect.DeepEqual(got, want) {
+			t.Fatalf("ConceptsInCategory(%q) = %#v, monolithic %#v", cat, got, want)
+		}
+		for _, d := range w.dims {
+			got, want := set.RelativeFrequency(cat, d), ix.RelativeFrequency(cat, d)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("RelativeFrequency(%q, %s) diverges from monolithic:\n got %#v\nwant %#v",
+					cat, d.Label(), got, want)
+			}
+		}
+	}
+	for _, f := range w.fields {
+		if got, want := set.FieldValues(f), ix.FieldValues(f); !reflect.DeepEqual(got, want) {
+			t.Fatalf("FieldValues(%q) = %#v, monolithic %#v", f, got, want)
+		}
+	}
+	rows := []Dim{w.dims[0], w.dims[2], w.dims[4], w.dims[11]}
+	cols := []Dim{w.dims[8], w.dims[9], w.dims[10]}
+	for _, conf := range []float64{0, 0.90, 0.95, 0.99} {
+		want := ix.AssociateN(rows, cols, conf, 1)
+		for _, workers := range []int{1, 4, 8} {
+			got := set.AssociateN(rows, cols, conf, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("AssociateN(conf=%v, workers=%d) diverges from monolithic:\n got %#v\nwant %#v",
+					conf, workers, got, want)
+			}
+		}
+	}
+	if got, want := set.AssociateN(nil, cols, 0.95, 8), ix.AssociateN(nil, cols, 0.95, 8); !reflect.DeepEqual(got, want) {
+		t.Fatalf("AssociateN with no rows diverges from monolithic")
+	}
+}
+
+// TestSegmentSetMatchesMonolithic is the tentpole oracle: segment
+// counts {1, 2, 8}, fast and naive modes, prepared and raw monolithic
+// baselines, repeated so the prepared caches are hit warm too.
+func TestSegmentSetMatchesMonolithic(t *testing.T) {
+	rng := rand.New(rand.NewSource(20097))
+	for trial := 0; trial < 3; trial++ {
+		ndocs := 40 + rng.Intn(140)
+		seed := rng.Int63()
+		for _, k := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("world-%d-segs-%d", trial, k), func(t *testing.T) {
+				w := newEquivWorld(rand.New(rand.NewSource(seed)), ndocs)
+				set := NewSegmentSet(partitionSegments(w.ix.docs, k)...)
+				checkSegmentEquiv(t, w, set) // raw monolithic baseline
+				w.ix.Prepare()
+				checkSegmentEquiv(t, w, set) // prepared baseline, cold caches
+				checkSegmentEquiv(t, w, set) // warm conjunction + Wilson caches
+				withNaive(func() { checkSegmentEquiv(t, w, set) })
+			})
+		}
+	}
+}
+
+// TestSegmentSetAcrossCompaction pins that MergeSegments is invisible
+// to readers: fan-in over 8 segments, over progressively compacted
+// sets, and over the fully merged single segment all match the
+// monolithic index byte for byte.
+func TestSegmentSetAcrossCompaction(t *testing.T) {
+	w := newEquivWorld(rand.New(rand.NewSource(41)), 160)
+	segs := partitionSegments(w.ix.docs, 8)
+	w.ix.Prepare()
+
+	checkSegmentEquiv(t, w, NewSegmentSet(segs...))
+
+	// Size-tiered style step: merge the three smallest segments.
+	byLen := append([]*Index(nil), segs...)
+	for i := 0; i < len(byLen); i++ {
+		for j := i + 1; j < len(byLen); j++ {
+			if byLen[j].Len() < byLen[i].Len() {
+				byLen[i], byLen[j] = byLen[j], byLen[i]
+			}
+		}
+	}
+	merged := MergeSegments(byLen[0], byLen[1], byLen[2])
+	compacted := append([]*Index{merged}, byLen[3:]...)
+	checkSegmentEquiv(t, w, NewSegmentSet(compacted...))
+	withNaive(func() { checkSegmentEquiv(t, w, NewSegmentSet(compacted...)) })
+
+	// Full compaction down to one segment.
+	one := MergeSegments(segs...)
+	checkSegmentEquiv(t, w, NewSegmentSet(one))
+	if one.Len() != w.ix.Len() {
+		t.Fatalf("fully merged segment has %d docs, corpus %d", one.Len(), w.ix.Len())
+	}
+}
+
+// TestSegmentSetEdgeCases pins the degenerate shapes: no segments,
+// empty member segments, and a single-doc corpus.
+func TestSegmentSetEdgeCases(t *testing.T) {
+	empty := NewSegmentSet()
+	if empty.Len() != 0 || empty.Count(CategoryDim("issue")) != 0 {
+		t.Fatalf("empty SegmentSet is not empty")
+	}
+	if got := empty.DrillDown(CategoryDim("issue"), CategoryDim("brand")); got != nil {
+		t.Fatalf("empty DrillDown = %#v, want nil", got)
+	}
+	if got := empty.ConceptsInCategory("issue"); got == nil || len(got) != 0 {
+		t.Fatalf("empty ConceptsInCategory = %#v, want non-nil empty", got)
+	}
+	if got := empty.FieldValues("outcome"); got != nil {
+		t.Fatalf("empty FieldValues = %#v, want nil", got)
+	}
+	if got := empty.Trend(CategoryDim("issue")); got == nil || len(got) != 0 {
+		t.Fatalf("empty Trend = %#v, want non-nil empty", got)
+	}
+	tbl := empty.AssociateN([]Dim{CategoryDim("issue")}, []Dim{FieldDim("outcome", "x")}, 0.95, 4)
+	if tbl.Cells[0][0].N != 0 || tbl.Cells[0][0].PointIndex != 0 {
+		t.Fatalf("empty AssociateN cell = %#v, want zero cell", tbl.Cells[0][0])
+	}
+
+	// A set containing empty segments must behave like the non-empty one.
+	w := newEquivWorld(rand.New(rand.NewSource(9)), 60)
+	w.ix.Prepare()
+	segs := partitionSegments(w.ix.docs, 3)
+	padded := append([]*Index{NewIndex()}, segs...)
+	padded = append(padded, NewIndex())
+	for _, ix := range padded {
+		ix.Prepare()
+	}
+	checkSegmentEquiv(t, w, NewSegmentSet(padded...))
+}

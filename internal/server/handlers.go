@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -120,11 +121,12 @@ type ConceptsResponse struct {
 
 // HealthResponse answers /healthz.
 type HealthResponse struct {
-	Status      string `json:"status"`
-	Generation  uint64 `json:"generation"`
-	Sealed      bool   `json:"sealed"`
-	Docs        int    `json:"docs"`
-	IngestError string `json:"ingest_error,omitempty"`
+	Status       string `json:"status"`
+	Generation   uint64 `json:"generation"`
+	Sealed       bool   `json:"sealed"`
+	Docs         int    `json:"docs"`
+	IngestError  string `json:"ingest_error,omitempty"`
+	PersistError string `json:"persist_error,omitempty"`
 }
 
 // CacheStatsJSON is the cache section of /statsz.
@@ -157,14 +159,25 @@ type StoreStatsJSON struct {
 	PersistError         string `json:"persist_error,omitempty"`
 }
 
-// StatszResponse answers /statsz: snapshot generation, cache counters,
-// the ingest pipeline's per-stage stats (schema pinned by
-// pipeline.StageStats.MarshalJSON), and — when persistence is on — the
-// store section.
+// SegmentsJSON is the segment section of /statsz: the live immutable
+// segments the current snapshot fans queries in across, and how the
+// background compactor has been keeping their number bounded.
+type SegmentsJSON struct {
+	Count       int    `json:"count"`
+	Docs        []int  `json:"docs"`
+	MaxSegments int    `json:"max_segments"`
+	Compactions uint64 `json:"compactions"`
+}
+
+// StatszResponse answers /statsz: snapshot generation, segment layout,
+// cache counters, the ingest pipeline's per-stage stats (schema pinned
+// by pipeline.StageStats.MarshalJSON), and — when persistence is on —
+// the store section.
 type StatszResponse struct {
 	Generation  uint64                `json:"generation"`
 	Sealed      bool                  `json:"sealed"`
 	Docs        int                   `json:"docs"`
+	Segments    SegmentsJSON          `json:"segments"`
 	Cache       CacheStatsJSON        `json:"cache"`
 	Pipeline    []pipeline.StageStats `json:"pipeline"`
 	Store       *StoreStatsJSON       `json:"store,omitempty"`
@@ -201,12 +214,28 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, append(body, '\n'))
 }
 
+// badQueryError marks a compute failure as the caller's fault (a
+// malformed or unanswerable query), mapping it to 400; unmarked errors
+// are internal and map to 500.
+type badQueryError struct{ err error }
+
+func (e badQueryError) Error() string { return e.err.Error() }
+func (e badQueryError) Unwrap() error { return e.err }
+
+// badQuery wraps err so respond answers it with 400 Bad Request.
+func badQuery(err error) error { return badQueryError{err: err} }
+
 // respond is the shared query path: load the snapshot pointer exactly
 // once, consult that snapshot's cache under the canonical key, and on a
 // miss compute, marshal, and memoize the full response body. Because
 // both the index and the cache are reached through the single loaded
 // pointer, the response is self-consistent with exactly one generation
 // and a hit can never serve bytes from another generation.
+//
+// Counter contract: every request through here is exactly one hit or
+// one miss — a cache-get failure counts as a miss even when the compute
+// then fails, so hits+misses reconciles with requests served. Compute
+// failures are internal (500) unless marked with badQuery (400).
 func (s *Server) respond(w http.ResponseWriter, key string, compute func(sn *snapshot) (any, error)) {
 	if s.handlerDelay > 0 {
 		time.Sleep(s.handlerDelay)
@@ -217,12 +246,17 @@ func (s *Server) respond(w http.ResponseWriter, key string, compute func(sn *sna
 		writeJSON(w, http.StatusOK, body)
 		return
 	}
+	s.misses.Add(1)
 	v, err := compute(sn)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		status := http.StatusInternalServerError
+		var bq badQueryError
+		if errors.As(err, &bq) {
+			status = http.StatusBadRequest
+		}
+		writeErr(w, status, err)
 		return
 	}
-	s.misses.Add(1)
 	body, err := json.Marshal(v)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
@@ -272,12 +306,12 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	s.respond(w, cacheKey("count", labels...), func(sn *snapshot) (any, error) {
 		counts := make([]int, len(dims))
 		for i, d := range dims {
-			counts[i] = sn.ix.Count(d)
+			counts[i] = sn.view.Count(d)
 		}
 		return CountResponse{
 			Generation: sn.gen,
 			Sealed:     sn.sealed,
-			Total:      sn.ix.Len(),
+			Total:      sn.view.Len(),
 			Dims:       labels,
 			Counts:     counts,
 		}, nil
@@ -312,7 +346,7 @@ func (s *Server) handleAssociate(w http.ResponseWriter, r *http.Request) {
 		strings.Join(colLabels, "\x01"),
 		strconv.FormatFloat(confidence, 'g', -1, 64))
 	s.respond(w, key, func(sn *snapshot) (any, error) {
-		tbl := sn.ix.AssociateN(rows, cols, confidence, s.cfg.AssociateWorkers)
+		tbl := sn.view.AssociateN(rows, cols, confidence, s.cfg.AssociateWorkers)
 		cells := make([][]AssocCellJSON, len(tbl.Cells))
 		for i, row := range tbl.Cells {
 			cells[i] = make([]AssocCellJSON, len(row))
@@ -354,7 +388,7 @@ func (s *Server) handleRelFreq(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.respond(w, cacheKey("relfreq", category, featLabels[0]), func(sn *snapshot) (any, error) {
-		rel := sn.ix.RelativeFrequency(category, featured[0])
+		rel := sn.view.RelativeFrequency(category, featured[0])
 		rows := make([]RelevanceJSON, len(rel))
 		for i, rr := range rel {
 			rows[i] = RelevanceJSON{
@@ -401,7 +435,7 @@ func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
 	}
 	key := cacheKey("drilldown", rowLabels[0], colLabels[0], strconv.Itoa(limit))
 	s.respond(w, key, func(sn *snapshot) (any, error) {
-		docs := sn.ix.DrillDown(rows[0], cols[0])
+		docs := sn.view.DrillDown(rows[0], cols[0])
 		n := len(docs)
 		truncated := false
 		if n > limit {
@@ -441,7 +475,7 @@ func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.respond(w, cacheKey("trend", labels[0]), func(sn *snapshot) (any, error) {
-		pts := sn.ix.Trend(dims[0])
+		pts := sn.view.Trend(dims[0])
 		points := make([]TrendPointJSON, len(pts))
 		for i, p := range pts {
 			points[i] = TrendPointJSON{Time: p.Time, Count: p.Count}
@@ -475,9 +509,9 @@ func (s *Server) handleConcepts(w http.ResponseWriter, r *http.Request) {
 			Field:      field,
 		}
 		if category != "" {
-			resp.Values = sn.ix.ConceptsInCategory(category)
+			resp.Values = sn.view.ConceptsInCategory(category)
 		} else {
-			resp.Values = sn.ix.FieldValues(field)
+			resp.Values = sn.view.FieldValues(field)
 		}
 		if resp.Values == nil {
 			resp.Values = []string{}
@@ -487,14 +521,19 @@ func (s *Server) handleConcepts(w http.ResponseWriter, r *http.Request) {
 }
 
 // GET /healthz — liveness plus the serving generation. Always 200 while
-// the process serves; an ingest failure is surfaced in the body (the
-// last good snapshot keeps answering queries).
+// the process serves; ingest and persistence failures are surfaced in
+// the body as status "degraded" (the last good snapshot keeps answering
+// queries — non-durably, in the persistence case).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	gen, docs, sealed := s.SnapshotInfo()
 	resp := HealthResponse{Status: "ok", Generation: gen, Sealed: sealed, Docs: docs}
 	if err := s.IngestErr(); err != nil {
 		resp.Status = "degraded"
 		resp.IngestError = err.Error()
+	}
+	if err := s.PersistErr(); err != nil {
+		resp.Status = "degraded"
+		resp.PersistError = err.Error()
 	}
 	body, _ := json.Marshal(resp)
 	writeJSON(w, http.StatusOK, append(body, '\n'))
@@ -504,10 +543,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // hit/miss, and the ingest pipeline's per-stage stats.
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	sn := s.snap.Load()
+	segDocs, compactions := s.SegmentInfo()
 	resp := StatszResponse{
 		Generation: sn.gen,
 		Sealed:     sn.sealed,
-		Docs:       sn.ix.Len(),
+		Docs:       sn.view.Len(),
+		Segments: SegmentsJSON{
+			Count:       len(segDocs),
+			Docs:        segDocs,
+			MaxSegments: s.cfg.maxSegments(),
+			Compactions: compactions,
+		},
 		Cache: CacheStatsJSON{
 			Hits:     s.hits.Load(),
 			Misses:   s.misses.Load(),

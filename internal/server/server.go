@@ -3,25 +3,34 @@
 // (cmd/bivocd), the §IV.D interactive concept index analysts hit for
 // relative frequencies, 2-D associations, trends and drill-downs.
 //
-// Architecture — hot-swappable snapshots over a lock-free read path:
+// Architecture — immutable segments behind hot-swappable snapshots:
 //
-//	ingest loop (internal/pipeline) ──▶ docs accumulate
+//	ingest loop (internal/pipeline) ──▶ pending docs accumulate
 //	        │  every SwapInterval / SwapEvery docs
 //	        ▼
-//	mining.NewStreamIndex().AddBatch(docs).Seal()  → immutable *mining.Index
-//	        │                                         + fresh LRU cache
+//	seal ONLY the pending batch  → new immutable segment   (O(new docs))
+//	        │                       appended to the live segment list
 //	        ▼
-//	atomic.Pointer[snapshot].Store  ◀── generation++
+//	atomic.Pointer[snapshot].Store(SegmentSet over segments) ◀── generation++
 //	                                        ▲
 //	HTTP handlers: snap := ptr.Load() ──────┘  (one load per request)
 //
-// A background ingest loop drives the streaming pipeline, accumulates
-// the documents delivered so far, and on a configurable cadence builds
-// a sealed index over them (ID-sorted, so a snapshot is byte-identical
-// to batch-indexing the same documents) and publishes it behind an
-// atomic.Pointer. Handlers load the pointer exactly once per request,
-// so every response is self-consistent with exactly one generation and
-// steady-state reads never touch a lock the ingest loop holds.
+// A background ingest loop drives the streaming pipeline and
+// accumulates newly arrived documents in a pending buffer. On a
+// configurable cadence it seals just that buffer into a new immutable
+// segment (a sealed, Prepared *mining.Index) and publishes a snapshot
+// whose view is a mining.SegmentSet fanning queries in across all live
+// segments — counts, trends and drill-downs merge additively, and
+// association tables re-derive Wilson intervals from merged integer
+// marginals, so every response is byte-identical to a monolithic index
+// over the same corpus. Publish cost is therefore O(new docs since the
+// last swap), not O(corpus).
+//
+// A background size-tiered compactor bounds the segment count
+// (Config.MaxSegments): when a publish pushes the list past the bound
+// it merges the smallest segments and republishes the same generation
+// with the same cache — compaction changes no served byte, so it is
+// invisible to clients.
 //
 // Hot query results are memoized in a per-snapshot LRU cache of final
 // response bodies: cached and uncached replies are byte-identical, and
@@ -50,7 +59,7 @@ import (
 // core.NewServeServer adapts the call-analysis pipeline into one.
 //
 // already reports whether a document ID is durable from a previous run
-// (recovered from the persistence layer's segment + WAL). Sources
+// (recovered from the persistence layer's segments + WAL). Sources
 // should skip such items before paying any pipeline work — that skip is
 // what turns a restart over a persisted corpus from an O(corpus)
 // re-ingest into a warm, sub-second resume. Sources that predate
@@ -69,12 +78,20 @@ type Config struct {
 	// ingest pipeline's Stats method.
 	PipelineStats func() []pipeline.StageStats
 	// SwapInterval publishes a fresh snapshot on a time cadence while
-	// ingest is running (0 disables the ticker).
+	// ingest is running (0 disables the ticker). A tick with no pending
+	// documents publishes nothing.
 	SwapInterval time.Duration
-	// SwapEvery publishes a fresh snapshot every N ingested documents
-	// (0 disables; deterministic, which tests rely on). Both cadences
-	// may be active at once.
+	// SwapEvery publishes a fresh snapshot every N newly ingested
+	// documents (0 disables; deterministic, which tests rely on).
+	// Documents recovered from persistence do not count toward the
+	// cadence — after a warm restart the first swap still lands exactly
+	// N ingested documents in. Both cadences may be active at once.
 	SwapEvery int
+	// MaxSegments bounds the live segment count: when a publish pushes
+	// the list past the bound, a background size-tiered compaction
+	// merges the smallest segments back under it. 0 means the default
+	// (8); negative disables compaction (unbounded segments).
+	MaxSegments int
 	// CacheSize bounds the per-snapshot LRU result cache (entries).
 	// Default 256; negative disables caching.
 	CacheSize int
@@ -89,10 +106,11 @@ type Config struct {
 	// during Run's shutdown. Default 5s.
 	DrainTimeout time.Duration
 	// Persist, when set, makes the daemon durable: the store's recovered
-	// state (latest segment + WAL tail) seeds the first snapshot and the
-	// ingest skip set, every ingested document is WAL-appended, and the
-	// final sealed index is written as a new segment. Open it with
-	// store.Open; the server takes ownership (Shutdown closes it).
+	// state (live segments + WAL tail) seeds the first snapshot and the
+	// ingest skip set, every ingested document is WAL-appended, every
+	// published segment is written to the store's lineage, and
+	// compactions replace their inputs on disk. Open it with store.Open;
+	// the server takes ownership (Shutdown closes it).
 	Persist *store.Store
 }
 
@@ -117,27 +135,64 @@ func (c Config) drainTimeout() time.Duration {
 	return c.DrainTimeout
 }
 
-// snapshot is one published index generation. All fields are immutable
-// after publication except the cache, which is internally synchronized;
-// the *mining.Index is sealed and never mutated, so handlers read it
-// without locks.
+// maxSegments resolves Config.MaxSegments: 0 picks the default bound,
+// negative disables compaction (returned as 0 = unbounded).
+func (c Config) maxSegments() int {
+	if c.MaxSegments == 0 {
+		return 8
+	}
+	if c.MaxSegments < 0 {
+		return 0
+	}
+	return c.MaxSegments
+}
+
+// snapshot is one published generation. All fields are immutable after
+// publication except the cache, which is internally synchronized; the
+// view fans in across sealed segments that are never mutated, so
+// handlers read it without locks.
 type snapshot struct {
 	gen    uint64
-	ix     *mining.Index
-	sealed bool // true once the source is exhausted: the index is final
+	view   mining.Querier
+	sealed bool // true once the source is exhausted: the corpus is final
 	cache  *lruCache
 }
 
-// Server owns the snapshot pointer, the ingest loop and the HTTP API.
-// Create with New, run with Run (or Start + Shutdown for finer
-// control).
+// segment is one live immutable segment: a sealed, Prepared index plus
+// the on-disk generation backing it (0 while it lives only in RAM —
+// either persistence is off, or the write failed and degraded mode is
+// on).
+type segment struct {
+	ix      *mining.Index
+	diskGen uint64
+}
+
+// Server owns the segment list, the snapshot pointer, the ingest loop
+// and the HTTP API. Create with New, run with Run (or Start + Shutdown
+// for finer control).
 type Server struct {
 	cfg Config
 	mux *http.ServeMux
 
 	snap  atomic.Pointer[snapshot]
 	gen   atomic.Uint64
-	pubMu sync.Mutex // serializes publish, keeping stored generations monotonic
+	pubMu sync.Mutex // serializes publish + compaction; guards segs
+
+	// segs is the live segment list, append-ordered; only publish (under
+	// pubMu) appends and only the single compactor goroutine (under
+	// pubMu) splices.
+	segs []segment
+
+	// pending is the not-yet-published ingest buffer; newDocs counts
+	// documents ingested this run (recovered documents excluded), which
+	// keys the SwapEvery cadence.
+	pendMu  sync.Mutex
+	pending []mining.Document
+	newDocs int
+
+	compacting  atomic.Bool // single-flight latch for the compactor
+	compactWG   sync.WaitGroup
+	compactions atomic.Uint64
 
 	hits, misses atomic.Uint64
 
@@ -155,10 +210,7 @@ type Server struct {
 	persistErr error
 
 	// Recovered warm-start state (nil / empty without Config.Persist):
-	// the segment-loaded index, the durable documents to seed the ingest
-	// accumulator with, and their ID skip set.
-	recIx   *mining.Index
-	recDocs []mining.Document
+	// the durable document ID skip set and the recovery summary.
 	recIDs  map[string]bool
 	recInfo recoveryInfo
 
@@ -177,11 +229,12 @@ type recoveryInfo struct {
 }
 
 // New returns an unstarted server. Without persistence the initial
-// snapshot is generation zero over an empty index, so queries are
+// snapshot is generation zero over an empty segment set, so queries are
 // answerable (with zero counts) before the first swap. With
-// Config.Persist, the initial snapshot is the store's recovered state —
-// the daemon serves its pre-crash corpus from the first request, before
-// ingest has re-processed anything.
+// Config.Persist, the recovered segments seed the live list and the WAL
+// tail seeds the pending buffer, and the initial snapshot fans in over
+// both — the daemon serves its pre-crash corpus from the first request,
+// before ingest has re-processed anything.
 func New(cfg Config) (*Server, error) {
 	if cfg.Source == nil {
 		return nil, errors.New("server: Config.Source is required")
@@ -191,10 +244,8 @@ func New(cfg Config) (*Server, error) {
 		ingestDone: make(chan struct{}),
 		serveDone:  make(chan struct{}),
 	}
-	ix := mining.NewStreamIndex().Seal()
 	if cfg.Persist != nil {
 		rec := cfg.Persist.Recovered()
-		s.recDocs = rec.Docs()
 		s.recIDs = rec.IDs()
 		s.recInfo = recoveryInfo{
 			segmentDocs: rec.SegmentDocs,
@@ -202,23 +253,27 @@ func New(cfg Config) (*Server, error) {
 			walDropped:  rec.WALDropped,
 			skipped:     rec.SkippedSegments,
 		}
-		if rec.Index != nil && len(rec.WALDocs) == 0 {
-			// Clean warm start: the segment's index is already sealed,
-			// Prepared, and ID-ordered — serve it as-is, no rebuild.
-			s.recIx = rec.Index
-			ix = rec.Index
-		} else if len(s.recDocs) > 0 {
-			// Segment + WAL tail (or WAL only): rebuild once so the
-			// first snapshot is byte-identical to batch-indexing the
-			// durable documents.
-			si := mining.NewStreamIndex()
-			si.AddBatch(s.recDocs)
-			ix = si.Seal()
+		for _, seg := range rec.Segments {
+			s.segs = append(s.segs, segment{ix: seg.Index, diskGen: seg.Gen})
 		}
+		s.pending = append(s.pending, rec.WALDocs...)
+	}
+	// The gen-0 view covers the WAL tail too, through a temporary
+	// segment that is NOT added to the live list — the tail stays in
+	// pending and becomes a real (and durable) segment at the first
+	// publish.
+	view := make([]*mining.Index, 0, len(s.segs)+1)
+	for _, seg := range s.segs {
+		view = append(view, seg.ix)
+	}
+	if len(s.pending) > 0 {
+		si := mining.NewStreamIndex()
+		si.AddBatch(s.pending)
+		view = append(view, si.Seal())
 	}
 	s.snap.Store(&snapshot{
 		gen:   0,
-		ix:    ix,
+		view:  mining.NewSegmentSet(view...),
 		cache: newLRUCache(cfg.cacheSize()),
 	})
 	s.mux = s.buildMux()
@@ -226,68 +281,230 @@ func New(cfg Config) (*Server, error) {
 }
 
 // RecoveryInfo reports what a warm start adopted from the persistence
-// layer: documents loaded from the segment, documents replayed from the
-// WAL tail, and torn-tail bytes dropped.
+// layer: documents loaded from the live segments, documents replayed
+// from the WAL tail, and torn-tail bytes dropped.
 func (s *Server) RecoveryInfo() (segmentDocs, walDocs int, walDropped int64) {
 	return s.recInfo.segmentDocs, s.recInfo.walDocs, s.recInfo.walDropped
 }
 
-// publish seals an index over docs and swaps it in as the next
-// generation. Serialized so a slower earlier build can never overwrite
-// a later one.
-func (s *Server) publish(docs []mining.Document, sealed bool) {
-	s.pubMu.Lock()
-	defer s.pubMu.Unlock()
-	// Rebuild through StreamIndex: AddBatch enforces ID uniqueness and
-	// Seal rebuilds in ID order, making every snapshot byte-identical to
-	// batch-indexing the same documents. Seal also runs mining's
-	// Prepare step, so every published snapshot carries the sealed-index
-	// query caches (category vocabularies, conjunction memo, Wilson
-	// marginal cache) handlers then hit lock-free or read-mostly.
-	si := mining.NewStreamIndex()
-	si.AddBatch(docs)
-	s.snap.Store(&snapshot{
-		gen:    s.gen.Add(1),
-		ix:     si.Seal(),
-		sealed: sealed,
-		cache:  newLRUCache(s.cfg.cacheSize()),
-	})
-}
-
-// publishIndex swaps in an already-sealed index without a rebuild — the
-// warm-restart fast path for a segment-loaded index that ingest found
-// nothing to add to.
-func (s *Server) publishIndex(ix *mining.Index, sealed bool) {
-	s.pubMu.Lock()
-	defer s.pubMu.Unlock()
-	s.snap.Store(&snapshot{
-		gen:    s.gen.Add(1),
-		ix:     ix,
-		sealed: sealed,
-		cache:  newLRUCache(s.cfg.cacheSize()),
-	})
-}
-
-// runIngest drives the document source, swapping in fresh snapshots on
-// the configured cadences and a final one when the source is done —
-// sealed if the source was genuinely exhausted, unsealed if the ingest
-// context was cancelled mid-stream.
-//
-// With persistence configured, the accumulator starts from the
-// recovered durable documents, every newly ingested document is
-// WAL-appended before it counts as accepted, and a genuine seal writes
-// the sealed index as a new segment, then resets the WAL. Persistence
-// failures degrade, not kill: the daemon keeps serving from RAM and
-// surfaces the error on /statsz.
-func (s *Server) runIngest(ctx context.Context) error {
-	var mu sync.Mutex
-	docs := append([]mining.Document(nil), s.recDocs...)
-	newDocs := 0
-	copyDocs := func() []mining.Document {
-		mu.Lock()
-		defer mu.Unlock()
-		return append([]mining.Document(nil), docs...)
+// viewLocked builds the fan-in view over the current live segments.
+// Caller holds pubMu.
+func (s *Server) viewLocked() *mining.SegmentSet {
+	ixs := make([]*mining.Index, len(s.segs))
+	for i, seg := range s.segs {
+		ixs[i] = seg.ix
 	}
+	return mining.NewSegmentSet(ixs...)
+}
+
+// publishPending drains the pending buffer, seals it into a new
+// immutable segment — O(new docs), never O(corpus) — and swaps in the
+// next generation fanning in across all live segments. An empty drain
+// publishes nothing unless this is the final (sealed) publish, which
+// always advances the generation so clients can observe the seal.
+//
+// persist controls whether the new segment is appended to the store's
+// on-disk lineage (cadence and seal publishes persist; the final flush
+// of a cancelled ingest does not — its documents are already safe in
+// the WAL, and the next boot re-adopts them from there).
+//
+// Serialized under pubMu, and the drain happens inside the lock: a
+// slower earlier publish can never overwrite a later one, and batches
+// enter the segment list in ingest order.
+func (s *Server) publishPending(sealed, persist bool) {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	s.pendMu.Lock()
+	batch := s.pending
+	s.pending = nil
+	s.pendMu.Unlock()
+	if len(batch) == 0 && !sealed {
+		return
+	}
+	if len(batch) > 0 {
+		// Seal through StreamIndex: AddBatch enforces ID uniqueness and
+		// Seal rebuilds in ID order and runs mining's Prepare step, so
+		// every segment carries the sealed-index query caches (category
+		// vocabularies, conjunction memo, Wilson marginal cache).
+		si := mining.NewStreamIndex()
+		si.AddBatch(batch)
+		seg := segment{ix: si.Seal()}
+		if persist && s.cfg.Persist != nil {
+			if st, err := s.cfg.Persist.AppendSegment(seg.ix); err != nil {
+				s.setPersistErr(err)
+			} else {
+				seg.diskGen = st.SegmentGen
+			}
+		}
+		s.segs = append(s.segs, seg)
+	}
+	s.snap.Store(&snapshot{
+		gen:    s.gen.Add(1),
+		view:   s.viewLocked(),
+		sealed: sealed,
+		cache:  newLRUCache(s.cfg.cacheSize()),
+	})
+	s.maybeCompactLocked()
+}
+
+// maybeCompactLocked launches the compactor when the live segment list
+// has outgrown the bound and no compactor is already running. Caller
+// holds pubMu.
+func (s *Server) maybeCompactLocked() {
+	max := s.cfg.maxSegments()
+	if max <= 0 || len(s.segs) <= max {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	s.compactWG.Add(1)
+	go s.compactLoop()
+}
+
+// compactLoop merges segments size-tiered until the list is back under
+// the bound: each round picks the smallest segments, merges them
+// outside the lock (the only O(merged docs) work, off the publish
+// path), then splices the result in and republishes the SAME generation
+// with the SAME cache — the document set is unchanged and the fan-in is
+// byte-identical, so compaction is invisible to every client.
+func (s *Server) compactLoop() {
+	defer s.compactWG.Done()
+	defer s.compacting.Store(false)
+	for {
+		s.pubMu.Lock()
+		max := s.cfg.maxSegments()
+		if max <= 0 || len(s.segs) <= max {
+			s.pubMu.Unlock()
+			return
+		}
+		// Pick the k smallest segments so one round lands exactly at the
+		// bound; identify them by index into the append-ordered list
+		// (publishes only append, and this loop is the only splicer).
+		k := len(s.segs) - max + 1
+		victims := smallestSegments(s.segs, k)
+		merge := make([]*mining.Index, len(victims))
+		for i, vi := range victims {
+			merge[i] = s.segs[vi].ix
+		}
+		s.pubMu.Unlock()
+
+		merged := mining.MergeSegments(merge...)
+
+		s.pubMu.Lock()
+		newSeg := segment{ix: merged}
+		if s.cfg.Persist != nil && s.PersistErr() == nil {
+			if gens, ok := durableGens(s.segs, victims); ok {
+				if st, err := s.cfg.Persist.ReplaceSegments(gens, merged); err != nil {
+					s.setPersistErr(err)
+				} else {
+					newSeg.diskGen = st.SegmentGen
+				}
+			}
+		}
+		victimSet := make(map[int]bool, len(victims))
+		for _, vi := range victims {
+			victimSet[vi] = true
+		}
+		kept := s.segs[:0]
+		for i, seg := range s.segs {
+			if !victimSet[i] {
+				kept = append(kept, seg)
+			}
+		}
+		s.segs = append(kept, newSeg)
+		old := s.snap.Load()
+		s.snap.Store(&snapshot{
+			gen:    old.gen,
+			view:   s.viewLocked(),
+			sealed: old.sealed,
+			cache:  old.cache,
+		})
+		s.compactions.Add(1)
+		s.pubMu.Unlock()
+	}
+}
+
+// smallestSegments returns the indexes of the k smallest segments by
+// document count (ties to the older segment), ascending by index.
+func smallestSegments(segs []segment, k int) []int {
+	idx := make([]int, len(segs))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		min := i
+		for j := i + 1; j < len(idx); j++ {
+			a, b := segs[idx[j]], segs[idx[min]]
+			if a.ix.Len() < b.ix.Len() || (a.ix.Len() == b.ix.Len() && idx[j] < idx[min]) {
+				min = j
+			}
+		}
+		idx[i], idx[min] = idx[min], idx[i]
+	}
+	out := idx[:k]
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// durableGens collects the on-disk generations of the victim segments;
+// ok is false if any victim is RAM-only (then the disk lineage is left
+// alone — it still covers those documents via older segments + WAL).
+func durableGens(segs []segment, victims []int) ([]uint64, bool) {
+	gens := make([]uint64, 0, len(victims))
+	for _, vi := range victims {
+		if segs[vi].diskGen == 0 {
+			return nil, false
+		}
+		gens = append(gens, segs[vi].diskGen)
+	}
+	return gens, true
+}
+
+// SegmentInfo reports the live segment document counts (append order)
+// and the number of compactions run — the observability hook /statsz
+// and tests use.
+func (s *Server) SegmentInfo() (segDocs []int, compactions uint64) {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	segDocs = make([]int, len(s.segs))
+	for i, seg := range s.segs {
+		segDocs[i] = seg.ix.Len()
+	}
+	return segDocs, s.compactions.Load()
+}
+
+// allSegmentsDurable reports whether every live segment is backed by an
+// on-disk generation.
+func (s *Server) allSegmentsDurable() bool {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	for _, seg := range s.segs {
+		if seg.diskGen == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// runIngest drives the document source, sealing pending documents into
+// fresh segments on the configured cadences and a final time when the
+// source is done — sealed if the source was genuinely exhausted,
+// unsealed if the ingest context was cancelled mid-stream.
+//
+// With persistence configured, the pending buffer starts from the
+// recovered WAL tail, every newly ingested document is WAL-appended
+// before it counts as accepted, every cadence publish appends a durable
+// segment, and a genuine seal resets the WAL once every live segment is
+// durable. Persistence failures degrade, not kill: the daemon keeps
+// serving from RAM and surfaces the error on /healthz and /statsz.
+func (s *Server) runIngest(ctx context.Context) error {
 	already := func(id string) bool { return s.recIDs[id] }
 
 	var tickWG sync.WaitGroup
@@ -304,7 +521,7 @@ func (s *Server) runIngest(ctx context.Context) error {
 				case <-tickCtx.Done():
 					return
 				case <-t.C:
-					s.publish(copyDocs(), false)
+					s.publishPending(false, true)
 				}
 			}
 		}()
@@ -325,13 +542,15 @@ func (s *Server) runIngest(ctx context.Context) error {
 				s.setPersistErr(werr)
 			}
 		}
-		mu.Lock()
-		docs = append(docs, d)
-		n := len(docs)
-		newDocs++
-		mu.Unlock()
+		s.pendMu.Lock()
+		s.pending = append(s.pending, d)
+		s.newDocs++
+		n := s.newDocs
+		s.pendMu.Unlock()
+		// Cadence keys on documents ingested THIS run: recovered durable
+		// documents must not shift the swap offsets after a warm restart.
 		if s.cfg.SwapEvery > 0 && n%s.cfg.SwapEvery == 0 {
-			s.publish(copyDocs(), false)
+			s.publishPending(false, true)
 		}
 		return nil
 	})
@@ -344,27 +563,36 @@ func (s *Server) runIngest(ctx context.Context) error {
 		err = nil
 	}
 	sealed := err == nil && ctx.Err() == nil
-	if sealed && s.recIx != nil && newDocs == 0 {
-		// Warm restart over a complete corpus: the segment-loaded index
-		// already is the sealed index — republish it instead of paying
-		// the O(corpus) rebuild, and leave the identical segment alone.
-		s.publishIndex(s.recIx, true)
-		return nil
-	}
-	s.publish(copyDocs(), sealed)
+	// A genuine seal persists its last segment and always publishes
+	// (even with nothing pending) so the sealed flag lands; a cancelled
+	// ingest flushes pending to RAM only — the WAL already covers it.
+	s.publishPending(sealed, sealed)
 	if s.cfg.Persist != nil {
-		if sealed {
-			// The just-published snapshot is the sealed index; make it
-			// durable, then drop the WAL it supersedes.
-			if _, werr := s.cfg.Persist.WriteSegment(s.snap.Load().ix); werr != nil {
-				s.setPersistErr(werr)
-			} else if werr := s.cfg.Persist.ResetWAL(); werr != nil {
-				s.setPersistErr(werr)
-			}
-		} else if werr := s.cfg.Persist.SyncWAL(); werr != nil {
+		s.pendMu.Lock()
+		ingested := s.newDocs
+		s.pendMu.Unlock()
+		switch {
+		case !sealed:
 			// Interrupted mid-stream: force the WAL tail down so the
 			// next boot recovers everything accepted so far.
-			s.setPersistErr(werr)
+			if werr := s.cfg.Persist.SyncWAL(); werr != nil {
+				s.setPersistErr(werr)
+			}
+		case ingested == 0 && s.recInfo.walDocs == 0:
+			// Pure warm restart: nothing new this run, the disk lineage
+			// already is the corpus — leave it untouched.
+		case s.allSegmentsDurable() && s.PersistErr() == nil:
+			// Every document is in a durable segment; the WAL it
+			// superseded can go.
+			if werr := s.cfg.Persist.ResetWAL(); werr != nil {
+				s.setPersistErr(werr)
+			}
+		default:
+			// Degraded: some segment lives only in RAM. Keep the WAL —
+			// it is the only durable copy of those documents.
+			if werr := s.cfg.Persist.SyncWAL(); werr != nil {
+				s.setPersistErr(werr)
+			}
 		}
 	}
 	return err
@@ -454,10 +682,10 @@ func (s *Server) IngestDone() <-chan struct{} { return s.ingestDone }
 func (s *Server) Generation() uint64 { return s.snap.Load().gen }
 
 // SnapshotInfo reports the current generation, its document count, and
-// whether it is the sealed (final) index.
+// whether it is the sealed (final) corpus.
 func (s *Server) SnapshotInfo() (gen uint64, docs int, sealed bool) {
 	sn := s.snap.Load()
-	return sn.gen, sn.ix.Len(), sn.sealed
+	return sn.gen, sn.view.Len(), sn.sealed
 }
 
 // CacheStats returns the cumulative result-cache hit/miss counters.
@@ -474,9 +702,10 @@ func (s *Server) IngestErr() error {
 
 // Shutdown gracefully stops a Started server: the listener closes, the
 // ingest pipeline is cancelled and drains cleanly (PR 2 semantics: every
-// in-flight item delivered or accounted), and in-flight HTTP requests
-// run to completion — no request is dropped mid-flight. ctx bounds the
-// HTTP drain.
+// in-flight item delivered or accounted), in-flight HTTP requests run
+// to completion — no request is dropped mid-flight — and any running
+// compaction finishes before the store closes. ctx bounds the HTTP
+// drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.lifeMu.Lock()
 	hs, stopIngest := s.hs, s.ingestStop
@@ -488,9 +717,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	err := hs.Shutdown(ctx) // drains in-flight requests
 	<-s.ingestDone
 	<-s.serveDone
+	// Ingest is done, so no new compactor can launch; wait out the one
+	// that may still be merging before releasing the store it writes to.
+	s.compactWG.Wait()
 	if s.cfg.Persist != nil {
-		// The ingest loop (the only writer) is done; sync and release
-		// the WAL handle.
+		// The ingest loop and compactor (the only writers) are done;
+		// sync and release the WAL handle.
 		err = errors.Join(err, s.cfg.Persist.Close())
 	}
 	s.errMu.Lock()

@@ -1,0 +1,209 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bivoc/internal/mining"
+)
+
+// segmentBatches splits a corpus into sealed per-batch indexes, the
+// shape the segmented serving layer appends.
+func segmentBatches(docs []mining.Document, size int) []*mining.Index {
+	var out []*mining.Index
+	for lo := 0; lo < len(docs); lo += size {
+		hi := lo + size
+		if hi > len(docs) {
+			hi = len(docs)
+		}
+		out = append(out, sealedIndex(docs[lo:hi]))
+	}
+	return out
+}
+
+// TestAppendSegmentLineage pins the multi-segment lineage: appends
+// accumulate, stats report per-segment and total state, and a reopen
+// recovers every live segment via the manifest.
+func TestAppendSegmentLineage(t *testing.T) {
+	dir := t.TempDir()
+	docs := corpus(90, 7)
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ix := range segmentBatches(docs, 30) {
+		if _, err := st.AppendSegment(ix); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := st.Stats()
+	if len(stats.Segments) != 3 || stats.SegmentGen != 3 || stats.SegmentDocs != 90 {
+		t.Fatalf("after 3 appends: %d segments, gen %d, %d docs; want 3/3/90", len(stats.Segments), stats.SegmentGen, stats.SegmentDocs)
+	}
+	for i, seg := range stats.Segments {
+		if seg.Gen != uint64(i+1) || seg.Docs != 30 || seg.Bytes <= 0 {
+			t.Errorf("segment %d = %+v, want gen %d with 30 docs", i, seg, i+1)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := st2.Recovered()
+	if len(rec.Segments) != 3 || rec.SegmentGen != 3 || rec.SegmentDocs != 90 {
+		t.Fatalf("recovered %d segments, gen %d, %d docs; want 3/3/90", len(rec.Segments), rec.SegmentGen, rec.SegmentDocs)
+	}
+	if rec.Index != nil {
+		t.Error("Recovery.Index set for a multi-segment lineage, want nil (use Segments)")
+	}
+	if got := rec.Docs(); len(got) != 90 {
+		t.Fatalf("recovered %d docs, want 90", len(got))
+	}
+	// Fan-in over the recovered segments must match the full corpus.
+	set := mining.NewSegmentSet(func() []*mining.Index {
+		var ixs []*mining.Index
+		for _, seg := range rec.Segments {
+			ixs = append(ixs, seg.Index)
+		}
+		return ixs
+	}()...)
+	indexQueriesEqual(t, set, sealedIndex(docs))
+}
+
+// TestReplaceSegmentsCompaction pins the compaction path: the merged
+// segment supersedes its inputs in the manifest, the superseded files
+// are deleted, and a reopen sees the compacted lineage.
+func TestReplaceSegmentsCompaction(t *testing.T) {
+	dir := t.TempDir()
+	docs := corpus(80, 11)
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ix := range segmentBatches(docs, 20) {
+		if _, err := st.AppendSegment(ix); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compact generations 1-3 into one; generation 4 stays.
+	merged := mining.MergeSegments(
+		sealedIndex(docs[:20]), sealedIndex(docs[20:40]), sealedIndex(docs[40:60]))
+	stats, err := st.ReplaceSegments([]uint64{1, 2, 3}, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Segments) != 2 || stats.SegmentGen != 5 || stats.SegmentDocs != 80 {
+		t.Fatalf("after compaction: %d segments, gen %d, %d docs; want 2/5/80", len(stats.Segments), stats.SegmentGen, stats.SegmentDocs)
+	}
+	if stats.Segments[0].Gen != 4 || stats.Segments[1].Gen != 5 {
+		t.Fatalf("post-compaction lineage %+v, want gens [4 5]", stats.Segments)
+	}
+	for _, g := range []uint64{1, 2, 3} {
+		if _, err := os.Stat(st.segmentPath(g)); !os.IsNotExist(err) {
+			t.Errorf("superseded segment gen %d still on disk (err=%v)", g, err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := st2.Recovered()
+	if len(rec.Segments) != 2 || rec.SegmentDocs != 80 {
+		t.Fatalf("recovered %d segments with %d docs, want 2/80", len(rec.Segments), rec.SegmentDocs)
+	}
+	if len(rec.SkippedSegments) != 0 {
+		t.Errorf("clean compacted lineage reports skipped segments: %v", rec.SkippedSegments)
+	}
+}
+
+// TestManifestDamagedSegmentSkipped pins degraded recovery: when one
+// live segment of a multi-segment lineage is damaged, the rest still
+// load and the loss is reported.
+func TestManifestDamagedSegmentSkipped(t *testing.T) {
+	dir := t.TempDir()
+	docs := corpus(60, 3)
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ix := range segmentBatches(docs, 20) {
+		if _, err := st.AppendSegment(ix); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip bytes inside segment 2's payload.
+	path := filepath.Join(dir, "seg-0000000000000002.seg")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := st2.Recovered()
+	if len(rec.Segments) != 2 || rec.SegmentDocs != 40 {
+		t.Fatalf("recovered %d segments with %d docs, want the 2 intact ones with 40", len(rec.Segments), rec.SegmentDocs)
+	}
+	if len(rec.SkippedSegments) != 1 {
+		t.Fatalf("skipped = %v, want exactly the damaged segment", rec.SkippedSegments)
+	}
+	// New generations must number past the damaged file.
+	if _, err := st2.AppendSegment(sealedIndex(docs[20:40])); err != nil {
+		t.Fatal(err)
+	}
+	if gen := st2.Stats().SegmentGen; gen != 4 {
+		t.Errorf("next generation = %d, want 4 (past the damaged gen 2 and live gen 3)", gen)
+	}
+}
+
+// TestManifestMissingFallsBack pins pre-manifest compatibility: a
+// directory holding only segment files (no MANIFEST) recovers the
+// newest readable one.
+func TestManifestMissingFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	docs := corpus(50, 5)
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.WriteSegment(sealedIndex(docs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "MANIFEST")); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := st2.Recovered()
+	if rec.Index == nil || rec.SegmentGen != 1 || rec.SegmentDocs != 50 {
+		t.Fatalf("manifest-less recovery = gen %d, %d docs (index nil=%v); want gen 1 with 50", rec.SegmentGen, rec.SegmentDocs, rec.Index == nil)
+	}
+}

@@ -1,10 +1,12 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -28,15 +30,27 @@ func (o Options) syncEvery() int {
 	return o.SyncEvery
 }
 
-// Recovery is what Open reconstructed from the data directory: the
-// index loaded from the newest readable segment (already Prepared, so
-// it can be published and queried immediately) and the WAL tail of
-// documents ingested after that segment was written, deduplicated
-// against it.
-type Recovery struct {
-	// Index is the segment-loaded index, nil when no segment exists yet.
+// RecoveredSegment is one live segment Open loaded from disk, already
+// Prepared and query-ready.
+type RecoveredSegment struct {
+	Gen   uint64
 	Index *mining.Index
-	// SegmentGen / SegmentDocs identify the loaded segment.
+}
+
+// Recovery is what Open reconstructed from the data directory: the
+// live segments named by the manifest (already Prepared, so they can be
+// published and queried immediately) and the WAL tail of documents
+// ingested after they were written, deduplicated against them.
+type Recovery struct {
+	// Segments are the recovered live segments, ascending by generation.
+	Segments []RecoveredSegment
+	// Index is the segment-loaded index when exactly one segment was
+	// recovered (the single-lineage shape WriteSegment maintains); nil
+	// when there are no segments or when the lineage holds several (use
+	// Segments).
+	Index *mining.Index
+	// SegmentGen is the newest recovered generation; SegmentDocs is the
+	// total document count across recovered segments.
 	SegmentGen  uint64
 	SegmentDocs int
 	// WALDocs are the intact WAL records not already in the segment, in
@@ -55,10 +69,12 @@ type Recovery struct {
 // durable, in the order the serving layer should re-adopt it.
 func (r *Recovery) Docs() []mining.Document {
 	var out []mining.Document
-	if r.Index != nil {
-		out = make([]mining.Document, 0, r.Index.Len()+len(r.WALDocs))
-		for i := 0; i < r.Index.Len(); i++ {
-			out = append(out, r.Index.Doc(i))
+	if r.SegmentDocs > 0 {
+		out = make([]mining.Document, 0, r.SegmentDocs+len(r.WALDocs))
+		for _, seg := range r.Segments {
+			for i := 0; i < seg.Index.Len(); i++ {
+				out = append(out, seg.Index.Doc(i))
+			}
 		}
 	}
 	return append(out, r.WALDocs...)
@@ -67,10 +83,10 @@ func (r *Recovery) Docs() []mining.Document {
 // IDs returns the set of durable document IDs — the ingest skip set
 // for warm restarts.
 func (r *Recovery) IDs() map[string]bool {
-	ids := make(map[string]bool, len(r.WALDocs))
-	if r.Index != nil {
-		for i := 0; i < r.Index.Len(); i++ {
-			ids[r.Index.Doc(i).ID] = true
+	ids := make(map[string]bool, r.SegmentDocs+len(r.WALDocs))
+	for _, seg := range r.Segments {
+		for i := 0; i < seg.Index.Len(); i++ {
+			ids[seg.Index.Doc(i).ID] = true
 		}
 	}
 	for _, d := range r.WALDocs {
@@ -79,12 +95,23 @@ func (r *Recovery) IDs() map[string]bool {
 	return ids
 }
 
-// Stats is the store's operational state, surfaced on /statsz.
+// SegmentStat describes one live on-disk segment.
+type SegmentStat struct {
+	Gen   uint64
+	Path  string
+	Bytes int64
+	Docs  int
+}
+
+// Stats is the store's operational state, surfaced on /statsz. The
+// scalar Segment* fields describe the newest live segment (SegmentDocs
+// is the total across the lineage); Segments lists every live segment.
 type Stats struct {
 	SegmentGen   uint64
 	SegmentPath  string
 	SegmentBytes int64
 	SegmentDocs  int
+	Segments     []SegmentStat
 	WALRecords   int
 	WALBytes     int64
 	// LastSeal is the wall time the current segment was written by this
@@ -92,9 +119,19 @@ type Stats struct {
 	LastSeal time.Time
 }
 
-// Store is one data directory: at most one segment lineage plus the
-// ingest WAL. Methods are safe for concurrent use (one ingest writer,
-// many stats readers).
+// segMeta is the in-memory record of one live segment file.
+type segMeta struct {
+	gen   uint64
+	path  string
+	bytes int64
+	docs  int
+}
+
+// Store is one data directory: the live segment lineage (named by the
+// MANIFEST file) plus the ingest WAL. WAL appends and stats reads are
+// safe for concurrent use; the segment mutators (WriteSegment,
+// AppendSegment, ReplaceSegments) must be serialized by the caller —
+// the serving layer holds its publish lock across them.
 type Store struct {
 	dir       string
 	syncEvery int
@@ -105,20 +142,18 @@ type Store struct {
 	walLen   int64
 	walRecs  int
 	unsynced int
-	segGen   uint64 // generation of the loaded/serving segment
-	maxGen   uint64 // highest generation present on disk (damaged ones included)
-	segPath  string
-	segBytes int64
-	segDocs  int
+	segments []segMeta // live lineage, ascending by generation
+	maxGen   uint64    // highest generation present on disk (damaged ones included)
 	lastSeal time.Time
 }
 
 // Open prepares a data directory for serving: creates it if missing,
 // removes orphaned temp files from interrupted segment writes, loads
-// the newest readable segment (falling back across generations if the
-// newest is damaged), replays the WAL tail, truncates any torn record,
-// and leaves the WAL open for append. The recovered state is available
-// via Recovered.
+// the live segment lineage named by the manifest (falling back to the
+// newest readable segment file when the manifest is absent or its
+// segments are damaged), replays the WAL tail, truncates any torn
+// record, and leaves the WAL open for append. The recovered state is
+// available via Recovered.
 func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating data dir: %w", err)
@@ -137,19 +172,54 @@ func Open(dir string, opts Options) (*Store, error) {
 		// ones a recovery skipped — names never collide.
 		s.maxGen = gens[len(gens)-1]
 	}
-	for i := len(gens) - 1; i >= 0; i-- {
-		path := s.segmentPath(gens[i])
+	// Prefer the manifest's live lineage; a generation it names that is
+	// unreadable is recorded and skipped (its documents survive in the
+	// WAL unless a seal already superseded them).
+	tried := map[uint64]bool{}
+	for _, gen := range s.loadManifest() {
+		tried[gen] = true
+		path := s.segmentPath(gen)
 		ix, size, err := LoadSegment(path)
 		if err != nil {
-			if !IsCorrupt(err) {
+			if !IsCorrupt(err) && !errors.Is(err, os.ErrNotExist) {
 				return nil, err
 			}
 			rec.SkippedSegments = append(rec.SkippedSegments, filepath.Base(path))
 			continue
 		}
-		rec.Index, rec.SegmentGen, rec.SegmentDocs = ix, gens[i], ix.Len()
-		s.segGen, s.segPath, s.segBytes, s.segDocs = gens[i], path, size, ix.Len()
-		break
+		rec.Segments = append(rec.Segments, RecoveredSegment{Gen: gen, Index: ix})
+		s.segments = append(s.segments, segMeta{gen: gen, path: path, bytes: size, docs: ix.Len()})
+	}
+	if len(rec.Segments) == 0 {
+		// No manifest, or everything it named was unreadable: fall back
+		// to the newest readable segment file (pre-manifest directories,
+		// and the last line of defense after lineage damage).
+		for i := len(gens) - 1; i >= 0; i-- {
+			if tried[gens[i]] {
+				continue
+			}
+			path := s.segmentPath(gens[i])
+			ix, size, err := LoadSegment(path)
+			if err != nil {
+				if !IsCorrupt(err) {
+					return nil, err
+				}
+				rec.SkippedSegments = append(rec.SkippedSegments, filepath.Base(path))
+				continue
+			}
+			rec.Segments = append(rec.Segments, RecoveredSegment{Gen: gens[i], Index: ix})
+			s.segments = append(s.segments, segMeta{gen: gens[i], path: path, bytes: size, docs: ix.Len()})
+			break
+		}
+	}
+	for _, seg := range rec.Segments {
+		rec.SegmentDocs += seg.Index.Len()
+		if seg.Gen > rec.SegmentGen {
+			rec.SegmentGen = seg.Gen
+		}
+	}
+	if len(rec.Segments) == 1 {
+		rec.Index = rec.Segments[0].Index
 	}
 	walPath := filepath.Join(dir, "wal.log")
 	walDocs, goodLen, dropped, err := replayWAL(walPath)
@@ -158,9 +228,9 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	rec.WALDropped = dropped
 	seen := map[string]bool{}
-	if rec.Index != nil {
-		for i := 0; i < rec.Index.Len(); i++ {
-			seen[rec.Index.Doc(i).ID] = true
+	for _, seg := range rec.Segments {
+		for i := 0; i < seg.Index.Len(); i++ {
+			seen[seg.Index.Doc(i).ID] = true
 		}
 	}
 	for _, d := range walDocs {
@@ -246,34 +316,115 @@ func LoadSegment(path string) (*mining.Index, int64, error) {
 	return ix, int64(len(data)), nil
 }
 
+// manifestPath is the live-lineage file: a versioned header followed by
+// one live segment generation per line. It is rewritten atomically on
+// every segment mutation; segment files not named by it are dead weight
+// from interrupted mutations (harmless — generation numbering never
+// reuses them).
+func (s *Store) manifestPath() string { return filepath.Join(s.dir, "MANIFEST") }
+
+const manifestHeader = "BVMF 1"
+
+// loadManifest returns the live generations the manifest names,
+// ascending, or nil when the manifest is missing or malformed (the
+// caller then falls back to the newest-readable-file scan).
+func (s *Store) loadManifest() []uint64 {
+	data, err := os.ReadFile(s.manifestPath())
+	if err != nil {
+		return nil
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != manifestHeader {
+		return nil
+	}
+	var gens []uint64
+	for _, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		gen, err := strconv.ParseUint(line, 10, 64)
+		if err != nil {
+			return nil
+		}
+		gens = append(gens, gen)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens
+}
+
+// writeManifest atomically replaces the live lineage.
+func (s *Store) writeManifest(gens []uint64) error {
+	var b strings.Builder
+	b.WriteString(manifestHeader)
+	b.WriteByte('\n')
+	for _, g := range gens {
+		b.WriteString(strconv.FormatUint(g, 10))
+		b.WriteByte('\n')
+	}
+	path := s.manifestPath()
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, []byte(b.String())); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: publishing manifest: %w", err)
+	}
+	return syncDir(s.dir)
+}
+
+// writeSegmentFile atomically writes one segment file: temp file,
+// fsync, rename into place, fsync the directory.
+func (s *Store) writeSegmentFile(gen uint64, data []byte) error {
+	path := s.segmentPath(gen)
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, data); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: publishing segment: %w", err)
+	}
+	return syncDir(s.dir)
+}
+
+// nextGenLocked allocates the next segment generation (never reusing a
+// number any file on disk has carried, damaged ones included).
+func (s *Store) nextGenLocked() uint64 { return s.maxGen + 1 }
+
+// liveGensLocked returns the current live generations.
+func (s *Store) liveGensLocked() []uint64 {
+	gens := make([]uint64, len(s.segments))
+	for i, m := range s.segments {
+		gens[i] = m.gen
+	}
+	return gens
+}
+
 // WriteSegment atomically persists a sealed index as the next segment
-// generation: encode, write to a temp file, fsync, rename into place,
-// fsync the directory. Older generations beyond one fallback are
+// generation and makes it the entire live lineage (the single-segment
+// shape batch runs use). Older generations beyond one fallback are
 // pruned. The WAL is untouched — call ResetWAL once the segment is
 // durable (a crash in between is handled by recovery's dedup).
 func (s *Store) WriteSegment(ix *mining.Index) (Stats, error) {
 	data := EncodeSegment(ix.Export())
 	s.mu.Lock()
-	gen := max(s.segGen, s.maxGen) + 1
+	gen := s.nextGenLocked()
 	s.mu.Unlock()
 
-	path := s.segmentPath(gen)
-	tmp := path + ".tmp"
-	if err := writeFileSync(tmp, data); err != nil {
-		os.Remove(tmp)
+	if err := s.writeSegmentFile(gen, data); err != nil {
 		return Stats{}, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return Stats{}, fmt.Errorf("store: publishing segment: %w", err)
-	}
-	if err := syncDir(s.dir); err != nil {
+	if err := s.writeManifest([]uint64{gen}); err != nil {
 		return Stats{}, err
 	}
 
 	s.mu.Lock()
-	s.segGen, s.maxGen = gen, gen
-	s.segPath, s.segBytes, s.segDocs = path, int64(len(data)), ix.Len()
+	s.maxGen = gen
+	s.segments = []segMeta{{gen: gen, path: s.segmentPath(gen), bytes: int64(len(data)), docs: ix.Len()}}
 	s.lastSeal = time.Now()
 	s.mu.Unlock()
 
@@ -285,6 +436,82 @@ func (s *Store) WriteSegment(ix *mining.Index) (Stats, error) {
 			if g+1 < gen {
 				os.Remove(s.segmentPath(g))
 			}
+		}
+	}
+	return s.Stats(), nil
+}
+
+// AppendSegment atomically persists a sealed index as a new segment
+// appended to the live lineage — the per-publish path of the segmented
+// serving layer: each snapshot swap durably adds only the documents
+// sealed by that swap. The WAL is untouched (it keeps covering
+// everything until the final seal resets it).
+func (s *Store) AppendSegment(ix *mining.Index) (Stats, error) {
+	data := EncodeSegment(ix.Export())
+	s.mu.Lock()
+	gen := s.nextGenLocked()
+	live := append(s.liveGensLocked(), gen)
+	s.mu.Unlock()
+
+	if err := s.writeSegmentFile(gen, data); err != nil {
+		return Stats{}, err
+	}
+	if err := s.writeManifest(live); err != nil {
+		return Stats{}, err
+	}
+
+	s.mu.Lock()
+	s.maxGen = gen
+	s.segments = append(s.segments, segMeta{gen: gen, path: s.segmentPath(gen), bytes: int64(len(data)), docs: ix.Len()})
+	s.lastSeal = time.Now()
+	s.mu.Unlock()
+	return s.Stats(), nil
+}
+
+// ReplaceSegments atomically persists a compacted index as a new
+// segment that supersedes the removed generations: the merged segment
+// is written first, then the manifest swaps the lineage, then the
+// superseded files are deleted. A crash at any point leaves a manifest
+// whose lineage covers the same documents.
+func (s *Store) ReplaceSegments(removed []uint64, ix *mining.Index) (Stats, error) {
+	data := EncodeSegment(ix.Export())
+	rm := make(map[uint64]bool, len(removed))
+	for _, g := range removed {
+		rm[g] = true
+	}
+	s.mu.Lock()
+	gen := s.nextGenLocked()
+	var live []uint64
+	for _, m := range s.segments {
+		if !rm[m.gen] {
+			live = append(live, m.gen)
+		}
+	}
+	live = append(live, gen)
+	s.mu.Unlock()
+
+	if err := s.writeSegmentFile(gen, data); err != nil {
+		return Stats{}, err
+	}
+	if err := s.writeManifest(live); err != nil {
+		return Stats{}, err
+	}
+
+	s.mu.Lock()
+	kept := s.segments[:0]
+	for _, m := range s.segments {
+		if !rm[m.gen] {
+			kept = append(kept, m)
+		}
+	}
+	s.segments = append(kept, segMeta{gen: gen, path: s.segmentPath(gen), bytes: int64(len(data)), docs: ix.Len()})
+	s.maxGen = gen
+	s.lastSeal = time.Now()
+	s.mu.Unlock()
+
+	for _, g := range removed {
+		if g != 0 {
+			os.Remove(s.segmentPath(g))
 		}
 	}
 	return s.Stats(), nil
@@ -387,15 +614,20 @@ func (s *Store) ResetWAL() error {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{
-		SegmentGen:   s.segGen,
-		SegmentPath:  s.segPath,
-		SegmentBytes: s.segBytes,
-		SegmentDocs:  s.segDocs,
-		WALRecords:   s.walRecs,
-		WALBytes:     s.walLen,
-		LastSeal:     s.lastSeal,
+	st := Stats{
+		WALRecords: s.walRecs,
+		WALBytes:   s.walLen,
+		LastSeal:   s.lastSeal,
 	}
+	for _, m := range s.segments {
+		st.Segments = append(st.Segments, SegmentStat{Gen: m.gen, Path: m.path, Bytes: m.bytes, Docs: m.docs})
+		st.SegmentDocs += m.docs
+	}
+	if n := len(s.segments); n > 0 {
+		newest := s.segments[n-1]
+		st.SegmentGen, st.SegmentPath, st.SegmentBytes = newest.gen, newest.path, newest.bytes
+	}
+	return st
 }
 
 // Close syncs and closes the WAL. The store is unusable afterwards.

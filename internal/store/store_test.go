@@ -52,9 +52,10 @@ func sealedIndex(docs []mining.Document) *mining.Index {
 	return si.Seal()
 }
 
-// indexQueriesEqual compares two indexes across every query family and
-// reports the first divergence.
-func indexQueriesEqual(t *testing.T, got, want *mining.Index) {
+// indexQueriesEqual compares two queriers (monolithic indexes or
+// segment sets) across every query family and reports the first
+// divergence.
+func indexQueriesEqual(t *testing.T, got, want mining.Querier) {
 	t.Helper()
 	if got.Len() != want.Len() {
 		t.Fatalf("Len: got %d want %d", got.Len(), want.Len())
@@ -78,7 +79,7 @@ func indexQueriesEqual(t *testing.T, got, want *mining.Index) {
 	}
 	rows := []mining.Dim{weak, mining.ConceptDim("intent", "strong start")}
 	cols := []mining.Dim{res, mining.FieldDim("outcome", "unbooked")}
-	if !reflect.DeepEqual(got.Associate(rows, cols, 0.95), want.Associate(rows, cols, 0.95)) {
+	if !reflect.DeepEqual(got.AssociateN(rows, cols, 0.95, 1), want.AssociateN(rows, cols, 0.95, 1)) {
 		t.Error("Associate diverges")
 	}
 	for _, cat := range []string{"intent", "discount", "place"} {
