@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-pipeline bench-server bench-link bench-mine bench-store bench-seg bench-build examples smoke
+.PHONY: check vet build test race bench bench-pipeline bench-server bench-link bench-mine bench-store bench-seg bench-fed bench-build examples smoke
 
 check: vet build race examples smoke
 
@@ -14,6 +14,7 @@ vet:
 build:
 	$(GO) build ./...
 	$(GO) build -o /dev/null ./cmd/bivocd
+	$(GO) build -o /dev/null ./cmd/bivocfed
 
 test:
 	$(GO) test ./...
@@ -69,6 +70,14 @@ bench-store:
 bench-seg:
 	$(GO) test -bench='BenchmarkSeg' -benchmem -run='^$$' $(BENCH_FLAGS) .
 
+# The federation benchmarks recorded in BENCH_fed.json: the
+# scatter-gather query bundle through a bivocfed coordinator over a
+# shard sweep {1, 2, 4, 8} of the same corpus. Pass profiler hooks
+# through BENCH_FLAGS, e.g.
+#   make bench-fed BENCH_FLAGS='-cpuprofile=cpu.out'
+bench-fed:
+	$(GO) test -bench='BenchmarkFed' -benchmem -run='^$$' $(BENCH_FLAGS) .
+
 # One iteration of every benchmark, so benchmark code cannot rot.
 bench-build:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
@@ -76,7 +85,9 @@ bench-build:
 examples:
 	$(GO) build ./examples/...
 
-# Black-box daemon check: build cmd/bivocd, start it, query /healthz and
-# /v1/count, SIGINT it, require a clean exit.
+# Black-box daemon checks: build cmd/bivocd (and cmd/bivocfed over a
+# two-shard fleet), start them, query /healthz and /v1/count, SIGINT,
+# require a clean exit.
 smoke:
 	$(GO) test -run TestDaemonSmoke -count=1 ./cmd/bivocd
+	$(GO) test -run TestFedDaemonSmoke -count=1 ./cmd/bivocfed

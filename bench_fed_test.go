@@ -1,0 +1,133 @@
+package bivoc_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"testing"
+	"time"
+
+	"bivoc/internal/fed"
+	"bivoc/internal/mining"
+	"bivoc/internal/server"
+)
+
+// Federation benchmarks: the coordinator's scatter-gather price across
+// a shard sweep. One iteration is the mixed query bundle the segment
+// benchmarks use (four-dim count, 3x3 association table, trend), issued
+// over HTTP through a bivocfed coordinator fronting k shard servers
+// that partition the same 20k-document corpus — so the k=1 row is the
+// federation tax over a single daemon, and the sweep shows how the
+// fan-out scales. `make bench-fed` records the results in
+// BENCH_fed.json.
+
+// fedBenchFleet boots k shard servers over the 20k-document segment
+// corpus partitioned by ShardOf, plus a coordinator over them, and
+// returns the coordinator's base URL with a stop func. Shard caches are
+// off so each iteration pays the real per-shard query work.
+func fedBenchFleet(b *testing.B, docs []mining.Document, k int) (base string, stop func()) {
+	b.Helper()
+	src := func(ctx context.Context, already func(string) bool, emit func(mining.Document) error) error {
+		for _, d := range docs {
+			if err := emit(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var stops []func()
+	stopAll := func() {
+		for _, s := range stops {
+			s()
+		}
+	}
+	shards := make([]string, k)
+	for i := 0; i < k; i++ {
+		s, err := server.New(server.Config{
+			Addr:      "127.0.0.1:0",
+			Source:    fed.PartitionSource(src, i, k),
+			CacheSize: -1,
+		})
+		if err == nil {
+			err = s.Start()
+		}
+		if err != nil {
+			stopAll()
+			b.Fatal(err)
+		}
+		stops = append(stops, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer cancel()
+			s.Shutdown(ctx)
+		})
+		select {
+		case <-s.IngestDone():
+		case <-time.After(60 * time.Second):
+			stopAll()
+			b.Fatal("shard ingest did not seal")
+		}
+		shards[i] = "http://" + s.Addr()
+	}
+	c, err := fed.NewCoordinator(fed.Config{Addr: "127.0.0.1:0", Shards: shards})
+	if err == nil {
+		err = c.Start()
+	}
+	if err != nil {
+		stopAll()
+		b.Fatal(err)
+	}
+	stops = append([]func(){func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		c.Shutdown(ctx)
+	}}, stops...)
+	return "http://" + c.Addr(), stopAll
+}
+
+// fedBenchQueries is the per-iteration bundle, mirroring
+// BenchmarkSegQuery's mix at the HTTP layer.
+func fedBenchQueries() []string {
+	return []string{
+		"/v1/count?" + url.Values{"dim": {
+			"billing[topic]", "austin[place]", "outcome=reservation", "parity=even ∧ outcome=service",
+		}}.Encode(),
+		"/v1/associate?" + url.Values{
+			"row": {"billing[topic]", "coverage[topic]", "roadside[topic]"},
+			"col": {"outcome=reservation", "outcome=unbooked", "outcome=service"},
+		}.Encode(),
+		"/v1/trend?" + url.Values{"dim": {"billing[topic]"}}.Encode(),
+	}
+}
+
+// BenchmarkFedQuery sweeps shard counts {1, 2, 4, 8} over a fixed 20k
+// corpus. The responses are byte-identical at every k (pinned by the
+// equivalence suites); the benchmark prices what that costs: per-shard
+// HTTP round-trips, marginal decode, and the single merged finalize.
+func BenchmarkFedQuery(b *testing.B) {
+	docs := segBenchDocs(20000)
+	queries := fedBenchQueries()
+	client := &http.Client{}
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", k), func(b *testing.B) {
+			base, stop := fedBenchFleet(b, docs, k)
+			defer stop()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					resp, err := client.Get(base + q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						b.Fatalf("GET %s: status %d: %s", q, resp.StatusCode, body)
+					}
+				}
+			}
+		})
+	}
+}

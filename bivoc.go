@@ -48,6 +48,7 @@ import (
 	"bivoc/internal/asr"
 	"bivoc/internal/churn"
 	"bivoc/internal/core"
+	"bivoc/internal/fed"
 	"bivoc/internal/linker"
 	"bivoc/internal/mining"
 	"bivoc/internal/pipeline"
@@ -135,6 +136,28 @@ func Serve(ctx context.Context, cfg ServeConfig) error { return core.Serve(ctx, 
 // the Dim it renders from: ParseDim(d.Label()) == d. This is the query
 // syntax of the daemon's dim/row/col/featured parameters.
 func ParseDim(label string) (Dim, error) { return mining.ParseDim(label) }
+
+// --- Federation (bivocfed) ---
+
+// FedConfig configures the scatter-gather federation coordinator: the
+// shard base URLs (in ShardOf placement order), per-shard timeout,
+// fan-out bound and default association confidence.
+type FedConfig = fed.Config
+
+// FedCoordinator serves the same /v1 API as a single bivocd by
+// scattering each query to every shard and merging the integer
+// marginals before any float math — healthy responses are byte-identical
+// to a single daemon over the union of the shards' documents.
+type FedCoordinator = fed.Coordinator
+
+// NewFedCoordinator builds an unstarted federation coordinator; pair
+// Start/Shutdown, or use its Run for the blocking daemon loop.
+func NewFedCoordinator(cfg FedConfig) (*FedCoordinator, error) { return fed.NewCoordinator(cfg) }
+
+// ShardOf maps a document ID onto one of n shards — the placement
+// contract shared by sharded bivocd ingest (ServeConfig.ShardIndex/
+// ShardCount) and the coordinator's shard list.
+func ShardOf(docID string, shards int) int { return fed.ShardOf(docID, shards) }
 
 // --- Fault tolerance ---
 

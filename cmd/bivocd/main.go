@@ -10,7 +10,11 @@
 //	bivocd [-addr HOST:PORT] [-asr] [-notes] [-seed N] [-calls N]
 //	       [-days N] [-workers N] [-swap-interval D] [-swap-every N]
 //	       [-max-segments N] [-cache N] [-confidence P] [-assoc-workers N]
-//	       [-drain-timeout D] [-data-dir PATH] [-wal-sync N]
+//	       [-drain-timeout D] [-data-dir PATH] [-wal-sync N] [-shard I/N]
+//
+// With -shard i/n the daemon ingests only the calls whose document ID
+// hashes onto shard i of n (see internal/fed); run n such daemons and
+// front them with bivocfed for a federated deployment.
 //
 // With -data-dir the daemon is durable: every ingested call is logged
 // to an on-disk WAL (fsynced every -wal-sync documents), the sealed
@@ -43,6 +47,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,7 +72,14 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain bound")
 	dataDir := flag.String("data-dir", "", "persistence directory: segments + ingest WAL (empty = in-memory only)")
 	walSync := flag.Int("wal-sync", 1, "fsync the ingest WAL every N documents (1 = every document)")
+	shard := flag.String("shard", "", "serve as shard i of n, as \"i/n\" (empty = serve everything); pair with bivocfed")
 	flag.Parse()
+
+	shardIndex, shardCount, err := parseShard(*shard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bivocd:", err)
+		os.Exit(2)
+	}
 
 	cfg := bivoc.DefaultServeConfig()
 	cfg.Addr = *addr
@@ -85,6 +98,8 @@ func main() {
 	cfg.Analysis.Confidence = *confidence
 	cfg.DataDir = *dataDir
 	cfg.WALSyncEvery = *walSync
+	cfg.ShardIndex = shardIndex
+	cfg.ShardCount = shardCount
 
 	s, err := bivoc.NewQueryServer(cfg)
 	if err != nil {
@@ -97,6 +112,9 @@ func main() {
 	}
 	fmt.Printf("bivocd: listening on %s (%d calls/day x %d days, asr=%v)\n",
 		s.Addr(), *calls, *days, *useASR)
+	if shardCount > 1 {
+		fmt.Printf("bivocd: serving shard %d/%d\n", shardIndex, shardCount)
+	}
 	if *dataDir != "" {
 		segDocs, walDocs, walDropped := s.RecoveryInfo()
 		fmt.Printf("bivocd: persistence at %s: recovered %d docs from segment, %d from WAL (%d torn bytes dropped)\n",
@@ -114,4 +132,24 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("bivocd: stopped cleanly")
+}
+
+// parseShard parses the -shard flag: "" means not sharded (0 of 1),
+// otherwise "i/n" with 0 ≤ i < n.
+func parseShard(s string) (index, count int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	i, n, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("-shard %q: want \"i/n\"", s)
+	}
+	index, err = strconv.Atoi(strings.TrimSpace(i))
+	if err == nil {
+		count, err = strconv.Atoi(strings.TrimSpace(n))
+	}
+	if err != nil || count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("-shard %q: want \"i/n\" with 0 <= i < n", s)
+	}
+	return index, count, nil
 }

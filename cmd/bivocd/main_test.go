@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"os"
@@ -66,6 +67,11 @@ func TestDaemonSmoke(t *testing.T) {
 		case <-deadline:
 			t.Fatal("daemon did not announce its address in time")
 		}
+	}
+	// -addr was :0, so the announced address must be the actual bound
+	// one — a concrete nonzero port, not the wildcard back.
+	if _, port, err := net.SplitHostPort(addr); err != nil || port == "0" || port == "" {
+		t.Fatalf("announced address %q is not a concrete bound address (err %v)", addr, err)
 	}
 	base := "http://" + addr
 

@@ -1,0 +1,95 @@
+// Command bivocfed is the BIVoC federation coordinator: it fronts a
+// fleet of sharded bivocd daemons (each started with -shard i/n) and
+// serves the same /v1 query API by scattering every query to all shards
+// and gathering on integer marginals. Because shards hold disjoint
+// document sets and all float math (Wilson intervals, relative
+// frequencies, trend slopes) runs once on the merged integer counts, a
+// healthy federation answers byte-identically to a single bivocd over
+// the union of the shards' documents.
+//
+// Usage:
+//
+//	bivocfed -shards URL,URL,... [-addr HOST:PORT] [-shard-timeout D]
+//	         [-fanout N] [-confidence P] [-assoc-workers N]
+//	         [-drain-timeout D]
+//
+// The -shards list is ordered: shard i of the list must be the daemon
+// ingesting with -shard i/n. A shard that is unreachable, times out, or
+// fails internally degrades the answer instead of killing it: the
+// response carries "degraded": true and "missing_shards", and the shard
+// rejoins automatically on its next healthy reply — no coordinator
+// restart.
+//
+// Every response carries the X-Bivoc-Generation header with the
+// comma-joined per-shard generation vector ("-" for a missing shard).
+//
+// SIGINT/SIGTERM shut the coordinator down gracefully: in-flight
+// scatters drain and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bivoc"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8090", "HTTP listen address (use :0 for a free port)")
+	shards := flag.String("shards", "", "comma-separated shard base URLs, in shard order (required)")
+	shardTimeout := flag.Duration("shard-timeout", 5*time.Second, "per-shard request timeout; a slower shard is treated as down for that query")
+	fanout := flag.Int("fanout", 0, "max concurrent shard requests per query (0 = all shards at once)")
+	confidence := flag.Float64("confidence", 0.95, "default association-interval confidence")
+	assocWorkers := flag.Int("assoc-workers", 0, "workers per merged association table (0 = GOMAXPROCS)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain bound")
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "bivocfed: -shards is required (comma-separated base URLs)")
+		os.Exit(2)
+	}
+
+	c, err := bivoc.NewFedCoordinator(bivoc.FedConfig{
+		Addr:             *addr,
+		Shards:           urls,
+		ShardTimeout:     *shardTimeout,
+		MaxFanout:        *fanout,
+		Confidence:       *confidence,
+		AssociateWorkers: *assocWorkers,
+		DrainTimeout:     *drainTimeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bivocfed:", err)
+		os.Exit(1)
+	}
+	if err := c.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "bivocfed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("bivocfed: listening on %s (%d shards, timeout %v)\n",
+		c.Addr(), len(urls), *shardTimeout)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println("bivocfed: shutting down, draining in-flight requests")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := c.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "bivocfed: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Println("bivocfed: stopped cleanly")
+}

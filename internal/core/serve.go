@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"time"
 
+	"bivoc/internal/fed"
 	"bivoc/internal/mining"
 	"bivoc/internal/pipeline"
 	"bivoc/internal/server"
@@ -35,6 +37,13 @@ type ServeConfig struct {
 	AssociateWorkers int
 	// DrainTimeout bounds the graceful drain on shutdown.
 	DrainTimeout time.Duration
+	// ShardIndex/ShardCount run the daemon as one shard of a federated
+	// fleet: only calls whose document ID hashes onto ShardIndex (per
+	// fed.ShardOf, out of ShardCount) are ingested — filtered before the
+	// pipeline, so a shard never pays transcription or linking for
+	// documents it does not own. ShardCount ≤ 1 serves everything.
+	ShardIndex int
+	ShardCount int
 	// DataDir, when non-empty, makes the daemon durable (internal/store):
 	// sealed indexes are written there as binary segments, ingested
 	// documents are WAL-logged, and a restart recovers segment + WAL tail
@@ -65,6 +74,9 @@ func DefaultServeConfig() ServeConfig {
 // counters surfaced on /statsz. The server is unstarted; use Run (or
 // Start/Shutdown).
 func NewServeServer(cfg ServeConfig) (*server.Server, error) {
+	if cfg.ShardCount > 1 && (cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount) {
+		return nil, fmt.Errorf("core: ShardIndex %d out of range for %d shards", cfg.ShardIndex, cfg.ShardCount)
+	}
 	world, err := synth.NewCarRentalWorld(cfg.Analysis.World)
 	if err != nil {
 		return nil, err
@@ -85,9 +97,15 @@ func NewServeServer(cfg ServeConfig) (*server.Server, error) {
 		// for recovered documents. Per-call RNG substreams are keyed by
 		// call ID, so the surviving calls transcribe identically whether
 		// or not their neighbors were skipped.
+		// The shard filter runs here too: document IDs are call IDs, so a
+		// federated shard hashes each call ID once and never transcribes a
+		// call it does not own.
 		calls := ca.World.Calls
 		fresh := make([]int, 0, len(calls))
 		for i := range calls {
+			if cfg.ShardCount > 1 && fed.ShardOf(calls[i].ID, cfg.ShardCount) != cfg.ShardIndex {
+				continue
+			}
 			if already == nil || !already(calls[i].ID) {
 				fresh = append(fresh, i)
 			}

@@ -1,0 +1,243 @@
+package fed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bivoc/internal/server"
+)
+
+// Config assembles a Coordinator.
+type Config struct {
+	// Addr is the TCP listen address ("127.0.0.1:8080"; ":0" picks a
+	// free port, readable from Coordinator.Addr after Start).
+	Addr string
+	// Shards are the base URLs of the shard servers, in shard order
+	// ("http://127.0.0.1:7001"). The order is part of the placement
+	// contract: shard i must serve the documents ShardOf assigns to i
+	// out of len(Shards). Required, at least one.
+	Shards []string
+	// ShardTimeout bounds each per-shard request of a scatter (default
+	// 5s). A shard that exceeds it is treated as down for that query.
+	ShardTimeout time.Duration
+	// MaxFanout caps how many shard requests one scatter runs
+	// concurrently (default: all shards at once).
+	MaxFanout int
+	// Confidence is the default association confidence when the query
+	// does not pass one (default 0.95, mirroring the shard servers).
+	Confidence float64
+	// AssociateWorkers caps the workers finalizing one association
+	// table (0 = GOMAXPROCS).
+	AssociateWorkers int
+	// DrainTimeout bounds the graceful drain in Run (default 5s).
+	DrainTimeout time.Duration
+	// Client issues the shard requests (default: a dedicated pooled
+	// client).
+	Client *http.Client
+}
+
+func (c Config) shardTimeout() time.Duration {
+	if c.ShardTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.ShardTimeout
+}
+
+func (c Config) maxFanout() int {
+	if c.MaxFanout <= 0 || c.MaxFanout > len(c.Shards) {
+		return len(c.Shards)
+	}
+	return c.MaxFanout
+}
+
+func (c Config) confidence() float64 {
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		return 0.95
+	}
+	return c.Confidence
+}
+
+func (c Config) drainTimeout() time.Duration {
+	if c.DrainTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.DrainTimeout
+}
+
+// Coordinator serves the /v1 API by scattering every query to all
+// shards and gathering on integer marginals. It holds no index of its
+// own and no per-shard state between requests — a shard that comes back
+// is answering queries again on its first healthy response, without any
+// coordinator restart or rejoin step.
+type Coordinator struct {
+	cfg    Config
+	client *http.Client
+	mux    http.Handler
+
+	started   atomic.Bool
+	lifeMu    sync.Mutex
+	ln        net.Listener
+	hs        *http.Server
+	serveDone chan struct{}
+	serveErr  error
+	errMu     sync.Mutex
+}
+
+// NewCoordinator validates the config and builds a coordinator.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("fed: Config.Shards is required")
+	}
+	for i, s := range cfg.Shards {
+		if !strings.HasPrefix(s, "http://") && !strings.HasPrefix(s, "https://") {
+			return nil, fmt.Errorf("fed: shard %d address %q must be a base URL", i, s)
+		}
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		client:    cfg.Client,
+		serveDone: make(chan struct{}),
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	c.mux = c.buildMux()
+	return c, nil
+}
+
+// Start listens on Config.Addr and serves the federated API. It returns
+// once the listener is live; use Addr for the bound address.
+func (c *Coordinator) Start() error {
+	if !c.started.CompareAndSwap(false, true) {
+		return errors.New("fed: Start called twice")
+	}
+	addr := c.cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("fed: listen %s: %w", addr, err)
+	}
+	hs := &http.Server{Handler: c.mux}
+	c.lifeMu.Lock()
+	c.ln = ln
+	c.hs = hs
+	c.lifeMu.Unlock()
+	go func() {
+		defer close(c.serveDone)
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			c.errMu.Lock()
+			c.serveErr = err
+			c.errMu.Unlock()
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address, or "" before Start.
+func (c *Coordinator) Addr() string {
+	c.lifeMu.Lock()
+	defer c.lifeMu.Unlock()
+	if c.ln == nil {
+		return ""
+	}
+	return c.ln.Addr().String()
+}
+
+// Handler returns the HTTP API (also useful without Start, e.g. under
+// httptest).
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Shutdown gracefully stops a Started coordinator; ctx bounds the drain
+// of in-flight requests.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.lifeMu.Lock()
+	hs := c.hs
+	c.lifeMu.Unlock()
+	if hs == nil {
+		return errors.New("fed: Shutdown before Start")
+	}
+	err := hs.Shutdown(ctx)
+	<-c.serveDone
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return errors.Join(err, c.serveErr)
+}
+
+// Run starts the coordinator and serves until ctx is cancelled, then
+// drains within Config.DrainTimeout.
+func (c *Coordinator) Run(ctx context.Context) error {
+	if err := c.Start(); err != nil {
+		return err
+	}
+	<-ctx.Done()
+	dctx, cancel := context.WithTimeout(context.Background(), c.cfg.drainTimeout())
+	defer cancel()
+	return c.Shutdown(dctx)
+}
+
+// shardReply is one shard's answer to a scatter: an HTTP response
+// (status, generation header, body) or a transport error.
+type shardReply struct {
+	status int
+	gen    string
+	body   []byte
+	err    error
+}
+
+// down reports whether this reply means the shard is unusable for the
+// query: unreachable, timed out, or failing internally (5xx). Client
+// errors (4xx) are not down — they are the query's fault and are
+// relayed.
+func (r shardReply) down() bool {
+	return r.err != nil || r.status >= 500
+}
+
+// scatter issues GET <shard><path>?<rawQuery> to every shard
+// concurrently — at most MaxFanout in flight, each bounded by
+// ShardTimeout — and returns one reply per shard, in shard order.
+func (c *Coordinator) scatter(ctx context.Context, path, rawQuery string) []shardReply {
+	replies := make([]shardReply, len(c.cfg.Shards))
+	sem := make(chan struct{}, c.cfg.maxFanout())
+	var wg sync.WaitGroup
+	for i, base := range c.cfg.Shards {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			replies[i] = c.fetchShard(ctx, base+path+"?"+rawQuery)
+		}(i, base)
+	}
+	wg.Wait()
+	return replies
+}
+
+// fetchShard performs one bounded shard request.
+func (c *Coordinator) fetchShard(ctx context.Context, url string) shardReply {
+	sctx, cancel := context.WithTimeout(ctx, c.cfg.shardTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, url, nil)
+	if err != nil {
+		return shardReply{err: err}
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return shardReply{err: err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return shardReply{err: err}
+	}
+	return shardReply{status: resp.StatusCode, gen: resp.Header.Get(server.GenerationHeader), body: body}
+}

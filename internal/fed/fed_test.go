@@ -1,0 +1,641 @@
+package fed
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"bivoc/internal/annotate"
+	"bivoc/internal/mining"
+	"bivoc/internal/server"
+)
+
+// The federation oracle suite: a coordinator over hash-partitioned
+// shards must answer every /v1 endpoint byte-identically to a
+// single-node server over the union corpus — at shard counts {1,2,4,8},
+// in fast and naive-oracle modes, sealed and mid-ingest — and must
+// degrade (not die) under partial shard failure.
+
+var testTopics = []string{"billing", "coverage", "roadside", "upgrade"}
+
+func testDoc(i int) mining.Document {
+	parity := "even"
+	if i%2 == 1 {
+		parity = "odd"
+	}
+	outcome := []string{"reservation", "unbooked", "service"}[i%3]
+	concepts := []annotate.Concept{
+		{Category: "topic", Canonical: testTopics[i%len(testTopics)]},
+	}
+	if i%5 == 0 {
+		concepts = append(concepts, annotate.Concept{Category: "place", Canonical: "austin"})
+	}
+	return mining.Document{
+		ID:       fmt.Sprintf("doc-%05d", i),
+		Concepts: concepts,
+		Fields:   map[string]string{"parity": parity, "outcome": outcome},
+		Time:     i / 10,
+	}
+}
+
+func testDocs(n int) []mining.Document {
+	docs := make([]mining.Document, n)
+	for i := range docs {
+		docs[i] = testDoc(i)
+	}
+	return docs
+}
+
+func sliceSource(docs []mining.Document) server.DocSource {
+	return func(ctx context.Context, _ func(string) bool, emit func(mining.Document) error) error {
+		for _, d := range docs {
+			if err := emit(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// fedQueries exercises every /v1 endpoint family against the testDoc
+// corpus (same battery as the server-side segment suite).
+func fedQueries() []string {
+	return []string{
+		"/v1/count?" + url.Values{"dim": {"parity=even", "parity=odd", "topic", "austin[place]"}}.Encode(),
+		"/v1/associate?" + url.Values{"row": {"billing[topic]", "coverage[topic]", "roadside[topic]"}, "col": {"outcome=reservation", "outcome=unbooked", "outcome=service"}}.Encode(),
+		"/v1/associate?" + url.Values{"row": {"topic"}, "col": {"parity=odd"}, "confidence": {"0.99"}}.Encode(),
+		"/v1/relfreq?" + url.Values{"category": {"topic"}, "featured": {"outcome=reservation"}}.Encode(),
+		"/v1/drilldown?" + url.Values{"row": {"austin[place]"}, "col": {"outcome=service"}}.Encode(),
+		"/v1/trend?" + url.Values{"dim": {"billing[topic]"}}.Encode(),
+		"/v1/concepts?category=topic",
+		"/v1/concepts?field=outcome",
+	}
+}
+
+// testClient disables keep-alives so no pooled connection outlives its
+// request and shard restarts/shutdowns stay prompt and deterministic.
+var testClient = &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+
+func get(t *testing.T, rawurl string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := testClient.Get(rawurl)
+	if err != nil {
+		t.Fatalf("GET %s: %v", rawurl, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", rawurl, err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// startShard starts one shard server over its partition of docs.
+func startShard(t *testing.T, docs []mining.Document, shard, shards int, cfg server.Config) *server.Server {
+	t.Helper()
+	cfg.Source = PartitionSource(sliceSource(docs), shard, shards)
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { shutdownServer(t, s) })
+	return s
+}
+
+// shutdownServer shuts a server down, tolerating double shutdowns (the
+// failure tests stop shards mid-test before the cleanup runs).
+func shutdownServer(t *testing.T, s *server.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil && !strings.Contains(err.Error(), "Shutdown") {
+		t.Logf("shutdown: %v", err)
+	}
+}
+
+func startSingle(t *testing.T, docs []mining.Document, cfg server.Config) *server.Server {
+	t.Helper()
+	cfg.Source = sliceSource(docs)
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { shutdownServer(t, s) })
+	return s
+}
+
+func startCoordinator(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	if cfg.Client == nil {
+		cfg.Client = testClient
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := c.Shutdown(ctx); err != nil {
+			t.Errorf("coordinator shutdown: %v", err)
+		}
+	})
+	return c
+}
+
+func waitIngestDone(t *testing.T, servers ...*server.Server) {
+	t.Helper()
+	for _, s := range servers {
+		select {
+		case <-s.IngestDone():
+		case <-time.After(10 * time.Second):
+			t.Fatal("ingest did not finish in time")
+		}
+	}
+}
+
+func shardAddrs(servers []*server.Server) []string {
+	out := make([]string, len(servers))
+	for i, s := range servers {
+		out[i] = "http://" + s.Addr()
+	}
+	return out
+}
+
+func withNaive(fn func()) {
+	old := mining.UseNaiveSets
+	mining.UseNaiveSets = true
+	defer func() { mining.UseNaiveSets = old }()
+	fn()
+}
+
+// TestShardOf pins the placement function: deterministic, in range,
+// collapsing for ≤1 shard, and spreading the test corpus over every
+// shard at the counts the equivalence suite uses.
+func TestShardOf(t *testing.T) {
+	for _, d := range testDocs(50) {
+		if got := ShardOf(d.ID, 1); got != 0 {
+			t.Fatalf("ShardOf(%q, 1) = %d", d.ID, got)
+		}
+		if got := ShardOf(d.ID, 0); got != 0 {
+			t.Fatalf("ShardOf(%q, 0) = %d", d.ID, got)
+		}
+	}
+	for _, k := range []int{2, 4, 8} {
+		seen := make([]int, k)
+		for _, d := range testDocs(200) {
+			s := ShardOf(d.ID, k)
+			if s < 0 || s >= k {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", d.ID, k, s)
+			}
+			if s != ShardOf(d.ID, k) {
+				t.Fatalf("ShardOf not deterministic")
+			}
+			seen[s]++
+		}
+		for i, n := range seen {
+			if n == 0 {
+				t.Fatalf("shard %d of %d received no documents from 200", i, k)
+			}
+		}
+	}
+}
+
+// checkFedMatchesSingle requires every query's federated body to be
+// byte-identical to the single-node body, and the header to carry a
+// full numeric generation vector.
+func checkFedMatchesSingle(t *testing.T, singleBase, fedBase string, shards int) {
+	t.Helper()
+	for _, q := range fedQueries() {
+		wantStatus, _, want := get(t, singleBase+q)
+		gotStatus, hdr, got := get(t, fedBase+q)
+		if wantStatus != http.StatusOK || gotStatus != http.StatusOK {
+			t.Fatalf("%s: single %d, fed %d", q, wantStatus, gotStatus)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: fed body diverges from single node\n fed: %s\nsingle: %s", q, got, want)
+		}
+		vec := strings.Split(hdr.Get(server.GenerationHeader), ",")
+		if len(vec) != shards {
+			t.Fatalf("%s: generation vector %q has %d entries, want %d", q, hdr.Get(server.GenerationHeader), len(vec), shards)
+		}
+		for _, gen := range vec {
+			if gen == "" || gen == "-" {
+				t.Fatalf("%s: generation vector %q has missing entries on a healthy fleet", q, hdr.Get(server.GenerationHeader))
+			}
+		}
+	}
+}
+
+// TestFedMatchesSingleNodeSealed is the tentpole oracle: shard counts
+// {1, 2, 4, 8}, sealed corpus, fast and naive-oracle modes — all eight
+// endpoints byte-identical to a single node over the same corpus.
+func TestFedMatchesSingleNodeSealed(t *testing.T) {
+	docs := testDocs(150)
+	for _, k := range []int{1, 2, 4, 8} {
+		for _, naive := range []bool{false, true} {
+			t.Run(fmt.Sprintf("shards-%d-naive-%v", k, naive), func(t *testing.T) {
+				single := startSingle(t, docs, server.Config{})
+				shards := make([]*server.Server, k)
+				for i := range shards {
+					shards[i] = startShard(t, docs, i, k, server.Config{})
+				}
+				waitIngestDone(t, append([]*server.Server{single}, shards...)...)
+				coord := startCoordinator(t, Config{Shards: shardAddrs(shards)})
+
+				run := func() {
+					checkFedMatchesSingle(t, "http://"+single.Addr(), "http://"+coord.Addr(), k)
+				}
+				if naive {
+					withNaive(run)
+				} else {
+					run()
+				}
+			})
+		}
+	}
+}
+
+// normalizeGen strips only the generation field: mid-ingest, shard
+// generations advance on their own cadences, but everything else —
+// counts, floats, ordering, sealed — must match the single node at the
+// same corpus prefix.
+func normalizeGen(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("unmarshal %s: %v", body, err)
+	}
+	delete(m, "generation")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// gatedSource emits docs[:gateAt], blocks until gate closes, then emits
+// the rest — a deterministic mid-ingest cut at the same document for
+// every server regardless of partitioning.
+func gatedSource(docs []mining.Document, gate <-chan struct{}, gateAt int) server.DocSource {
+	return func(ctx context.Context, _ func(string) bool, emit func(mining.Document) error) error {
+		for i, d := range docs {
+			if i == gateAt {
+				select {
+				case <-gate:
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			if err := emit(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// pollTotal waits until /v1/count reports want documents.
+func pollTotal(t *testing.T, base string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		status, _, body := get(t, base+"/v1/count?dim="+url.QueryEscape("parity=even"))
+		if status == http.StatusOK {
+			var m struct{ Total int }
+			if err := json.Unmarshal(body, &m); err == nil && m.Total == want {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s never reached %d documents", base, want)
+}
+
+// TestFedMidIngestMatchesSingleNode pins byte-identity (modulo the
+// generation counter) while ingest is still running: the fleet and the
+// single node are cut at the same document, queried, then released and
+// compared again sealed.
+func TestFedMidIngestMatchesSingleNode(t *testing.T) {
+	const k, cut, total = 4, 60, 100
+	docs := testDocs(total)
+	gate := make(chan struct{})
+	cfg := server.Config{SwapEvery: 1}
+
+	singleCfg := cfg
+	singleCfg.Source = gatedSource(docs, gate, cut)
+	single, err := server.New(singleCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { shutdownServer(t, single) })
+
+	shards := make([]*server.Server, k)
+	for i := range shards {
+		shardCfg := cfg
+		shardCfg.Source = PartitionSource(gatedSource(docs, gate, cut), i, k)
+		s, err := server.New(shardCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { shutdownServer(t, s) })
+		shards[i] = s
+	}
+	coord := startCoordinator(t, Config{Shards: shardAddrs(shards)})
+	singleBase, fedBase := "http://"+single.Addr(), "http://"+coord.Addr()
+
+	// Mid-ingest: both sides hold exactly the first cut documents.
+	pollTotal(t, singleBase, cut)
+	pollTotal(t, fedBase, cut)
+	for _, q := range fedQueries() {
+		_, _, want := get(t, singleBase+q)
+		_, _, got := get(t, fedBase+q)
+		if w, g := normalizeGen(t, want), normalizeGen(t, got); !bytes.Equal(g, w) {
+			t.Fatalf("mid-ingest %s: fed diverges from single node\n fed: %s\nsingle: %s", q, g, w)
+		}
+	}
+
+	// Release the rest and compare the sealed corpus.
+	close(gate)
+	waitIngestDone(t, append([]*server.Server{single}, shards...)...)
+	pollTotal(t, singleBase, total)
+	pollTotal(t, fedBase, total)
+	for _, q := range fedQueries() {
+		_, _, want := get(t, singleBase+q)
+		_, _, got := get(t, fedBase+q)
+		if w, g := normalizeGen(t, want), normalizeGen(t, got); !bytes.Equal(g, w) {
+			t.Fatalf("sealed %s: fed diverges from single node\n fed: %s\nsingle: %s", q, g, w)
+		}
+		var m struct{ Sealed bool }
+		if err := json.Unmarshal(got, &m); err != nil || !m.Sealed {
+			t.Fatalf("sealed %s: fed response not sealed (%s)", q, got)
+		}
+	}
+}
+
+// fedBody decodes the degraded-contract fields of a federated response.
+type fedBody struct {
+	Total         int    `json:"total"`
+	Degraded      bool   `json:"degraded"`
+	MissingShards []int  `json:"missing_shards"`
+	Status        int    `json:"status"`
+	Error         string `json:"error"`
+}
+
+// TestFedPartialFailureAndRecovery pins degraded-not-dead: one shard
+// down leaves queries answered under the documented contract, and a
+// restarted shard rejoins without any coordinator restart.
+func TestFedPartialFailureAndRecovery(t *testing.T) {
+	const k = 3
+	docs := testDocs(90)
+	shards := make([]*server.Server, k)
+	for i := range shards {
+		shards[i] = startShard(t, docs, i, k, server.Config{})
+	}
+	waitIngestDone(t, shards...)
+	coord := startCoordinator(t, Config{Shards: shardAddrs(shards)})
+	fedBase := "http://" + coord.Addr()
+	countQ := fedBase + "/v1/count?dim=" + url.QueryEscape("parity=even")
+
+	// Healthy baseline.
+	status, _, healthyBody := get(t, countQ)
+	if status != http.StatusOK {
+		t.Fatalf("healthy count: status %d", status)
+	}
+	var healthy fedBody
+	if err := json.Unmarshal(healthyBody, &healthy); err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Degraded || healthy.Total != len(docs) {
+		t.Fatalf("healthy baseline degraded=%v total=%d", healthy.Degraded, healthy.Total)
+	}
+
+	// Kill shard 1. Its documents drop out; everything else still answers.
+	downAddr := shards[1].Addr()
+	shutdownServer(t, shards[1])
+	_, docs1, _ := shards[1].SnapshotInfo()
+
+	deadline := time.Now().Add(5 * time.Second)
+	var fb fedBody
+	var hdr http.Header
+	for {
+		var body []byte
+		status, hdr, body = get(t, countQ)
+		if err := json.Unmarshal(body, &fb); err != nil {
+			t.Fatal(err)
+		}
+		if fb.Degraded || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("degraded count: status %d, want 200", status)
+	}
+	if !fb.Degraded || len(fb.MissingShards) != 1 || fb.MissingShards[0] != 1 {
+		t.Fatalf("degraded contract violated: degraded=%v missing=%v", fb.Degraded, fb.MissingShards)
+	}
+	if want := len(docs) - docs1; fb.Total != want {
+		t.Fatalf("degraded total = %d, want %d (live shards only)", fb.Total, want)
+	}
+	vec := strings.Split(hdr.Get(server.GenerationHeader), ",")
+	if len(vec) != k || vec[1] != "-" {
+		t.Fatalf("degraded generation vector = %q, want %d entries with '-' at shard 1", hdr.Get(server.GenerationHeader), k)
+	}
+
+	// Every endpoint family keeps answering while degraded.
+	for _, q := range fedQueries() {
+		status, _, body := get(t, fedBase+q)
+		if status != http.StatusOK {
+			t.Fatalf("degraded %s: status %d, body %s", q, status, body)
+		}
+		var b fedBody
+		if err := json.Unmarshal(body, &b); err != nil {
+			t.Fatal(err)
+		}
+		if !b.Degraded {
+			t.Fatalf("degraded %s: response not marked degraded", q)
+		}
+	}
+
+	// Aggregated health reflects the loss, coordinator still 200.
+	status, _, healthBody := get(t, fedBase+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("healthz while degraded: status %d", status)
+	}
+	var hr HealthResponse
+	if err := json.Unmarshal(healthBody, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "degraded" || hr.Shards[1].Status != "unreachable" {
+		t.Fatalf("healthz = %s / shard1 %s, want degraded/unreachable", hr.Status, hr.Shards[1].Status)
+	}
+
+	// Recovery: restart the shard on the same address; the stateless
+	// coordinator picks it back up on its next scatter, no restart.
+	restartCfg := server.Config{Addr: downAddr}
+	restarted := startShard(t, docs, 1, k, restartCfg)
+	waitIngestDone(t, restarted)
+
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		_, _, body := get(t, countQ)
+		fb = fedBody{} // omitted fields must not inherit the degraded phase
+		if err := json.Unmarshal(body, &fb); err != nil {
+			t.Fatal(err)
+		}
+		if !fb.Degraded || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if fb.Degraded || fb.Total != len(docs) {
+		t.Fatalf("after recovery: degraded=%v total=%d, want healthy %d", fb.Degraded, fb.Total, len(docs))
+	}
+	// Back to the healthy baseline bytes.
+	_, _, body := get(t, countQ)
+	if !bytes.Equal(body, healthyBody) {
+		t.Fatalf("post-recovery body diverges from pre-failure baseline:\n got %s\nwant %s", body, healthyBody)
+	}
+}
+
+// TestFedSlowShardTimesOut pins the per-shard timeout: a shard that
+// hangs past ShardTimeout is dropped from the merge as missing, and the
+// query still answers from the fast shards.
+func TestFedSlowShardTimesOut(t *testing.T) {
+	const k = 3
+	docs := testDocs(60)
+	fast := make([]*server.Server, 0, k-1)
+	for i := 0; i < k-1; i++ {
+		fast = append(fast, startShard(t, docs, i, k, server.Config{}))
+	}
+	waitIngestDone(t, fast...)
+
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(2 * time.Second):
+		case <-r.Context().Done():
+		}
+	}))
+	t.Cleanup(slow.Close)
+
+	addrs := append(shardAddrs(fast), slow.URL)
+	coord := startCoordinator(t, Config{Shards: addrs, ShardTimeout: 100 * time.Millisecond})
+	fedBase := "http://" + coord.Addr()
+
+	start := time.Now()
+	status, _, body := get(t, fedBase+"/v1/count?dim="+url.QueryEscape("parity=even"))
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("slow shard stalled the merge for %v", elapsed)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("status %d with a slow shard, want 200", status)
+	}
+	var fb fedBody
+	if err := json.Unmarshal(body, &fb); err != nil {
+		t.Fatal(err)
+	}
+	if !fb.Degraded || len(fb.MissingShards) != 1 || fb.MissingShards[0] != k-1 {
+		t.Fatalf("slow shard not reported missing: degraded=%v missing=%v", fb.Degraded, fb.MissingShards)
+	}
+}
+
+// TestFedAllShardsDown pins the 503 contract: zero live shards is the
+// only condition that fails a query, and it fails structured.
+func TestFedAllShardsDown(t *testing.T) {
+	// Bind-then-close two listeners to get addresses that refuse.
+	dead := make([]string, 2)
+	for i := range dead {
+		l := httptest.NewServer(http.NotFoundHandler())
+		dead[i] = l.URL
+		l.Close()
+	}
+	coord := startCoordinator(t, Config{Shards: dead, ShardTimeout: 200 * time.Millisecond})
+	fedBase := "http://" + coord.Addr()
+
+	for _, q := range fedQueries() {
+		status, hdr, body := get(t, fedBase+q)
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("%s: status %d, want 503 (body %s)", q, status, body)
+		}
+		var fb fedBody
+		if err := json.Unmarshal(body, &fb); err != nil {
+			t.Fatalf("%s: 503 body is not structured JSON: %v (%s)", q, err, body)
+		}
+		if fb.Status != http.StatusServiceUnavailable || !fb.Degraded || len(fb.MissingShards) != 2 || fb.Error == "" {
+			t.Fatalf("%s: 503 contract violated: %+v", q, fb)
+		}
+		if got := hdr.Get(server.GenerationHeader); got != "-,-" {
+			t.Fatalf("%s: generation vector %q, want \"-,-\"", q, got)
+		}
+	}
+
+	// Introspection stays 200/degraded even with everything down.
+	status, _, body := get(t, fedBase+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("healthz: status %d, want 200", status)
+	}
+	var hr HealthResponse
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "degraded" || !hr.Degraded || len(hr.MissingShards) != 2 {
+		t.Fatalf("healthz all-down contract violated: %+v", hr)
+	}
+}
+
+// TestFedLocalErrorsStructured pins coordinator-originated errors: the
+// same {"error", "status"} schema as the shards, plus the blank
+// generation vector (nothing was scattered).
+func TestFedLocalErrorsStructured(t *testing.T) {
+	docs := testDocs(30)
+	shard := startShard(t, docs, 0, 1, server.Config{})
+	waitIngestDone(t, shard)
+	coord := startCoordinator(t, Config{Shards: shardAddrs([]*server.Server{shard})})
+	fedBase := "http://" + coord.Addr()
+
+	for _, q := range []string{
+		"/v1/count",                       // missing dim
+		"/v1/trend?dim=a%5Bb%5D&dim=c%5Bd%5D", // two dims
+		"/v1/associate?row=topic&col=parity%3Deven&confidence=7", // bad confidence
+		"/v1/concepts",                    // neither category nor field
+	} {
+		status, hdr, body := get(t, fedBase+q)
+		if status != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", q, status)
+		}
+		var fb fedBody
+		if err := json.Unmarshal(body, &fb); err != nil {
+			t.Fatalf("%s: 400 body not structured: %v", q, err)
+		}
+		if fb.Status != http.StatusBadRequest || fb.Error == "" {
+			t.Fatalf("%s: error contract violated: %+v", q, fb)
+		}
+		if got := hdr.Get(server.GenerationHeader); got != "-" {
+			t.Fatalf("%s: generation vector %q, want \"-\"", q, got)
+		}
+	}
+}

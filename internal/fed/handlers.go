@@ -1,0 +1,687 @@
+package fed
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"bivoc/internal/mining"
+	"bivoc/internal/server"
+)
+
+// Federated response types: each embeds the single-node wire schema and
+// appends the federation status. Both FedStatus fields are omitted when
+// every shard answered, so a healthy federated response marshals
+// byte-identically to the single-node response over the same corpus —
+// the byte-identity contract the equivalence suites pin.
+//
+// The body `generation` is the minimum generation across live shards (a
+// conservative "every shard reflects at least this much ingest"); the
+// full per-shard vector rides the X-Bivoc-Generation header,
+// comma-joined in shard order with "-" for shards that did not answer.
+
+// FedStatus reports partial-failure degradation: Degraded is set and
+// MissingShards lists the shard indexes (in shard order) whose answers
+// are absent from this response. Absent entirely on healthy responses.
+type FedStatus struct {
+	Degraded      bool  `json:"degraded,omitempty"`
+	MissingShards []int `json:"missing_shards,omitempty"`
+}
+
+// CountResponse answers /v1/count on the coordinator.
+type CountResponse struct {
+	server.CountResponse
+	FedStatus
+}
+
+// AssociateResponse answers /v1/associate on the coordinator.
+type AssociateResponse struct {
+	server.AssociateResponse
+	FedStatus
+}
+
+// RelFreqResponse answers /v1/relfreq on the coordinator.
+type RelFreqResponse struct {
+	server.RelFreqResponse
+	FedStatus
+}
+
+// DrillDownResponse answers /v1/drilldown on the coordinator.
+type DrillDownResponse struct {
+	server.DrillDownResponse
+	FedStatus
+}
+
+// TrendResponse answers /v1/trend on the coordinator.
+type TrendResponse struct {
+	server.TrendResponse
+	FedStatus
+}
+
+// ConceptsResponse answers /v1/concepts on the coordinator.
+type ConceptsResponse struct {
+	server.ConceptsResponse
+	FedStatus
+}
+
+// ErrorResponse is the body of coordinator-originated errors (shard
+// client errors are relayed verbatim instead).
+type ErrorResponse struct {
+	server.ErrorResponse
+	FedStatus
+}
+
+// ShardHealth is one shard's line in the federated /healthz.
+type ShardHealth struct {
+	Shard      int    `json:"shard"`
+	Addr       string `json:"addr"`
+	Status     string `json:"status"` // ok | degraded | unreachable
+	Generation uint64 `json:"generation,omitempty"`
+	Sealed     bool   `json:"sealed,omitempty"`
+	Docs       int    `json:"docs,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// HealthResponse answers /healthz on the coordinator: always 200 while
+// the coordinator serves; shard loss degrades, it does not kill.
+type HealthResponse struct {
+	Status string        `json:"status"` // ok | degraded
+	Docs   int           `json:"docs"`
+	Shards []ShardHealth `json:"shards"`
+	FedStatus
+}
+
+// ShardStatsz is one shard's section of the federated /statsz.
+type ShardStatsz struct {
+	Shard int                    `json:"shard"`
+	Addr  string                 `json:"addr"`
+	Error string                 `json:"error,omitempty"`
+	Stats *server.StatszResponse `json:"stats,omitempty"`
+}
+
+// StatszResponse answers /statsz on the coordinator: fleet-wide sums
+// plus every shard's own stats section.
+type StatszResponse struct {
+	Docs        int                   `json:"docs"`
+	Segments    int                   `json:"segments"`
+	Generations []string              `json:"generations"`
+	Cache       server.CacheStatsJSON `json:"cache"`
+	Shards      []ShardStatsz         `json:"shards"`
+	FedStatus
+}
+
+// buildMux wires the coordinator routes. The wrapper stamps a
+// no-information generation vector ("-" per shard) so even locally
+// rejected requests and 404s carry the header; scattered handlers
+// overwrite it with the real per-shard vector.
+func (c *Coordinator) buildMux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/count", c.handleCount)
+	mux.HandleFunc("GET /v1/associate", c.handleAssociate)
+	mux.HandleFunc("GET /v1/relfreq", c.handleRelFreq)
+	mux.HandleFunc("GET /v1/drilldown", c.handleDrillDown)
+	mux.HandleFunc("GET /v1/trend", c.handleTrend)
+	mux.HandleFunc("GET /v1/concepts", c.handleConcepts)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /statsz", c.handleStatsz)
+	blank := make([]string, len(c.cfg.Shards))
+	for i := range blank {
+		blank[i] = "-"
+	}
+	blankVec := strings.Join(blank, ",")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(server.GenerationHeader, blankVec)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// gather is one scatter's classified result set.
+type gather struct {
+	replies []shardReply
+	live    []int    // shard indexes that answered 200
+	missing []int    // shard indexes that are down for this query
+	genVec  []string // per-shard generation, "-" for missing
+}
+
+func (g *gather) fedStatus() FedStatus {
+	if len(g.missing) == 0 {
+		return FedStatus{}
+	}
+	return FedStatus{Degraded: true, MissingShards: g.missing}
+}
+
+// genAgg folds live shards' body generations into the conservative
+// federated (generation, sealed) pair: minimum generation, sealed only
+// if every live shard is sealed.
+type genAgg struct {
+	gen    uint64
+	sealed bool
+	any    bool
+}
+
+func (a *genAgg) add(gen uint64, sealed bool) {
+	if !a.any {
+		a.gen, a.sealed, a.any = gen, sealed, true
+		return
+	}
+	if gen < a.gen {
+		a.gen = gen
+	}
+	a.sealed = a.sealed && sealed
+}
+
+// fanout scatters path?rawQuery to every shard and classifies the
+// replies. On a shard client error (4xx) it relays that shard's
+// structured error verbatim; with zero live shards it answers 503
+// degraded. In both cases the response is written and ok is false.
+func (c *Coordinator) fanout(w http.ResponseWriter, r *http.Request, path, rawQuery string) (g *gather, ok bool) {
+	replies := c.scatter(r.Context(), path, rawQuery)
+	g = &gather{replies: replies, genVec: make([]string, len(replies))}
+	var relay *shardReply
+	for i := range replies {
+		rep := &replies[i]
+		switch {
+		case rep.down():
+			g.missing = append(g.missing, i)
+			g.genVec[i] = "-"
+		case rep.status != http.StatusOK:
+			// The query is the client's fault the same way on every
+			// shard; remember the first structured error to relay.
+			g.genVec[i] = rep.gen
+			if relay == nil {
+				relay = rep
+			}
+		default:
+			g.live = append(g.live, i)
+			g.genVec[i] = rep.gen
+		}
+	}
+	if relay != nil {
+		w.Header().Set(server.GenerationHeader, strings.Join(g.genVec, ","))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(relay.status)
+		w.Write(relay.body)
+		return g, false
+	}
+	if len(g.live) == 0 {
+		c.writeError(w, g.genVec, http.StatusServiceUnavailable,
+			fmt.Errorf("all %d shards unavailable", len(replies)),
+			FedStatus{Degraded: true, MissingShards: g.missing})
+		return g, false
+	}
+	return g, true
+}
+
+// writeOK writes a merged 200 response with the gathered generation
+// vector in the header.
+func (c *Coordinator) writeOK(w http.ResponseWriter, g *gather, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		c.writeError(w, g.genVec, http.StatusInternalServerError, err, g.fedStatus())
+		return
+	}
+	w.Header().Set(server.GenerationHeader, strings.Join(g.genVec, ","))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(append(body, '\n'))
+}
+
+// writeError writes a coordinator-originated structured error. A nil
+// genVec leaves the wrapper's no-information header in place (local
+// parse errors never scattered).
+func (c *Coordinator) writeError(w http.ResponseWriter, genVec []string, status int, err error, fs FedStatus) {
+	if genVec != nil {
+		w.Header().Set(server.GenerationHeader, strings.Join(genVec, ","))
+	}
+	body, _ := json.Marshal(ErrorResponse{
+		ErrorResponse: server.ErrorResponse{Error: err.Error(), Status: status},
+		FedStatus:     fs,
+	})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+func (c *Coordinator) badRequest(w http.ResponseWriter, err error) {
+	c.writeError(w, nil, http.StatusBadRequest, err, FedStatus{})
+}
+
+// decodeLive unmarshals one live shard reply, surfacing a shard that
+// violates the wire contract as a coordinator-internal error.
+func decodeShard(rep shardReply, shard int, v any) error {
+	if err := json.Unmarshal(rep.body, v); err != nil {
+		return fmt.Errorf("shard %d: decoding response: %w", shard, err)
+	}
+	return nil
+}
+
+// GET /v1/count — counts and totals sum across disjoint shards.
+func (c *Coordinator) handleCount(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	_, labels, err := server.ParseDimParams("dim", q["dim"])
+	if err != nil {
+		c.badRequest(w, err)
+		return
+	}
+	g, ok := c.fanout(w, r, "/v1/count", url.Values{"dim": q["dim"]}.Encode())
+	if !ok {
+		return
+	}
+	out := CountResponse{
+		CountResponse: server.CountResponse{Dims: labels, Counts: make([]int, len(labels))},
+		FedStatus:     g.fedStatus(),
+	}
+	var agg genAgg
+	for _, i := range g.live {
+		var sr server.CountResponse
+		if err := decodeShard(g.replies[i], i, &sr); err != nil {
+			c.writeError(w, g.genVec, http.StatusInternalServerError, err, g.fedStatus())
+			return
+		}
+		out.Total += sr.Total
+		for j := 0; j < len(out.Counts) && j < len(sr.Counts); j++ {
+			out.Counts[j] += sr.Counts[j]
+		}
+		agg.add(sr.Generation, sr.Sealed)
+	}
+	out.Generation, out.Sealed = agg.gen, agg.sealed
+	c.writeOK(w, g, out)
+}
+
+// GET /v1/associate — shards return integer marginals
+// (/v1/marginals/assoc); the coordinator merges them by addition and
+// runs the Wilson float pipeline exactly once over the merged counts.
+func (c *Coordinator) handleAssociate(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	rows, rowLabels, err := server.ParseDimParams("row", q["row"])
+	if err != nil {
+		c.badRequest(w, err)
+		return
+	}
+	cols, colLabels, err := server.ParseDimParams("col", q["col"])
+	if err != nil {
+		c.badRequest(w, err)
+		return
+	}
+	confidence := c.cfg.confidence()
+	if cs := q.Get("confidence"); cs != "" {
+		cv, err := strconv.ParseFloat(cs, 64)
+		if err != nil || cv <= 0 || cv >= 1 {
+			c.badRequest(w, fmt.Errorf("confidence must be a number in (0,1), got %q", cs))
+			return
+		}
+		confidence = cv
+	}
+	g, ok := c.fanout(w, r, "/v1/marginals/assoc", url.Values{"row": q["row"], "col": q["col"]}.Encode())
+	if !ok {
+		return
+	}
+	parts := make([]mining.AssocMarginals, 0, len(g.live))
+	var agg genAgg
+	for _, i := range g.live {
+		var sr server.AssocMarginalsResponse
+		if err := decodeShard(g.replies[i], i, &sr); err != nil {
+			c.writeError(w, g.genVec, http.StatusInternalServerError, err, g.fedStatus())
+			return
+		}
+		parts = append(parts, sr.Marginals)
+		agg.add(sr.Generation, sr.Sealed)
+	}
+	tbl := mining.FinalizeAssoc(rows, cols, confidence, c.cfg.AssociateWorkers,
+		mining.MergeAssocMarginals(parts...))
+	c.writeOK(w, g, AssociateResponse{
+		AssociateResponse: server.AssociateResponse{
+			Generation: agg.gen,
+			Sealed:     agg.sealed,
+			Confidence: tbl.Confidence,
+			Rows:       rowLabels,
+			Cols:       colLabels,
+			Cells:      server.AssocCellsJSON(tbl),
+		},
+		FedStatus: g.fedStatus(),
+	})
+}
+
+// GET /v1/relfreq — merge integer relevancy marginals, then run the
+// ratio math once over the merged counts.
+func (c *Coordinator) handleRelFreq(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	category := q.Get("category")
+	if category == "" {
+		c.badRequest(w, fmt.Errorf("missing required parameter %q (a concept category)", "category"))
+		return
+	}
+	featured, featLabels, err := server.ParseDimParams("featured", q["featured"])
+	if err != nil {
+		c.badRequest(w, err)
+		return
+	}
+	if len(featured) > 1 {
+		c.badRequest(w, fmt.Errorf("featured must be a single dimension (use a ∧-conjunction for compound subsets)"))
+		return
+	}
+	fwd := url.Values{"category": {category}, "featured": q["featured"]}
+	g, ok := c.fanout(w, r, "/v1/marginals/relfreq", fwd.Encode())
+	if !ok {
+		return
+	}
+	parts := make([]mining.RelFreqMarginals, 0, len(g.live))
+	var agg genAgg
+	for _, i := range g.live {
+		var sr server.RelFreqMarginalsResponse
+		if err := decodeShard(g.replies[i], i, &sr); err != nil {
+			c.writeError(w, g.genVec, http.StatusInternalServerError, err, g.fedStatus())
+			return
+		}
+		parts = append(parts, sr.Marginals)
+		agg.add(sr.Generation, sr.Sealed)
+	}
+	rel := mining.FinalizeRelFreq(mining.MergeRelFreqMarginals(parts...))
+	c.writeOK(w, g, RelFreqResponse{
+		RelFreqResponse: server.RelFreqResponse{
+			Generation: agg.gen,
+			Sealed:     agg.sealed,
+			Category:   category,
+			Featured:   featLabels[0],
+			Rows:       server.RelevancesJSON(rel),
+		},
+		FedStatus: g.fedStatus(),
+	})
+}
+
+// GET /v1/drilldown — per-shard matches concatenate and re-sort by
+// document ID (IDs are unique across shards); the global top-limit is a
+// subset of the union of per-shard top-limits, and Count sums the full
+// per-shard cell sizes.
+func (c *Coordinator) handleDrillDown(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	rows, rowLabels, err := server.ParseDimParams("row", q["row"])
+	if err != nil {
+		c.badRequest(w, err)
+		return
+	}
+	cols, colLabels, err := server.ParseDimParams("col", q["col"])
+	if err != nil {
+		c.badRequest(w, err)
+		return
+	}
+	if len(rows) > 1 || len(cols) > 1 {
+		c.badRequest(w, fmt.Errorf("drilldown takes exactly one row and one col dimension"))
+		return
+	}
+	limit := 50
+	if ls := q.Get("limit"); ls != "" {
+		limit, err = strconv.Atoi(ls)
+		if err != nil || limit < 0 {
+			c.badRequest(w, fmt.Errorf("limit must be a non-negative integer, got %q", ls))
+			return
+		}
+	}
+	fwd := url.Values{"row": q["row"], "col": q["col"], "limit": {strconv.Itoa(limit)}}
+	g, ok := c.fanout(w, r, "/v1/drilldown", fwd.Encode())
+	if !ok {
+		return
+	}
+	docs := []server.DocumentJSON{}
+	count := 0
+	var agg genAgg
+	for _, i := range g.live {
+		var sr server.DrillDownResponse
+		if err := decodeShard(g.replies[i], i, &sr); err != nil {
+			c.writeError(w, g.genVec, http.StatusInternalServerError, err, g.fedStatus())
+			return
+		}
+		docs = append(docs, sr.Docs...)
+		count += sr.Count
+		agg.add(sr.Generation, sr.Sealed)
+	}
+	sortDocsByID(docs)
+	truncated := count > limit
+	if len(docs) > limit {
+		docs = docs[:limit]
+	}
+	c.writeOK(w, g, DrillDownResponse{
+		DrillDownResponse: server.DrillDownResponse{
+			Generation: agg.gen,
+			Sealed:     agg.sealed,
+			Row:        rowLabels[0],
+			Col:        colLabels[0],
+			Count:      count,
+			Truncated:  truncated,
+			Docs:       docs,
+		},
+		FedStatus: g.fedStatus(),
+	})
+}
+
+func sortDocsByID(docs []server.DocumentJSON) {
+	// Insertion sort over already-sorted per-shard runs would do, but
+	// the slice is at most limit×shards long; keep it simple.
+	for i := 1; i < len(docs); i++ {
+		for j := i; j > 0 && docs[j].ID < docs[j-1].ID; j-- {
+			docs[j], docs[j-1] = docs[j-1], docs[j]
+		}
+	}
+}
+
+// GET /v1/trend — per-shard time buckets sum; the slope is fitted once
+// over the merged series (identical to a single node's fit, because the
+// merged buckets are identical).
+func (c *Coordinator) handleTrend(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	dims, labels, err := server.ParseDimParams("dim", q["dim"])
+	if err != nil {
+		c.badRequest(w, err)
+		return
+	}
+	if len(dims) > 1 {
+		c.badRequest(w, fmt.Errorf("trend takes exactly one dim"))
+		return
+	}
+	g, ok := c.fanout(w, r, "/v1/trend", url.Values{"dim": q["dim"]}.Encode())
+	if !ok {
+		return
+	}
+	parts := make([][]mining.TrendPoint, 0, len(g.live))
+	var agg genAgg
+	for _, i := range g.live {
+		var sr server.TrendResponse
+		if err := decodeShard(g.replies[i], i, &sr); err != nil {
+			c.writeError(w, g.genVec, http.StatusInternalServerError, err, g.fedStatus())
+			return
+		}
+		pts := make([]mining.TrendPoint, len(sr.Points))
+		for k, p := range sr.Points {
+			pts[k] = mining.TrendPoint{Time: p.Time, Count: p.Count}
+		}
+		parts = append(parts, pts)
+		agg.add(sr.Generation, sr.Sealed)
+	}
+	merged := mining.MergeTrends(parts...)
+	c.writeOK(w, g, TrendResponse{
+		TrendResponse: server.TrendResponse{
+			Generation: agg.gen,
+			Sealed:     agg.sealed,
+			Dim:        labels[0],
+			Points:     server.TrendPointsJSON(merged),
+			Slope:      mining.TrendSlope(merged),
+		},
+		FedStatus: g.fedStatus(),
+	})
+}
+
+// GET /v1/concepts — category vocabularies merge on document frequency
+// (shards return counted marginals); field vocabularies are order-free
+// string unions of the public endpoint's values.
+func (c *Coordinator) handleConcepts(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	category, field := q.Get("category"), q.Get("field")
+	if (category == "") == (field == "") {
+		c.badRequest(w, fmt.Errorf("pass exactly one of %q or %q", "category", "field"))
+		return
+	}
+	var values []string
+	var agg genAgg
+	var g *gather
+	if category != "" {
+		var ok bool
+		g, ok = c.fanout(w, r, "/v1/marginals/concepts", url.Values{"category": {category}}.Encode())
+		if !ok {
+			return
+		}
+		parts := make([][]mining.ConceptCount, 0, len(g.live))
+		for _, i := range g.live {
+			var sr server.ConceptDFResponse
+			if err := decodeShard(g.replies[i], i, &sr); err != nil {
+				c.writeError(w, g.genVec, http.StatusInternalServerError, err, g.fedStatus())
+				return
+			}
+			parts = append(parts, sr.Concepts)
+			agg.add(sr.Generation, sr.Sealed)
+		}
+		values = mining.ConceptNames(mining.MergeConceptCounts(parts...))
+	} else {
+		var ok bool
+		g, ok = c.fanout(w, r, "/v1/concepts", url.Values{"field": {field}}.Encode())
+		if !ok {
+			return
+		}
+		parts := make([][]string, 0, len(g.live))
+		for _, i := range g.live {
+			var sr server.ConceptsResponse
+			if err := decodeShard(g.replies[i], i, &sr); err != nil {
+				c.writeError(w, g.genVec, http.StatusInternalServerError, err, g.fedStatus())
+				return
+			}
+			parts = append(parts, sr.Values)
+			agg.add(sr.Generation, sr.Sealed)
+		}
+		values = mining.MergeFieldValues(parts...)
+	}
+	if values == nil {
+		values = []string{}
+	}
+	c.writeOK(w, g, ConceptsResponse{
+		ConceptsResponse: server.ConceptsResponse{
+			Generation: agg.gen,
+			Sealed:     agg.sealed,
+			Category:   category,
+			Field:      field,
+			Values:     values,
+		},
+		FedStatus: g.fedStatus(),
+	})
+}
+
+// GET /healthz — always 200 while the coordinator serves; aggregates
+// per-shard health and degrades on any unreachable or degraded shard.
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g, _ := c.gatherHealth(r)
+	resp := HealthResponse{Status: "ok", Shards: make([]ShardHealth, len(c.cfg.Shards)), FedStatus: g.fedStatus()}
+	if resp.Degraded {
+		resp.Status = "degraded"
+	}
+	for i, addr := range c.cfg.Shards {
+		sh := ShardHealth{Shard: i, Addr: addr}
+		rep := g.replies[i]
+		if rep.down() || rep.status != http.StatusOK {
+			sh.Status = "unreachable"
+			if rep.err != nil {
+				sh.Error = rep.err.Error()
+			} else {
+				sh.Error = fmt.Sprintf("status %d", rep.status)
+			}
+			resp.Shards[i] = sh
+			continue
+		}
+		var hr server.HealthResponse
+		if err := decodeShard(rep, i, &hr); err != nil {
+			sh.Status = "unreachable"
+			sh.Error = err.Error()
+			resp.Shards[i] = sh
+			continue
+		}
+		sh.Status = hr.Status
+		sh.Generation = hr.Generation
+		sh.Sealed = hr.Sealed
+		sh.Docs = hr.Docs
+		if hr.IngestError != "" {
+			sh.Error = hr.IngestError
+		} else if hr.PersistError != "" {
+			sh.Error = hr.PersistError
+		}
+		resp.Docs += hr.Docs
+		if hr.Status != "ok" {
+			resp.Status = "degraded"
+		}
+		resp.Shards[i] = sh
+	}
+	c.writeOK(w, g, resp)
+}
+
+// GET /statsz — fleet-wide document/segment/cache sums plus each
+// shard's own stats section verbatim.
+func (c *Coordinator) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	g, _ := c.gatherStatsz(r)
+	resp := StatszResponse{
+		Generations: g.genVec,
+		Shards:      make([]ShardStatsz, len(c.cfg.Shards)),
+		FedStatus:   g.fedStatus(),
+	}
+	for i, addr := range c.cfg.Shards {
+		ss := ShardStatsz{Shard: i, Addr: addr}
+		rep := g.replies[i]
+		if rep.down() || rep.status != http.StatusOK {
+			if rep.err != nil {
+				ss.Error = rep.err.Error()
+			} else {
+				ss.Error = fmt.Sprintf("status %d", rep.status)
+			}
+			resp.Shards[i] = ss
+			continue
+		}
+		var sr server.StatszResponse
+		if err := decodeShard(rep, i, &sr); err != nil {
+			ss.Error = err.Error()
+			resp.Shards[i] = ss
+			continue
+		}
+		resp.Docs += sr.Docs
+		resp.Segments += sr.Segments.Count
+		resp.Cache.Hits += sr.Cache.Hits
+		resp.Cache.Misses += sr.Cache.Misses
+		resp.Cache.Size += sr.Cache.Size
+		resp.Cache.Capacity += sr.Cache.Capacity
+		ss.Stats = &sr
+		resp.Shards[i] = ss
+	}
+	c.writeOK(w, g, resp)
+}
+
+// gatherHealth/gatherStatsz scatter without the fanout error shortcuts:
+// introspection endpoints answer 200 regardless of shard loss.
+func (c *Coordinator) gatherHealth(r *http.Request) (*gather, bool) {
+	return c.classify(c.scatter(r.Context(), "/healthz", "")), true
+}
+
+func (c *Coordinator) gatherStatsz(r *http.Request) (*gather, bool) {
+	return c.classify(c.scatter(r.Context(), "/statsz", "")), true
+}
+
+func (c *Coordinator) classify(replies []shardReply) *gather {
+	g := &gather{replies: replies, genVec: make([]string, len(replies))}
+	for i := range replies {
+		rep := &replies[i]
+		if rep.down() || rep.status != http.StatusOK {
+			g.missing = append(g.missing, i)
+			g.genVec[i] = "-"
+			continue
+		}
+		g.live = append(g.live, i)
+		g.genVec[i] = rep.gen
+	}
+	return g
+}

@@ -1,0 +1,54 @@
+// Package fed federates N bivocd-style shard servers behind one
+// coordinator serving the same /v1 API. Documents are hash-partitioned
+// by ID across shards (ShardOf), so shard corpora are disjoint and
+// every §IV.D analytics operation merges exactly on integer marginals
+// (internal/mining/merge.go): the coordinator scatters each query to
+// all shards concurrently, sums counts, merges marginals, and runs the
+// float pipeline once over the merged counts — responses are
+// byte-identical to a single-node server over the union corpus.
+package fed
+
+import (
+	"context"
+
+	"bivoc/internal/mining"
+	"bivoc/internal/server"
+)
+
+// FNV-1a: tiny, allocation-free, and stable across processes — every
+// ingester and the coordinator must agree on document placement forever,
+// so the function is part of the wire contract.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// ShardOf maps a document ID onto one of shards partitions (FNV-1a mod
+// shards). All shard counts ≤ 1 collapse to shard 0.
+func ShardOf(id string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= fnvPrime32
+	}
+	return int(h % uint32(shards))
+}
+
+// PartitionSource restricts a document source to the documents owned by
+// one shard: every document whose ShardOf placement is not shard is
+// dropped before it reaches the index. Wrapping the source this way
+// lets every shard ingest from the same upstream feed while holding a
+// disjoint partition.
+func PartitionSource(src server.DocSource, shard, shards int) server.DocSource {
+	return func(ctx context.Context, already func(string) bool, emit func(mining.Document) error) error {
+		return src(ctx, already, func(d mining.Document) error {
+			if ShardOf(d.ID, shards) != shard {
+				return nil
+			}
+			return emit(d)
+		})
+	}
+}

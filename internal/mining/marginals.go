@@ -1,0 +1,101 @@
+package mining
+
+import "sort"
+
+// Marginal extraction — the integer halves of the split operations in
+// merge.go, as implemented by the monolithic Index. SegmentSet carries
+// the fan-in versions (merge the per-segment extractions), and the
+// serving layer exposes these on the shard-side /v1/marginals/*
+// endpoints so a federation coordinator can finish the float math once
+// over merged counts.
+
+// ConceptDF returns a category's vocabulary with document frequencies,
+// in report order (frequency descending, ties lexicographic) — the
+// counted form of ConceptsInCategory.
+func (ix *Index) ConceptDF(category string) []ConceptCount {
+	if p := ix.prep; p != nil && !UseNaiveSets {
+		entries := p.catEntries[category]
+		out := make([]ConceptCount, len(entries))
+		for i, e := range entries {
+			out[i] = ConceptCount{Concept: e.canon, DF: len(e.posts)}
+		}
+		return out
+	}
+	out := []ConceptCount{} // non-nil even when the category is absent
+	for k, posts := range ix.byConcept {
+		if k[0] == category {
+			out = append(out, ConceptCount{Concept: k[1], DF: len(posts)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DF != out[j].DF {
+			return out[i].DF > out[j].DF
+		}
+		return out[i].Concept < out[j].Concept
+	})
+	return out
+}
+
+// RelFreqMarginals extracts the integer marginals of a
+// relative-frequency report over this index's documents: the corpus
+// size, the featured subset's size, and each category concept's
+// frequency inside the subset and overall. Concepts are sorted by name
+// for a deterministic wire form; FinalizeRelFreq re-orders by ratio.
+func (ix *Index) RelFreqMarginals(category string, featured Dim) RelFreqMarginals {
+	ctx := acquireQueryCtx()
+	defer releaseQueryCtx(ctx)
+	subset, owned := segPostings(ix, ctx, featured)
+	m := RelFreqMarginals{N: len(ix.docs), SubsetSize: len(subset)}
+	addConcept := func(canon string, posts []int) {
+		m.Concepts = append(m.Concepts, ConceptMarginal{
+			Concept:  canon,
+			InSubset: countIntersect(posts, subset),
+			InAll:    len(posts),
+		})
+	}
+	if p := ix.prep; p != nil && !ctx.naive {
+		for _, e := range p.catEntries[category] {
+			addConcept(e.canon, e.posts)
+		}
+	} else {
+		for k, posts := range ix.byConcept {
+			if k[0] == category {
+				addConcept(k[1], posts)
+			}
+		}
+	}
+	if owned {
+		ctx.putBuf(subset)
+	}
+	sort.Slice(m.Concepts, func(i, j int) bool { return m.Concepts[i].Concept < m.Concepts[j].Concept })
+	return m
+}
+
+// AssocMarginals extracts the integer marginals of an association table
+// over this index's documents: per-dimension counts and per-cell joint
+// counts, shaped rows × cols.
+func (ix *Index) AssocMarginals(rows, cols []Dim) AssocMarginals {
+	ctx := acquireQueryCtx()
+	defer releaseQueryCtx(ctx)
+	rowPosts := segMarginPostings(ix, ctx, rows)
+	colPosts := segMarginPostings(ix, ctx, cols)
+	m := AssocMarginals{
+		N:     len(ix.docs),
+		Nver:  make([]int, len(rows)),
+		Nhor:  make([]int, len(cols)),
+		Ncell: make([][]int, len(rows)),
+	}
+	for i, posts := range rowPosts {
+		m.Nver[i] = len(posts)
+	}
+	for j, posts := range colPosts {
+		m.Nhor[j] = len(posts)
+	}
+	for i := range rows {
+		m.Ncell[i] = make([]int, len(cols))
+		for j := range cols {
+			m.Ncell[i][j] = countIntersect(rowPosts[i], colPosts[j])
+		}
+	}
+	return m
+}

@@ -1,0 +1,330 @@
+package mining
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"bivoc/internal/stats"
+)
+
+// This file is the single home of the marginal-merge math: every §IV.D
+// operation that ends in float arithmetic (relative-frequency ratios,
+// Wilson-interval association indexes) is split into an integer
+// "marginals" half and a float "finalize" half. Marginals from disjoint
+// document sets merge by plain integer addition, and only the merged
+// counts enter the float pipeline — never per-part floats — so a result
+// assembled from N parts is byte-identical to the same operation over
+// the union corpus. Both in-process segment fan-in (SegmentSet) and the
+// cross-process federation coordinator (internal/fed) call exactly
+// these helpers; neither carries its own copy of the math.
+//
+// The marginal types carry JSON tags because they are also the wire
+// format of the shard-side /v1/marginals/* endpoints.
+
+// ConceptCount is one concept's document frequency within a category —
+// the merged-df unit behind ConceptsInCategory's report order.
+type ConceptCount struct {
+	Concept string `json:"concept"`
+	DF      int    `json:"df"`
+}
+
+// MergeConceptCounts sums document frequencies per concept across parts
+// with disjoint document sets and returns the vocabulary in report
+// order (frequency descending, ties lexicographic) — the same total
+// order a monolithic index's ConceptsInCategory uses.
+func MergeConceptCounts(parts ...[]ConceptCount) []ConceptCount {
+	df := map[string]int{}
+	for _, part := range parts {
+		for _, c := range part {
+			df[c.Concept] += c.DF
+		}
+	}
+	out := make([]ConceptCount, 0, len(df))
+	for concept, n := range df {
+		out = append(out, ConceptCount{Concept: concept, DF: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DF != out[j].DF {
+			return out[i].DF > out[j].DF
+		}
+		return out[i].Concept < out[j].Concept
+	})
+	return out
+}
+
+// ConceptNames projects a merged vocabulary onto its concept names.
+func ConceptNames(counts []ConceptCount) []string {
+	out := make([]string, len(counts))
+	for i, c := range counts {
+		out[i] = c.Concept
+	}
+	return out
+}
+
+// ConceptMarginal holds one concept's integer marginals for a
+// relative-frequency report: its document frequency inside the featured
+// subset and in the whole part.
+type ConceptMarginal struct {
+	Concept  string `json:"concept"`
+	InSubset int    `json:"in_subset"`
+	InAll    int    `json:"in_all"`
+}
+
+// RelFreqMarginals are the integer marginals of one relative-frequency
+// computation over some document set: the part's size, the featured
+// subset's size within it, and per-concept counts (sorted by concept
+// for a deterministic wire form).
+type RelFreqMarginals struct {
+	N          int               `json:"n"`
+	SubsetSize int               `json:"subset_size"`
+	Concepts   []ConceptMarginal `json:"concepts"`
+}
+
+// MergeRelFreqMarginals merges relative-frequency marginals from parts
+// with disjoint document sets: sizes and per-concept counts add.
+func MergeRelFreqMarginals(parts ...RelFreqMarginals) RelFreqMarginals {
+	out := RelFreqMarginals{}
+	merged := map[string]*ConceptMarginal{}
+	var order []string
+	for _, p := range parts {
+		out.N += p.N
+		out.SubsetSize += p.SubsetSize
+		for _, c := range p.Concepts {
+			a := merged[c.Concept]
+			if a == nil {
+				a = &ConceptMarginal{Concept: c.Concept}
+				merged[c.Concept] = a
+				order = append(order, c.Concept)
+			}
+			a.InSubset += c.InSubset
+			a.InAll += c.InAll
+		}
+	}
+	sort.Strings(order)
+	if len(order) > 0 {
+		out.Concepts = make([]ConceptMarginal, 0, len(order))
+		for _, concept := range order {
+			out.Concepts = append(out.Concepts, *merged[concept])
+		}
+	}
+	return out
+}
+
+// FinalizeRelFreq runs the monolithic relative-frequency float pipeline
+// over (merged) integer marginals: per-concept density ratios, then the
+// report order (ratio descending, ties by concept). This is the only
+// implementation of that math; Index and SegmentSet both end here.
+func FinalizeRelFreq(m RelFreqMarginals) []Relevance {
+	var out []Relevance
+	for _, c := range m.Concepts {
+		r := Relevance{
+			Concept:  c.Concept,
+			InSubset: c.InSubset, SubsetSize: m.SubsetSize,
+			InAll: c.InAll, N: m.N,
+		}
+		if m.SubsetSize > 0 && c.InAll > 0 && m.N > 0 {
+			pSub := float64(c.InSubset) / float64(m.SubsetSize)
+			pAll := float64(c.InAll) / float64(m.N)
+			r.Ratio = pSub / pAll
+		}
+		out = append(out, r)
+	}
+	// Concepts are unique within a category, so (Ratio desc, Concept asc)
+	// is a total order and the report is deterministic regardless of the
+	// marginals' order.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ratio != out[j].Ratio {
+			return out[i].Ratio > out[j].Ratio
+		}
+		return out[i].Concept < out[j].Concept
+	})
+	return out
+}
+
+// AssocMarginals are the integer marginals of one association table
+// over some document set: the part's size, per-row and per-column
+// dimension counts, and the per-cell joint counts ([row][col]).
+type AssocMarginals struct {
+	N     int     `json:"n"`
+	Nver  []int   `json:"nver"`
+	Nhor  []int   `json:"nhor"`
+	Ncell [][]int `json:"ncell"`
+}
+
+// MergeAssocMarginals merges association marginals from parts with
+// disjoint document sets (all parts computed for the same row/column
+// dimensions): every count adds. Zero parts yield the zero value.
+func MergeAssocMarginals(parts ...AssocMarginals) AssocMarginals {
+	out := AssocMarginals{}
+	for _, p := range parts {
+		if out.Nver == nil {
+			out.Nver = make([]int, len(p.Nver))
+			out.Nhor = make([]int, len(p.Nhor))
+			out.Ncell = make([][]int, len(p.Ncell))
+			for i := range out.Ncell {
+				out.Ncell[i] = make([]int, len(p.Nhor))
+			}
+		}
+		out.N += p.N
+		for i, n := range p.Nver {
+			out.Nver[i] += n
+		}
+		for j, n := range p.Nhor {
+			out.Nhor[j] += n
+		}
+		for i, row := range p.Ncell {
+			for j, n := range row {
+				out.Ncell[i][j] += n
+			}
+		}
+	}
+	return out
+}
+
+// FinalizeAssoc runs the monolithic association float pipeline over
+// (merged) integer marginals: point index, Wilson intervals via
+// stats.WilsonIntervalZ on the merged counts — never averaged per-part
+// intervals — and within-row shares. The cell grid fans across workers
+// with the same striping as Index.AssociateN, and the table is
+// byte-identical at any worker count. m must be shaped for rows × cols.
+func FinalizeAssoc(rows, cols []Dim, confidence float64, workers int, m AssocMarginals) *AssocTable {
+	return assocTableFromMarginals(rows, cols, confidence, workers, m.N, m.Nver, m.Nhor,
+		func(i, j int) int { return m.Ncell[i][j] }, nil)
+}
+
+// assocTableFromMarginals is the shared core of every association-table
+// build: Index.AssociateN, SegmentSet.AssociateN and FinalizeAssoc all
+// assemble their tables here, so there is exactly one copy of the cell
+// float math. ncell supplies each cell's joint count (a precomputed
+// merged count, or a live postings intersection — workers call it
+// concurrently, so it must be safe for concurrent reads). wilson, when
+// non-nil, overrides the marginal-interval source (the sealed-index
+// Wilson cache); it must be bit-identical to stats.WilsonIntervalZ.
+func assocTableFromMarginals(rows, cols []Dim, confidence float64, workers int,
+	n int, nver, nhor []int, ncell func(i, j int) int,
+	wilson func(successes int, z float64) stats.Interval) *AssocTable {
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	z := stats.WilsonZ(confidence)
+	if wilson == nil {
+		wilson = func(successes int, z float64) stats.Interval {
+			return stats.WilsonIntervalZ(successes, n, z)
+		}
+	}
+	tbl := &AssocTable{Rows: rows, Cols: cols, Confidence: confidence}
+	tbl.Cells = make([][]Cell, len(rows))
+	for i := range tbl.Cells {
+		tbl.Cells[i] = make([]Cell, len(cols))
+	}
+	verIv := make([]stats.Interval, len(rows))
+	horIv := make([]stats.Interval, len(cols))
+	for i := range rows {
+		verIv[i] = wilson(nver[i], z)
+	}
+	for j := range cols {
+		horIv[j] = wilson(nhor[j], z)
+	}
+
+	// fill computes one cell from read-only inputs into its own slot —
+	// the float operation order every caller shares.
+	fill := func(i, j int) {
+		nc := ncell(i, j)
+		cell := Cell{
+			Row: rows[i], Col: cols[j],
+			Ncell: nc, Nver: nver[i], Nhor: nhor[j], N: n,
+		}
+		if n > 0 && nver[i] > 0 && nhor[j] > 0 {
+			pCell := float64(nc) / float64(n)
+			pVer := float64(nver[i]) / float64(n)
+			pHor := float64(nhor[j]) / float64(n)
+			if pVer > 0 && pHor > 0 {
+				cell.PointIndex = pCell / (pVer * pHor)
+			}
+			// Conservative (smallest) value of the index: lower bound
+			// of the cell density over upper bounds of the marginals.
+			cellIv := stats.WilsonIntervalZ(nc, n, z)
+			if verIv[i].Hi > 0 && horIv[j].Hi > 0 {
+				cell.LowerIndex = cellIv.Lo / (verIv[i].Hi * horIv[j].Hi)
+			}
+		}
+		tbl.Cells[i][j] = cell
+	}
+
+	cells := len(rows) * len(cols)
+	w := workers
+	if w <= 0 {
+		w = AssociateWorkers
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > cells {
+		w = cells
+	}
+	if w <= 1 {
+		for k := 0; k < cells; k++ {
+			fill(k/len(cols), k%len(cols))
+		}
+	} else {
+		var wg sync.WaitGroup
+		for wkr := 0; wkr < w; wkr++ {
+			wg.Add(1)
+			go func(wkr int) {
+				defer wg.Done()
+				for k := wkr; k < cells; k += w {
+					fill(k/len(cols), k%len(cols))
+				}
+			}(wkr)
+		}
+		wg.Wait()
+	}
+
+	for i := range rows {
+		rowTotal := 0
+		for j := range cols {
+			rowTotal += tbl.Cells[i][j].Ncell
+		}
+		if rowTotal > 0 {
+			for j := range cols {
+				tbl.Cells[i][j].RowShare = float64(tbl.Cells[i][j].Ncell) / float64(rowTotal)
+			}
+		}
+	}
+	return tbl
+}
+
+// MergeFieldValues unions per-part field vocabularies, sorted; nil when
+// every part is empty (matching FieldValues on a monolithic index).
+func MergeFieldValues(parts ...[]string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, part := range parts {
+		for _, v := range part {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MergeTrends sums per-part time-bucket counts over disjoint document
+// sets, sorted by time. Always non-nil, like the monolithic Trend.
+func MergeTrends(parts ...[]TrendPoint) []TrendPoint {
+	counts := map[int]int{}
+	for _, part := range parts {
+		for _, p := range part {
+			counts[p.Time] += p.Count
+		}
+	}
+	out := make([]TrendPoint, 0, len(counts))
+	for t, c := range counts {
+		out = append(out, TrendPoint{t, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}

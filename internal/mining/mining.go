@@ -17,10 +17,8 @@ package mining
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"bivoc/internal/annotate"
 	"bivoc/internal/stats"
@@ -257,53 +255,14 @@ type Relevance struct {
 // inside the subset defined by featured with their distribution in the
 // entire data set, returning rows sorted by descending ratio ("by
 // sorting phrases in a category based on the relative frequencies,
-// relevant concepts for a specific data set are revealed").
+// relevant concepts for a specific data set are revealed"). The float
+// math lives in FinalizeRelFreq — the shared merge pipeline — over the
+// integer marginals this index extracts.
 func (ix *Index) RelativeFrequency(category string, featured Dim) []Relevance {
-	ctx := acquireQueryCtx()
-	defer releaseQueryCtx(ctx)
-	if ctx.naive {
+	if UseNaiveSets {
 		return ix.relativeFrequencyNaive(category, featured)
 	}
-	subset, owned := ix.resolve(ctx, featured)
-	n := len(ix.docs)
-	var out []Relevance
-	addRow := func(canon string, posts []int) {
-		r := Relevance{
-			Concept:  canon,
-			InSubset: countIntersect(posts, subset), SubsetSize: len(subset),
-			InAll: len(posts), N: n,
-		}
-		if len(subset) > 0 && len(posts) > 0 && n > 0 {
-			pSub := float64(r.InSubset) / float64(len(subset))
-			pAll := float64(len(posts)) / float64(n)
-			r.Ratio = pSub / pAll
-		}
-		out = append(out, r)
-	}
-	if p := ix.prep; p != nil {
-		for _, e := range p.catEntries[category] {
-			addRow(e.canon, e.posts)
-		}
-	} else {
-		for k, posts := range ix.byConcept {
-			if k[0] == category {
-				addRow(k[1], posts)
-			}
-		}
-	}
-	if owned {
-		ctx.putBuf(subset)
-	}
-	// Concepts are unique within a category, so (Ratio desc, Concept asc)
-	// is a total order and the report is deterministic regardless of how
-	// the rows were enumerated above.
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Ratio != out[j].Ratio {
-			return out[i].Ratio > out[j].Ratio
-		}
-		return out[i].Concept < out[j].Concept
-	})
-	return out
+	return FinalizeRelFreq(ix.RelFreqMarginals(category, featured))
 }
 
 // Cell is one cell of a two-dimensional association table.
@@ -363,95 +322,27 @@ func (ix *Index) AssociateN(rows, cols []Dim, confidence float64, workers int) *
 		return ix.associateNaive(rows, cols, confidence)
 	}
 	n := len(ix.docs)
-	z := stats.WilsonZ(confidence)
-	tbl := &AssocTable{Rows: rows, Cols: cols, Confidence: confidence}
-	tbl.Cells = make([][]Cell, len(rows))
-	for i := range tbl.Cells {
-		tbl.Cells[i] = make([]Cell, len(cols))
-	}
-	// Hoist every marginal out of the cell loop: postings, counts and
-	// Wilson intervals are derived once per row and once per column (the
-	// naive path recomputes each column's count and interval in every
-	// row). The interval cache on a Prepared index persists them across
-	// tables too.
+	// Hoist every marginal out of the cell loop: postings and counts are
+	// derived once per row and once per column (the naive path recomputes
+	// each column's count and interval in every row), then the shared
+	// merge core assembles the table — cell joint counts intersect live
+	// inside its worker grid, and marginal intervals come from the sealed
+	// index's Wilson cache, bit-identical to stats.WilsonIntervalZ.
 	rowPosts := ix.marginPostings(ctx, rows)
 	colPosts := ix.marginPostings(ctx, cols)
-	verIv := make([]stats.Interval, len(rows))
-	horIv := make([]stats.Interval, len(cols))
+	nver := make([]int, len(rows))
+	nhor := make([]int, len(cols))
 	for i := range rows {
-		verIv[i] = ix.wilsonMarginal(len(rowPosts[i]), n, confidence, z)
+		nver[i] = len(rowPosts[i])
 	}
 	for j := range cols {
-		horIv[j] = ix.wilsonMarginal(len(colPosts[j]), n, confidence, z)
+		nhor[j] = len(colPosts[j])
 	}
-
-	// fill computes one cell from read-only inputs into its own slot.
-	fill := func(i, j int) {
-		rp, cp := rowPosts[i], colPosts[j]
-		ncell := countIntersect(rp, cp)
-		nver, nhor := len(rp), len(cp)
-		cell := Cell{
-			Row: rows[i], Col: cols[j],
-			Ncell: ncell, Nver: nver, Nhor: nhor, N: n,
-		}
-		if n > 0 && nver > 0 && nhor > 0 {
-			pCell := float64(ncell) / float64(n)
-			pVer := float64(nver) / float64(n)
-			pHor := float64(nhor) / float64(n)
-			if pVer > 0 && pHor > 0 {
-				cell.PointIndex = pCell / (pVer * pHor)
-			}
-			// Conservative (smallest) value of the index: lower bound
-			// of the cell density over upper bounds of the marginals.
-			cellIv := stats.WilsonIntervalZ(ncell, n, z)
-			if verIv[i].Hi > 0 && horIv[j].Hi > 0 {
-				cell.LowerIndex = cellIv.Lo / (verIv[i].Hi * horIv[j].Hi)
-			}
-		}
-		tbl.Cells[i][j] = cell
-	}
-
-	cells := len(rows) * len(cols)
-	w := workers
-	if w <= 0 {
-		w = AssociateWorkers
-	}
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	if w > cells {
-		w = cells
-	}
-	if w <= 1 {
-		for k := 0; k < cells; k++ {
-			fill(k/len(cols), k%len(cols))
-		}
-	} else {
-		var wg sync.WaitGroup
-		for wkr := 0; wkr < w; wkr++ {
-			wg.Add(1)
-			go func(wkr int) {
-				defer wg.Done()
-				for k := wkr; k < cells; k += w {
-					fill(k/len(cols), k%len(cols))
-				}
-			}(wkr)
-		}
-		wg.Wait()
-	}
-
-	for i := range rows {
-		rowTotal := 0
-		for j := range cols {
-			rowTotal += tbl.Cells[i][j].Ncell
-		}
-		if rowTotal > 0 {
-			for j := range cols {
-				tbl.Cells[i][j].RowShare = float64(tbl.Cells[i][j].Ncell) / float64(rowTotal)
-			}
-		}
-	}
-	return tbl
+	return assocTableFromMarginals(rows, cols, confidence, workers, n, nver, nhor,
+		func(i, j int) int { return countIntersect(rowPosts[i], colPosts[j]) },
+		func(successes int, z float64) stats.Interval {
+			return ix.wilsonMarginal(successes, n, confidence, z)
+		})
 }
 
 // marginPostings materializes the postings of every dimension for the

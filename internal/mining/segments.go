@@ -1,11 +1,7 @@
 package mining
 
 import (
-	"runtime"
 	"sort"
-	"sync"
-
-	"bivoc/internal/stats"
 )
 
 // This file implements the LSM-style segmented index: instead of one
@@ -26,8 +22,9 @@ import (
 
 // Querier is the read side shared by the monolithic *Index and the
 // segmented *SegmentSet: every analytics entry point the serving layer
-// exposes. A snapshot can hold either implementation; responses are
-// byte-identical for the same corpus.
+// exposes, plus the marginal extractions behind the shard-side
+// /v1/marginals/* wire (see merge.go). A snapshot can hold either
+// implementation; responses are byte-identical for the same corpus.
 type Querier interface {
 	Len() int
 	Count(d Dim) int
@@ -38,6 +35,9 @@ type Querier interface {
 	RelativeFrequency(category string, featured Dim) []Relevance
 	AssociateN(rows, cols []Dim, confidence float64, workers int) *AssocTable
 	Trend(d Dim) []TrendPoint
+	ConceptDF(category string) []ConceptCount
+	RelFreqMarginals(category string, featured Dim) RelFreqMarginals
+	AssocMarginals(rows, cols []Dim) AssocMarginals
 }
 
 var (
@@ -139,132 +139,81 @@ func (s *SegmentSet) DrillDown(a, b Dim) []Document {
 	return out
 }
 
-// ConceptsInCategory merges per-segment document frequencies per
-// canonical form, then applies the monolithic report order (frequency
-// descending, ties lexicographic). Always non-nil, like the monolithic
-// paths.
+// ConceptDF merges per-segment document frequencies per canonical form
+// into the monolithic report order (frequency descending, ties
+// lexicographic).
+func (s *SegmentSet) ConceptDF(category string) []ConceptCount {
+	parts := make([][]ConceptCount, len(s.segs))
+	for i, ix := range s.segs {
+		parts[i] = ix.ConceptDF(category)
+	}
+	return MergeConceptCounts(parts...)
+}
+
+// ConceptsInCategory is the merged-df vocabulary of ConceptDF. Always
+// non-nil, like the monolithic paths.
 func (s *SegmentSet) ConceptsInCategory(category string) []string {
-	df := map[string]int{}
-	for _, ix := range s.segs {
-		for k, posts := range ix.byConcept {
-			if k[0] == category {
-				df[k[1]] += len(posts)
-			}
-		}
-	}
-	type cc struct {
-		canon string
-		n     int
-	}
-	all := make([]cc, 0, len(df))
-	for canon, n := range df {
-		all = append(all, cc{canon, n})
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].n != all[j].n {
-			return all[i].n > all[j].n
-		}
-		return all[i].canon < all[j].canon
-	})
-	out := make([]string, len(all))
-	for i, c := range all {
-		out[i] = c.canon
-	}
-	return out
+	return ConceptNames(s.ConceptDF(category))
 }
 
 // FieldValues unions the per-segment value sets, sorted; nil when the
 // field is absent everywhere (matching the monolithic index).
 func (s *SegmentSet) FieldValues(field string) []string {
-	seen := map[string]bool{}
-	var out []string
-	for _, ix := range s.segs {
-		for k := range ix.byField {
-			if k[0] == field && !seen[k[1]] {
-				seen[k[1]] = true
-				out = append(out, k[1])
-			}
-		}
+	parts := make([][]string, len(s.segs))
+	for i, ix := range s.segs {
+		parts[i] = ix.FieldValues(field)
 	}
-	sort.Strings(out)
-	return out
+	return MergeFieldValues(parts...)
 }
 
-// RelativeFrequency merges the integer marginals per concept — subset
-// size, in-subset count, corpus frequency — across segments, then
-// applies the monolithic ratio math and ordering on the merged counts.
+// RelFreqMarginals merges the per-segment integer marginals — subset
+// size, in-subset counts, corpus frequencies — over the disjoint
+// document sets.
+func (s *SegmentSet) RelFreqMarginals(category string, featured Dim) RelFreqMarginals {
+	parts := make([]RelFreqMarginals, len(s.segs))
+	for i, ix := range s.segs {
+		parts[i] = ix.RelFreqMarginals(category, featured)
+	}
+	return MergeRelFreqMarginals(parts...)
+}
+
+// RelativeFrequency merges the integer marginals per concept across
+// segments, then applies the monolithic ratio math and ordering on the
+// merged counts (FinalizeRelFreq — the shared merge pipeline).
 func (s *SegmentSet) RelativeFrequency(category string, featured Dim) []Relevance {
-	type acc struct {
-		inSubset, inAll int
+	return FinalizeRelFreq(s.RelFreqMarginals(category, featured))
+}
+
+// AssocMarginals merges the per-segment association marginals: every
+// count adds over the disjoint document sets. Shaped rows × cols even
+// over zero segments.
+func (s *SegmentSet) AssocMarginals(rows, cols []Dim) AssocMarginals {
+	if len(s.segs) == 0 {
+		m := AssocMarginals{Nver: make([]int, len(rows)), Nhor: make([]int, len(cols)), Ncell: make([][]int, len(rows))}
+		for i := range m.Ncell {
+			m.Ncell[i] = make([]int, len(cols))
+		}
+		return m
 	}
-	merged := map[string]*acc{}
-	subsetSize := 0
-	for _, ix := range s.segs {
-		ctx := acquireQueryCtx()
-		subset, owned := segPostings(ix, ctx, featured)
-		subsetSize += len(subset)
-		for k, posts := range ix.byConcept {
-			if k[0] != category {
-				continue
-			}
-			a := merged[k[1]]
-			if a == nil {
-				a = &acc{}
-				merged[k[1]] = a
-			}
-			a.inSubset += countIntersect(posts, subset)
-			a.inAll += len(posts)
-		}
-		if owned {
-			ctx.putBuf(subset)
-		}
-		releaseQueryCtx(ctx)
+	parts := make([]AssocMarginals, len(s.segs))
+	for i, ix := range s.segs {
+		parts[i] = ix.AssocMarginals(rows, cols)
 	}
-	n := s.total
-	var out []Relevance
-	for canon, a := range merged {
-		r := Relevance{
-			Concept:  canon,
-			InSubset: a.inSubset, SubsetSize: subsetSize,
-			InAll: a.inAll, N: n,
-		}
-		if subsetSize > 0 && a.inAll > 0 && n > 0 {
-			pSub := float64(a.inSubset) / float64(subsetSize)
-			pAll := float64(a.inAll) / float64(n)
-			r.Ratio = pSub / pAll
-		}
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Ratio != out[j].Ratio {
-			return out[i].Ratio > out[j].Ratio
-		}
-		return out[i].Concept < out[j].Concept
-	})
-	return out
+	return MergeAssocMarginals(parts...)
 }
 
 // AssociateN builds the association table from marginals merged across
 // segments: per-dimension counts and per-cell joint counts are summed
 // as integers, and only then does each cell run the monolithic float
-// pipeline (point index, Wilson intervals from the merged counts via
-// stats.WilsonIntervalZ — never averaged per-segment intervals). The
-// cell grid fans across workers exactly like the monolithic path, and
-// the table is byte-identical at any worker count.
+// pipeline (assocTableFromMarginals — point index, Wilson intervals
+// from the merged counts via stats.WilsonIntervalZ, never averaged
+// per-segment intervals). The cell grid fans across workers exactly
+// like the monolithic path, and the table is byte-identical at any
+// worker count.
 func (s *SegmentSet) AssociateN(rows, cols []Dim, confidence float64, workers int) *AssocTable {
-	if confidence <= 0 || confidence >= 1 {
-		confidence = 0.95
-	}
-	n := s.total
-	z := stats.WilsonZ(confidence)
-	tbl := &AssocTable{Rows: rows, Cols: cols, Confidence: confidence}
-	tbl.Cells = make([][]Cell, len(rows))
-	for i := range tbl.Cells {
-		tbl.Cells[i] = make([]Cell, len(cols))
-	}
-
 	// Materialize every marginal's postings once per segment; merged
-	// marginal counts follow by summing lengths.
+	// marginal counts follow by summing lengths, and the shared core's
+	// worker grid intersects cell joint counts per segment on the fly.
 	segRow := make([][][]int, len(s.segs)) // [seg][row]postings
 	segCol := make([][][]int, len(s.segs)) // [seg][col]postings
 	for si, ix := range s.segs {
@@ -283,82 +232,14 @@ func (s *SegmentSet) AssociateN(rows, cols []Dim, confidence float64, workers in
 			nhor[j] += len(segCol[si][j])
 		}
 	}
-	verIv := make([]stats.Interval, len(rows))
-	horIv := make([]stats.Interval, len(cols))
-	for i := range rows {
-		verIv[i] = stats.WilsonIntervalZ(nver[i], n, z)
-	}
-	for j := range cols {
-		horIv[j] = stats.WilsonIntervalZ(nhor[j], n, z)
-	}
-
-	// fill computes one cell from the merged integer marginals into its
-	// own slot — identical float operation order to Index.AssociateN.
-	fill := func(i, j int) {
-		ncell := 0
-		for si := range s.segs {
-			ncell += countIntersect(segRow[si][i], segCol[si][j])
-		}
-		cell := Cell{
-			Row: rows[i], Col: cols[j],
-			Ncell: ncell, Nver: nver[i], Nhor: nhor[j], N: n,
-		}
-		if n > 0 && nver[i] > 0 && nhor[j] > 0 {
-			pCell := float64(ncell) / float64(n)
-			pVer := float64(nver[i]) / float64(n)
-			pHor := float64(nhor[j]) / float64(n)
-			if pVer > 0 && pHor > 0 {
-				cell.PointIndex = pCell / (pVer * pHor)
+	return assocTableFromMarginals(rows, cols, confidence, workers, s.total, nver, nhor,
+		func(i, j int) int {
+			ncell := 0
+			for si := range s.segs {
+				ncell += countIntersect(segRow[si][i], segCol[si][j])
 			}
-			cellIv := stats.WilsonIntervalZ(ncell, n, z)
-			if verIv[i].Hi > 0 && horIv[j].Hi > 0 {
-				cell.LowerIndex = cellIv.Lo / (verIv[i].Hi * horIv[j].Hi)
-			}
-		}
-		tbl.Cells[i][j] = cell
-	}
-
-	cells := len(rows) * len(cols)
-	w := workers
-	if w <= 0 {
-		w = AssociateWorkers
-	}
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	if w > cells {
-		w = cells
-	}
-	if w <= 1 {
-		for k := 0; k < cells; k++ {
-			fill(k/len(cols), k%len(cols))
-		}
-	} else {
-		var wg sync.WaitGroup
-		for wkr := 0; wkr < w; wkr++ {
-			wg.Add(1)
-			go func(wkr int) {
-				defer wg.Done()
-				for k := wkr; k < cells; k += w {
-					fill(k/len(cols), k%len(cols))
-				}
-			}(wkr)
-		}
-		wg.Wait()
-	}
-
-	for i := range rows {
-		rowTotal := 0
-		for j := range cols {
-			rowTotal += tbl.Cells[i][j].Ncell
-		}
-		if rowTotal > 0 {
-			for j := range cols {
-				tbl.Cells[i][j].RowShare = float64(tbl.Cells[i][j].Ncell) / float64(rowTotal)
-			}
-		}
-	}
-	return tbl
+			return ncell
+		}, nil)
 }
 
 // segMarginPostings materializes one segment's postings for every
@@ -381,19 +262,12 @@ func (s *SegmentSet) Associate(rows, cols []Dim, confidence float64) *AssocTable
 	return s.AssociateN(rows, cols, confidence, 0)
 }
 
-// Trend merges the per-segment time-bucket counts, sorted by time.
-// Non-nil even when empty, like the monolithic index.
+// Trend merges the per-segment time-bucket counts via MergeTrends,
+// sorted by time. Non-nil even when empty, like the monolithic index.
 func (s *SegmentSet) Trend(d Dim) []TrendPoint {
-	counts := map[int]int{}
-	for _, ix := range s.segs {
-		for _, p := range ix.Trend(d) {
-			counts[p.Time] += p.Count
-		}
+	parts := make([][]TrendPoint, len(s.segs))
+	for i, ix := range s.segs {
+		parts[i] = ix.Trend(d)
 	}
-	out := make([]TrendPoint, 0, len(counts))
-	for t, c := range counts {
-		out = append(out, TrendPoint{t, c})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
-	return out
+	return MergeTrends(parts...)
 }

@@ -184,13 +184,24 @@ type StatszResponse struct {
 	IngestError string                `json:"ingest_error,omitempty"`
 }
 
-// errorResponse is the body of every non-200 reply.
-type errorResponse struct {
-	Error string `json:"error"`
+// ErrorResponse is the body of every non-200 reply: a message plus the
+// HTTP status echoed in the body, so a federation coordinator can relay
+// a shard's error verbatim.
+type ErrorResponse struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
 }
 
-// buildMux wires the API routes.
-func (s *Server) buildMux() *http.ServeMux {
+// GenerationHeader is the response header carrying the serving snapshot
+// generation on every response: a single integer on a shard/single-node
+// daemon, a comma-joined per-shard vector on the federation coordinator.
+const GenerationHeader = "X-Bivoc-Generation"
+
+// buildMux wires the API routes, wrapped so every response — including
+// 404s and parse errors — carries GenerationHeader. Handlers that load
+// a snapshot overwrite the header with that snapshot's generation, so
+// header and body always agree.
+func (s *Server) buildMux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/count", s.handleCount)
 	mux.HandleFunc("GET /v1/associate", s.handleAssociate)
@@ -198,9 +209,15 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/drilldown", s.handleDrillDown)
 	mux.HandleFunc("GET /v1/trend", s.handleTrend)
 	mux.HandleFunc("GET /v1/concepts", s.handleConcepts)
+	mux.HandleFunc("GET /v1/marginals/concepts", s.handleConceptDF)
+	mux.HandleFunc("GET /v1/marginals/relfreq", s.handleRelFreqMarginals)
+	mux.HandleFunc("GET /v1/marginals/assoc", s.handleAssocMarginals)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(GenerationHeader, strconv.FormatUint(s.Generation(), 10))
+		mux.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, body []byte) {
@@ -210,7 +227,7 @@ func writeJSON(w http.ResponseWriter, status int, body []byte) {
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
-	body, _ := json.Marshal(errorResponse{Error: err.Error()})
+	body, _ := json.Marshal(ErrorResponse{Error: err.Error(), Status: status})
 	writeJSON(w, status, append(body, '\n'))
 }
 
@@ -241,6 +258,7 @@ func (s *Server) respond(w http.ResponseWriter, key string, compute func(sn *sna
 		time.Sleep(s.handlerDelay)
 	}
 	sn := s.snap.Load()
+	w.Header().Set(GenerationHeader, strconv.FormatUint(sn.gen, 10))
 	if body, ok := sn.cache.get(key); ok {
 		s.hits.Add(1)
 		writeJSON(w, http.StatusOK, body)
@@ -267,9 +285,11 @@ func (s *Server) respond(w http.ResponseWriter, key string, compute func(sn *sna
 	writeJSON(w, http.StatusOK, body)
 }
 
-// parseDimParams parses every value of a repeated dimension query
-// parameter, returning the dims and their canonical labels.
-func parseDimParams(param string, vals []string) ([]mining.Dim, []string, error) {
+// ParseDimParams parses every value of a repeated dimension query
+// parameter, returning the dims and their canonical labels. Exported
+// because the federation coordinator validates and canonicalizes the
+// same parameters before scattering them to shards.
+func ParseDimParams(param string, vals []string) ([]mining.Dim, []string, error) {
 	if len(vals) == 0 {
 		return nil, nil, fmt.Errorf("missing required parameter %q (a dimension label, e.g. %q or %q)",
 			param, "outcome=reservation", "weak start[customer intention]")
@@ -298,7 +318,7 @@ func cacheKey(endpoint string, parts ...string) string {
 // GET /v1/count?dim=<label>[&dim=<label>...] — document counts for one
 // or more dimensions, plus the snapshot total, all from one generation.
 func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
-	dims, labels, err := parseDimParams("dim", r.URL.Query()["dim"])
+	dims, labels, err := ParseDimParams("dim", r.URL.Query()["dim"])
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -322,12 +342,12 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 // the §IV.D.2 two-dimensional association table.
 func (s *Server) handleAssociate(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	rows, rowLabels, err := parseDimParams("row", q["row"])
+	rows, rowLabels, err := ParseDimParams("row", q["row"])
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	cols, colLabels, err := parseDimParams("col", q["col"])
+	cols, colLabels, err := ParseDimParams("col", q["col"])
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -347,23 +367,13 @@ func (s *Server) handleAssociate(w http.ResponseWriter, r *http.Request) {
 		strconv.FormatFloat(confidence, 'g', -1, 64))
 	s.respond(w, key, func(sn *snapshot) (any, error) {
 		tbl := sn.view.AssociateN(rows, cols, confidence, s.cfg.AssociateWorkers)
-		cells := make([][]AssocCellJSON, len(tbl.Cells))
-		for i, row := range tbl.Cells {
-			cells[i] = make([]AssocCellJSON, len(row))
-			for j, c := range row {
-				cells[i][j] = AssocCellJSON{
-					Ncell: c.Ncell, Nver: c.Nver, Nhor: c.Nhor, N: c.N,
-					PointIndex: c.PointIndex, LowerIndex: c.LowerIndex, RowShare: c.RowShare,
-				}
-			}
-		}
 		return AssociateResponse{
 			Generation: sn.gen,
 			Sealed:     sn.sealed,
 			Confidence: tbl.Confidence,
 			Rows:       rowLabels,
 			Cols:       colLabels,
-			Cells:      cells,
+			Cells:      AssocCellsJSON(tbl),
 		}, nil
 	})
 }
@@ -378,7 +388,7 @@ func (s *Server) handleRelFreq(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing required parameter %q (a concept category)", "category"))
 		return
 	}
-	featured, featLabels, err := parseDimParams("featured", q["featured"])
+	featured, featLabels, err := ParseDimParams("featured", q["featured"])
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -388,14 +398,7 @@ func (s *Server) handleRelFreq(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.respond(w, cacheKey("relfreq", category, featLabels[0]), func(sn *snapshot) (any, error) {
-		rel := sn.view.RelativeFrequency(category, featured[0])
-		rows := make([]RelevanceJSON, len(rel))
-		for i, rr := range rel {
-			rows[i] = RelevanceJSON{
-				Concept: rr.Concept, InSubset: rr.InSubset, SubsetSize: rr.SubsetSize,
-				InAll: rr.InAll, N: rr.N, Ratio: rr.Ratio,
-			}
-		}
+		rows := RelevancesJSON(sn.view.RelativeFrequency(category, featured[0]))
 		return RelFreqResponse{
 			Generation: sn.gen,
 			Sealed:     sn.sealed,
@@ -411,12 +414,12 @@ func (s *Server) handleRelFreq(w http.ResponseWriter, r *http.Request) {
 // (default 50; Count is always the full cell size).
 func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	rows, rowLabels, err := parseDimParams("row", q["row"])
+	rows, rowLabels, err := ParseDimParams("row", q["row"])
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	cols, colLabels, err := parseDimParams("col", q["col"])
+	cols, colLabels, err := ParseDimParams("col", q["col"])
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -442,14 +445,7 @@ func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
 			docs = docs[:limit]
 			truncated = true
 		}
-		out := make([]DocumentJSON, len(docs))
-		for i, d := range docs {
-			concepts := make([]ConceptJSON, len(d.Concepts))
-			for j, c := range d.Concepts {
-				concepts[j] = ConceptJSON{Category: c.Category, Canonical: c.Canonical}
-			}
-			out[i] = DocumentJSON{ID: d.ID, Fields: d.Fields, Time: d.Time, Concepts: concepts}
-		}
+		out := DocumentsJSON(docs)
 		return DrillDownResponse{
 			Generation: sn.gen,
 			Sealed:     sn.sealed,
@@ -465,7 +461,7 @@ func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
 // GET /v1/trend?dim=<label> — per-time-bucket counts plus the fitted
 // slope (documents per bucket).
 func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) {
-	dims, labels, err := parseDimParams("dim", r.URL.Query()["dim"])
+	dims, labels, err := ParseDimParams("dim", r.URL.Query()["dim"])
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -476,10 +472,7 @@ func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) {
 	}
 	s.respond(w, cacheKey("trend", labels[0]), func(sn *snapshot) (any, error) {
 		pts := sn.view.Trend(dims[0])
-		points := make([]TrendPointJSON, len(pts))
-		for i, p := range pts {
-			points[i] = TrendPointJSON{Time: p.Time, Count: p.Count}
-		}
+		points := TrendPointsJSON(pts)
 		return TrendResponse{
 			Generation: sn.gen,
 			Sealed:     sn.sealed,
@@ -526,6 +519,7 @@ func (s *Server) handleConcepts(w http.ResponseWriter, r *http.Request) {
 // queries — non-durably, in the persistence case).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	gen, docs, sealed := s.SnapshotInfo()
+	w.Header().Set(GenerationHeader, strconv.FormatUint(gen, 10))
 	resp := HealthResponse{Status: "ok", Generation: gen, Sealed: sealed, Docs: docs}
 	if err := s.IngestErr(); err != nil {
 		resp.Status = "degraded"
@@ -543,6 +537,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // hit/miss, and the ingest pipeline's per-stage stats.
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	sn := s.snap.Load()
+	w.Header().Set(GenerationHeader, strconv.FormatUint(sn.gen, 10))
 	segDocs, compactions := s.SegmentInfo()
 	resp := StatszResponse{
 		Generation: sn.gen,
@@ -594,6 +589,174 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, append(body, '\n'))
+}
+
+// Wire converters — the single mapping from mining results onto the
+// JSON schema, shared by these handlers and the federation coordinator
+// (which rebuilds the same response shapes from merged marginals).
+
+// AssocCellsJSON converts an association table's cells to wire form.
+func AssocCellsJSON(tbl *mining.AssocTable) [][]AssocCellJSON {
+	cells := make([][]AssocCellJSON, len(tbl.Cells))
+	for i, row := range tbl.Cells {
+		cells[i] = make([]AssocCellJSON, len(row))
+		for j, c := range row {
+			cells[i][j] = AssocCellJSON{
+				Ncell: c.Ncell, Nver: c.Nver, Nhor: c.Nhor, N: c.N,
+				PointIndex: c.PointIndex, LowerIndex: c.LowerIndex, RowShare: c.RowShare,
+			}
+		}
+	}
+	return cells
+}
+
+// RelevancesJSON converts a relevancy report to wire form (non-nil
+// even when empty).
+func RelevancesJSON(rel []mining.Relevance) []RelevanceJSON {
+	rows := make([]RelevanceJSON, len(rel))
+	for i, rr := range rel {
+		rows[i] = RelevanceJSON{
+			Concept: rr.Concept, InSubset: rr.InSubset, SubsetSize: rr.SubsetSize,
+			InAll: rr.InAll, N: rr.N, Ratio: rr.Ratio,
+		}
+	}
+	return rows
+}
+
+// DocumentsJSON converts drilled-down documents to wire form (non-nil
+// even when empty).
+func DocumentsJSON(docs []mining.Document) []DocumentJSON {
+	out := make([]DocumentJSON, len(docs))
+	for i, d := range docs {
+		concepts := make([]ConceptJSON, len(d.Concepts))
+		for j, c := range d.Concepts {
+			concepts[j] = ConceptJSON{Category: c.Category, Canonical: c.Canonical}
+		}
+		out[i] = DocumentJSON{ID: d.ID, Fields: d.Fields, Time: d.Time, Concepts: concepts}
+	}
+	return out
+}
+
+// TrendPointsJSON converts trend buckets to wire form (non-nil even
+// when empty).
+func TrendPointsJSON(pts []mining.TrendPoint) []TrendPointJSON {
+	points := make([]TrendPointJSON, len(pts))
+	for i, p := range pts {
+		points[i] = TrendPointJSON{Time: p.Time, Count: p.Count}
+	}
+	return points
+}
+
+// Marginal endpoints — the shard-side federation wire. Each returns the
+// integer half of a split §IV.D operation (see internal/mining/merge.go)
+// so a coordinator can merge counts across shards by addition and run
+// the float pipeline exactly once over the merged marginals. The float
+// endpoints above stay byte-identical per shard; these carry no floats
+// at all.
+
+// ConceptDFResponse answers /v1/marginals/concepts: a category's
+// vocabulary with per-shard document frequencies, in report order.
+type ConceptDFResponse struct {
+	Generation uint64                `json:"generation"`
+	Sealed     bool                  `json:"sealed"`
+	Category   string                `json:"category"`
+	Concepts   []mining.ConceptCount `json:"concepts"`
+}
+
+// RelFreqMarginalsResponse answers /v1/marginals/relfreq.
+type RelFreqMarginalsResponse struct {
+	Generation uint64                  `json:"generation"`
+	Sealed     bool                    `json:"sealed"`
+	Category   string                  `json:"category"`
+	Featured   string                  `json:"featured"`
+	Marginals  mining.RelFreqMarginals `json:"marginals"`
+}
+
+// AssocMarginalsResponse answers /v1/marginals/assoc.
+type AssocMarginalsResponse struct {
+	Generation uint64                `json:"generation"`
+	Sealed     bool                  `json:"sealed"`
+	Rows       []string              `json:"rows"`
+	Cols       []string              `json:"cols"`
+	Marginals  mining.AssocMarginals `json:"marginals"`
+}
+
+// GET /v1/marginals/concepts?category=<cat> — concept document
+// frequencies for one category (the counted form of /v1/concepts;
+// structured-field vocabularies merge order-free, so the coordinator
+// uses the public endpoint for those).
+func (s *Server) handleConceptDF(w http.ResponseWriter, r *http.Request) {
+	category := r.URL.Query().Get("category")
+	if category == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing required parameter %q (a concept category)", "category"))
+		return
+	}
+	s.respond(w, cacheKey("marginals/concepts", category), func(sn *snapshot) (any, error) {
+		return ConceptDFResponse{
+			Generation: sn.gen,
+			Sealed:     sn.sealed,
+			Category:   category,
+			Concepts:   sn.view.ConceptDF(category),
+		}, nil
+	})
+}
+
+// GET /v1/marginals/relfreq?category=<cat>&featured=<label> — the
+// integer marginals of a relevancy analysis over this shard's documents.
+func (s *Server) handleRelFreqMarginals(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	category := q.Get("category")
+	if category == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing required parameter %q (a concept category)", "category"))
+		return
+	}
+	featured, featLabels, err := ParseDimParams("featured", q["featured"])
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(featured) > 1 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("featured must be a single dimension (use a ∧-conjunction for compound subsets)"))
+		return
+	}
+	s.respond(w, cacheKey("marginals/relfreq", category, featLabels[0]), func(sn *snapshot) (any, error) {
+		return RelFreqMarginalsResponse{
+			Generation: sn.gen,
+			Sealed:     sn.sealed,
+			Category:   category,
+			Featured:   featLabels[0],
+			Marginals:  sn.view.RelFreqMarginals(category, featured[0]),
+		}, nil
+	})
+}
+
+// GET /v1/marginals/assoc?row=<label>&...&col=<label>&... — the integer
+// marginals of an association table over this shard's documents
+// (confidence is a finalize-time input, so it does not appear here).
+func (s *Server) handleAssocMarginals(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	rows, rowLabels, err := ParseDimParams("row", q["row"])
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	cols, colLabels, err := ParseDimParams("col", q["col"])
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	key := cacheKey("marginals/assoc",
+		strings.Join(rowLabels, "\x01"),
+		strings.Join(colLabels, "\x01"))
+	s.respond(w, key, func(sn *snapshot) (any, error) {
+		return AssocMarginalsResponse{
+			Generation: sn.gen,
+			Sealed:     sn.sealed,
+			Rows:       rowLabels,
+			Cols:       colLabels,
+			Marginals:  sn.view.AssocMarginals(rows, cols),
+		}, nil
+	})
 }
 
 // QueryURL renders a /v1 query URL against base (scheme://host) with

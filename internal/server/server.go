@@ -172,7 +172,7 @@ type segment struct {
 // for finer control).
 type Server struct {
 	cfg Config
-	mux *http.ServeMux
+	mux http.Handler
 
 	snap  atomic.Pointer[snapshot]
 	gen   atomic.Uint64
