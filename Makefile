@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-pipeline bench-server bench-link bench-mine bench-store bench-seg bench-fed bench-build examples smoke
+.PHONY: check vet build test race bench bench-pipeline bench-server bench-link bench-mine bench-store bench-seg bench-fed bench-load bench-build examples smoke
 
 check: vet build race examples smoke
 
@@ -15,6 +15,7 @@ build:
 	$(GO) build ./...
 	$(GO) build -o /dev/null ./cmd/bivocd
 	$(GO) build -o /dev/null ./cmd/bivocfed
+	$(GO) build -o /dev/null ./cmd/bivocload
 
 test:
 	$(GO) test ./...
@@ -72,11 +73,21 @@ bench-seg:
 
 # The federation benchmarks recorded in BENCH_fed.json: the
 # scatter-gather query bundle through a bivocfed coordinator over a
-# shard sweep {1, 2, 4, 8} of the same corpus. Pass profiler hooks
+# shard sweep {1, 2, 4, 8} of the same corpus, plus the coordinator
+# cache's hit path against the same bundle. Pass profiler hooks
 # through BENCH_FLAGS, e.g.
 #   make bench-fed BENCH_FLAGS='-cpuprofile=cpu.out'
 bench-fed:
 	$(GO) test -bench='BenchmarkFed' -benchmem -run='^$$' $(BENCH_FLAGS) .
+
+# The open-loop load sweep recorded in BENCH_load.json: cmd/bivocload
+# self-boots a mono daemon and a four-shard federation over the same
+# corpus, then sweeps offered QPS x batch size with coordinated-
+# omission-corrected latency percentiles. Extra harness flags go
+# through BENCH_FLAGS, e.g.
+#   make bench-load BENCH_FLAGS='-qps 1000,4000 -duration 5s'
+bench-load:
+	$(GO) run ./cmd/bivocload -mix mixed,count -count-qps 8000,32000,64000 -out BENCH_load.json $(BENCH_FLAGS)
 
 # One iteration of every benchmark, so benchmark code cannot rot.
 bench-build:
@@ -87,7 +98,8 @@ examples:
 
 # Black-box daemon checks: build cmd/bivocd (and cmd/bivocfed over a
 # two-shard fleet), start them, query /healthz and /v1/count, SIGINT,
-# require a clean exit.
+# require a clean exit — plus one short bivocload self-boot sweep.
 smoke:
 	$(GO) test -run TestDaemonSmoke -count=1 ./cmd/bivocd
 	$(GO) test -run TestFedDaemonSmoke -count=1 ./cmd/bivocfed
+	$(GO) test -run TestLoadSmoke -count=1 ./cmd/bivocload

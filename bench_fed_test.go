@@ -24,10 +24,11 @@ import (
 // BENCH_fed.json.
 
 // fedBenchFleet boots k shard servers over the 20k-document segment
-// corpus partitioned by ShardOf, plus a coordinator over them, and
-// returns the coordinator's base URL with a stop func. Shard caches are
-// off so each iteration pays the real per-shard query work.
-func fedBenchFleet(b *testing.B, docs []mining.Document, k int) (base string, stop func()) {
+// corpus partitioned by ShardOf, plus a coordinator configured from
+// coord over them, and returns the coordinator's base URL with a stop
+// func. Shard caches are off so each iteration pays the real per-shard
+// query work.
+func fedBenchFleet(b *testing.B, docs []mining.Document, k int, coord fed.Config) (base string, stop func()) {
 	b.Helper()
 	src := func(ctx context.Context, already func(string) bool, emit func(mining.Document) error) error {
 		for _, d := range docs {
@@ -70,7 +71,9 @@ func fedBenchFleet(b *testing.B, docs []mining.Document, k int) (base string, st
 		}
 		shards[i] = "http://" + s.Addr()
 	}
-	c, err := fed.NewCoordinator(fed.Config{Addr: "127.0.0.1:0", Shards: shards})
+	coord.Addr = "127.0.0.1:0"
+	coord.Shards = shards
+	c, err := fed.NewCoordinator(coord)
 	if err == nil {
 		err = c.Start()
 	}
@@ -105,13 +108,15 @@ func fedBenchQueries() []string {
 // corpus. The responses are byte-identical at every k (pinned by the
 // equivalence suites); the benchmark prices what that costs: per-shard
 // HTTP round-trips, marginal decode, and the single merged finalize.
+// The coordinator's own result cache is off so every iteration pays the
+// full scatter — BenchmarkFedQueryCached prices the hit path.
 func BenchmarkFedQuery(b *testing.B) {
 	docs := segBenchDocs(20000)
 	queries := fedBenchQueries()
 	client := &http.Client{}
 	for _, k := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards-%d", k), func(b *testing.B) {
-			base, stop := fedBenchFleet(b, docs, k)
+			base, stop := fedBenchFleet(b, docs, k, fed.Config{CacheSize: -1})
 			defer stop()
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -127,6 +132,43 @@ func BenchmarkFedQuery(b *testing.B) {
 						b.Fatalf("GET %s: status %d: %s", q, resp.StatusCode, body)
 					}
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkFedQueryCached prices the coordinator's generation-keyed
+// result cache: the same bundle over a sealed fleet, warmed once so
+// every timed iteration is a cache hit. The gap to BenchmarkFedQuery at
+// the same k is the scatter each hit skips; hits are flat in k because
+// no shard is consulted at all. CacheTTL is stretched past the run so
+// the trust window never lapses mid-measurement.
+func BenchmarkFedQueryCached(b *testing.B) {
+	docs := segBenchDocs(20000)
+	queries := fedBenchQueries()
+	client := &http.Client{}
+	for _, k := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards-%d", k), func(b *testing.B) {
+			base, stop := fedBenchFleet(b, docs, k, fed.Config{CacheTTL: time.Hour})
+			defer stop()
+			issue := func() {
+				for _, q := range queries {
+					resp, err := client.Get(base + q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						b.Fatalf("GET %s: status %d: %s", q, resp.StatusCode, body)
+					}
+				}
+			}
+			issue() // warm: scatter once, populate the cache
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				issue()
 			}
 		})
 	}

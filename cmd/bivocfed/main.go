@@ -11,7 +11,7 @@
 //
 //	bivocfed -shards URL,URL,... [-addr HOST:PORT] [-shard-timeout D]
 //	         [-fanout N] [-confidence P] [-assoc-workers N]
-//	         [-drain-timeout D]
+//	         [-cache-size N] [-cache-ttl D] [-drain-timeout D]
 //
 // The -shards list is ordered: shard i of the list must be the daemon
 // ingesting with -shard i/n. A shard that is unreachable, times out, or
@@ -47,6 +47,8 @@ func main() {
 	fanout := flag.Int("fanout", 0, "max concurrent shard requests per query (0 = all shards at once)")
 	confidence := flag.Float64("confidence", 0.95, "default association-interval confidence")
 	assocWorkers := flag.Int("assoc-workers", 0, "workers per merged association table (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache-size", 0, "coordinator result-cache entries (0 = default 256, negative = off); a hit skips the scatter")
+	cacheTTL := flag.Duration("cache-ttl", 0, "how long a scatter-observed generation vector stays trusted (0 = default 1s)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain bound")
 	flag.Parse()
 
@@ -68,6 +70,8 @@ func main() {
 		MaxFanout:        *fanout,
 		Confidence:       *confidence,
 		AssociateWorkers: *assocWorkers,
+		CacheSize:        *cacheSize,
+		CacheTTL:         *cacheTTL,
 		DrainTimeout:     *drainTimeout,
 	})
 	if err != nil {

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadSmoke is the black-box harness check `make smoke` runs: build
+// the real binary, self-boot a tiny mono + two-shard fed fleet, sweep
+// one rate at two batch sizes, and require a clean exit with a
+// well-formed, error-free JSON report.
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the load harness binary")
+	}
+	bin := filepath.Join(t.TempDir(), "bivocload")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+
+	outPath := filepath.Join(t.TempDir(), "report.json")
+	cmd := exec.Command(bin,
+		"-boot", "both",
+		"-shards", "2",
+		"-docs", "400",
+		"-qps", "300",
+		"-batch", "1,8",
+		"-duration", "300ms",
+		"-workers", "8",
+		"-pool", "32",
+		"-out", outPath)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("bivocload: %v", err)
+	}
+
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Docs int `json:"docs"`
+		Runs []struct {
+			Target      string  `json:"target"`
+			Mix         string  `json:"mix"`
+			OfferedQPS  float64 `json:"offered_qps"`
+			AchievedQPS float64 `json:"achieved_qps"`
+			Requests    int     `json:"requests"`
+			Queries     int     `json:"queries"`
+			Batch       int     `json:"batch"`
+			Errors      int     `json:"errors"`
+			SubErrors   int     `json:"sub_errors"`
+			Degraded    int     `json:"degraded"`
+			P50US       int64   `json:"p50_us"`
+			P999US      int64   `json:"p999_us"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, raw)
+	}
+	if rep.Docs != 400 {
+		t.Fatalf("report docs = %d, want 400", rep.Docs)
+	}
+	// 2 targets (mono, fed-2) x 2 batch sizes x 1 rate.
+	if len(rep.Runs) != 4 {
+		t.Fatalf("report has %d runs, want 4:\n%s", len(rep.Runs), raw)
+	}
+	seen := map[string]int{}
+	for _, r := range rep.Runs {
+		seen[r.Target]++
+		if r.Mix != "mixed" {
+			t.Fatalf("%s batch=%d: mix %q, want mixed", r.Target, r.Batch, r.Mix)
+		}
+		if r.Errors != 0 || r.SubErrors != 0 || r.Degraded != 0 {
+			t.Fatalf("%s batch=%d: errors=%d sub_errors=%d degraded=%d, want clean", r.Target, r.Batch, r.Errors, r.SubErrors, r.Degraded)
+		}
+		if r.Requests == 0 || r.Queries != r.Requests*r.Batch || r.AchievedQPS <= 0 {
+			t.Fatalf("%s batch=%d: implausible run %+v", r.Target, r.Batch, r)
+		}
+		if r.P50US <= 0 || r.P999US < r.P50US {
+			t.Fatalf("%s batch=%d: implausible percentiles %+v", r.Target, r.Batch, r)
+		}
+	}
+	if seen["mono"] != 2 || seen["fed-2"] != 2 {
+		t.Fatalf("report targets %v, want mono and fed-2 twice each", seen)
+	}
+}

@@ -1,0 +1,134 @@
+package fed
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"time"
+)
+
+// resultCache is the coordinator-side result cache, keyed on (canonical
+// query key, generation vector). The shards' own caches live behind a
+// scatter (~1 RTT per query, BENCH_fed.json); this one sits in front of
+// it, so a hit skips the scatter entirely.
+//
+// Correctness rests on the generation vector. A cached body was merged
+// from one exact per-shard generation vector; it may be served again
+// only while that vector is still what the fleet would answer with.
+// The coordinator holds no shard state, so it learns the current vector
+// the only way it can — from scatters: every fully-live scatter result
+// (no "-" gaps) refreshes the trusted vector with a TTL. A hit requires
+// the entry's vector to equal the trusted vector and the trust to be
+// fresh; any shard's generation advancing changes the observed vector
+// and every older entry stops matching — natural wholesale
+// invalidation, exactly like the snapshot swap on a single node.
+// Degraded vectors are never trusted and never cached: a body merged
+// from a partial fleet must not outlive the partiality that produced
+// it.
+//
+// The TTL (Config.CacheTTL, default 1s) bounds staleness between
+// scatters: after a quiet period the first query always scatters,
+// re-observing the vector, and only then do hits resume. Equivalence
+// suites pin that a hit serves bytes identical to an uncached scatter.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ttl time.Duration
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+
+	trusted   string // last fully-live generation vector, comma-joined
+	trustedAt time.Time
+
+	hits, misses uint64
+}
+
+type resultEntry struct {
+	key  string
+	vec  string // comma-joined generation vector the body was merged from
+	body []byte
+}
+
+// newResultCache returns a cache holding at most capacity entries
+// (capacity < 1 disables caching entirely).
+func newResultCache(capacity int, ttl time.Duration) *resultCache {
+	return &resultCache{cap: capacity, ttl: ttl, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// fullVec reports whether vec has an entry from every shard (no "-"
+// gaps) — the precondition for trusting or caching anything.
+func fullVec(vec []string) bool {
+	for _, g := range vec {
+		if g == "-" {
+			return false
+		}
+	}
+	return len(vec) > 0
+}
+
+// observe records a fully-live generation vector seen by a scatter,
+// refreshing the trust window. Called with the comma-joined vector.
+func (c *resultCache) observe(vec string, now time.Time) {
+	if c.cap < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.trusted = vec
+	c.trustedAt = now
+}
+
+// get returns the cached body for key if its generation vector matches
+// the trusted vector and the trust is fresh. The returned vec is the
+// vector the body was merged from (== the trusted vector on a hit).
+func (c *resultCache) get(key string, now time.Time) (body []byte, vec string, ok bool) {
+	if c.cap < 1 {
+		return nil, "", false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.trusted == "" || now.Sub(c.trustedAt) > c.ttl {
+		c.misses++
+		return nil, "", false
+	}
+	el, found := c.m[key]
+	if !found || el.Value.(*resultEntry).vec != c.trusted {
+		c.misses++
+		return nil, "", false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*resultEntry).body, c.trusted, true
+}
+
+// put stores a body merged from the given fully-live vector, evicting
+// the least recently used entry when full.
+func (c *resultCache) put(key, vec string, body []byte) {
+	if c.cap < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*resultEntry)
+		e.vec, e.body = vec, body
+		return
+	}
+	c.m[key] = c.ll.PushFront(&resultEntry{key: key, vec: vec, body: body})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*resultEntry).key)
+	}
+}
+
+// stats returns the cumulative hit/miss counters and current size.
+func (c *resultCache) stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}
+
+// joinVec renders a generation vector in header form.
+func joinVec(vec []string) string { return strings.Join(vec, ",") }

@@ -1,6 +1,7 @@
 package fed
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -42,6 +43,21 @@ type Config struct {
 	// Client issues the shard requests (default: a dedicated pooled
 	// client).
 	Client *http.Client
+	// CacheSize bounds the coordinator's generation-vector result cache
+	// (entries). Default 256; negative disables coordinator caching.
+	CacheSize int
+	// CacheTTL bounds how long a scatter-observed generation vector
+	// stays trusted for cache hits (default 1s). A smaller TTL trades
+	// hit rate for tighter staleness under concurrent ingest; sealed
+	// fleets never advance, so the only cost of the TTL there is one
+	// refreshing scatter per quiet period.
+	CacheTTL time.Duration
+	// ReadHeaderTimeout / ReadTimeout / MaxHeaderBytes harden the
+	// coordinator's http.Server exactly like the shard daemon's
+	// (defaults 5s / 60s / 1 MiB; negative disables).
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	MaxHeaderBytes    int
 }
 
 func (c Config) shardTimeout() time.Duration {
@@ -72,6 +88,50 @@ func (c Config) drainTimeout() time.Duration {
 	return c.DrainTimeout
 }
 
+func (c Config) cacheSize() int {
+	if c.CacheSize == 0 {
+		return 256
+	}
+	return c.CacheSize
+}
+
+func (c Config) cacheTTL() time.Duration {
+	if c.CacheTTL <= 0 {
+		return time.Second
+	}
+	return c.CacheTTL
+}
+
+func (c Config) readHeaderTimeout() time.Duration {
+	if c.ReadHeaderTimeout == 0 {
+		return 5 * time.Second
+	}
+	if c.ReadHeaderTimeout < 0 {
+		return 0
+	}
+	return c.ReadHeaderTimeout
+}
+
+func (c Config) readTimeout() time.Duration {
+	if c.ReadTimeout == 0 {
+		return 60 * time.Second
+	}
+	if c.ReadTimeout < 0 {
+		return 0
+	}
+	return c.ReadTimeout
+}
+
+func (c Config) maxHeaderBytes() int {
+	if c.MaxHeaderBytes == 0 {
+		return 1 << 20
+	}
+	if c.MaxHeaderBytes < 0 {
+		return 0
+	}
+	return c.MaxHeaderBytes
+}
+
 // Coordinator serves the /v1 API by scattering every query to all
 // shards and gathering on integer marginals. It holds no index of its
 // own and no per-shard state between requests — a shard that comes back
@@ -81,6 +141,8 @@ type Coordinator struct {
 	cfg    Config
 	client *http.Client
 	mux    http.Handler
+	cache  *resultCache
+	slo    *server.SLORecorder
 
 	started   atomic.Bool
 	lifeMu    sync.Mutex
@@ -104,6 +166,8 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	c := &Coordinator{
 		cfg:       cfg,
 		client:    cfg.Client,
+		cache:     newResultCache(cfg.cacheSize(), cfg.cacheTTL()),
+		slo:       server.NewSLORecorder(),
 		serveDone: make(chan struct{}),
 	}
 	if c.client == nil {
@@ -128,6 +192,7 @@ func (c *Coordinator) Start() error {
 		return fmt.Errorf("fed: listen %s: %w", addr, err)
 	}
 	hs := &http.Server{Handler: c.mux}
+	server.HardenHTTPServer(hs, c.cfg.readHeaderTimeout(), c.cfg.readTimeout(), c.cfg.maxHeaderBytes())
 	c.lifeMu.Lock()
 	c.ln = ln
 	c.hs = hs
@@ -224,11 +289,44 @@ func (c *Coordinator) scatter(ctx context.Context, path, rawQuery string) []shar
 
 // fetchShard performs one bounded shard request.
 func (c *Coordinator) fetchShard(ctx context.Context, url string) shardReply {
+	return c.doShard(ctx, http.MethodGet, url, nil)
+}
+
+// scatterPost POSTs the same JSON payload to <shard><path> on every
+// shard — the batch fan-out — under the same MaxFanout semaphore and
+// per-shard timeout as scatter.
+func (c *Coordinator) scatterPost(ctx context.Context, path string, payload []byte) []shardReply {
+	replies := make([]shardReply, len(c.cfg.Shards))
+	sem := make(chan struct{}, c.cfg.maxFanout())
+	var wg sync.WaitGroup
+	for i, base := range c.cfg.Shards {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			replies[i] = c.doShard(ctx, http.MethodPost, base+path, payload)
+		}(i, base)
+	}
+	wg.Wait()
+	return replies
+}
+
+// doShard performs one bounded shard request (GET with a nil payload,
+// POST with a JSON body otherwise).
+func (c *Coordinator) doShard(ctx context.Context, method, url string, payload []byte) shardReply {
 	sctx, cancel := context.WithTimeout(ctx, c.cfg.shardTimeout())
 	defer cancel()
-	req, err := http.NewRequestWithContext(sctx, http.MethodGet, url, nil)
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(sctx, method, url, rd)
 	if err != nil {
 		return shardReply{err: err}
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {

@@ -618,10 +618,10 @@ func TestFedLocalErrorsStructured(t *testing.T) {
 	fedBase := "http://" + coord.Addr()
 
 	for _, q := range []string{
-		"/v1/count",                       // missing dim
+		"/v1/count",                           // missing dim
 		"/v1/trend?dim=a%5Bb%5D&dim=c%5Bd%5D", // two dims
 		"/v1/associate?row=topic&col=parity%3Deven&confidence=7", // bad confidence
-		"/v1/concepts",                    // neither category nor field
+		"/v1/concepts", // neither category nor field
 	} {
 		status, hdr, body := get(t, fedBase+q)
 		if status != http.StatusBadRequest {

@@ -7,6 +7,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"bivoc/internal/mining"
 	"bivoc/internal/server"
@@ -103,30 +104,41 @@ type ShardStatsz struct {
 }
 
 // StatszResponse answers /statsz on the coordinator: fleet-wide sums
-// plus every shard's own stats section.
+// plus every shard's own stats section. Cache sums the shard snapshot
+// caches; FedCache is the coordinator's own generation-vector result
+// cache. Serving is the coordinator's own SLO section; ShardServing is
+// the element-wise sum of every live shard's serving section.
 type StatszResponse struct {
-	Docs        int                   `json:"docs"`
-	Segments    int                   `json:"segments"`
-	Generations []string              `json:"generations"`
-	Cache       server.CacheStatsJSON `json:"cache"`
-	Shards      []ShardStatsz         `json:"shards"`
+	Docs         int                   `json:"docs"`
+	Segments     int                   `json:"segments"`
+	Generations  []string              `json:"generations"`
+	Cache        server.CacheStatsJSON `json:"cache"`
+	FedCache     server.CacheStatsJSON `json:"fed_cache"`
+	Serving      server.ServingJSON    `json:"serving"`
+	ShardServing server.ServingJSON    `json:"shard_serving"`
+	Shards       []ShardStatsz         `json:"shards"`
 	FedStatus
 }
 
 // buildMux wires the coordinator routes. The wrapper stamps a
 // no-information generation vector ("-" per shard) so even locally
 // rejected requests and 404s carry the header; scattered handlers
-// overwrite it with the real per-shard vector.
+// overwrite it with the real per-shard vector. Every route runs through
+// the SLO recorder feeding /statsz's serving section.
 func (c *Coordinator) buildMux() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/count", c.handleCount)
-	mux.HandleFunc("GET /v1/associate", c.handleAssociate)
-	mux.HandleFunc("GET /v1/relfreq", c.handleRelFreq)
-	mux.HandleFunc("GET /v1/drilldown", c.handleDrillDown)
-	mux.HandleFunc("GET /v1/trend", c.handleTrend)
-	mux.HandleFunc("GET /v1/concepts", c.handleConcepts)
-	mux.HandleFunc("GET /healthz", c.handleHealthz)
-	mux.HandleFunc("GET /statsz", c.handleStatsz)
+	route := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" "+path, c.slo.Wrap(path, h))
+	}
+	route("GET", "/v1/count", c.handleCount)
+	route("GET", "/v1/associate", c.handleAssociate)
+	route("GET", "/v1/relfreq", c.handleRelFreq)
+	route("GET", "/v1/drilldown", c.handleDrillDown)
+	route("GET", "/v1/trend", c.handleTrend)
+	route("GET", "/v1/concepts", c.handleConcepts)
+	route("POST", "/v1/batch", c.handleBatch)
+	route("GET", "/healthz", c.handleHealthz)
+	route("GET", "/statsz", c.handleStatsz)
 	blank := make([]string, len(c.cfg.Shards))
 	for i := range blank {
 		blank[i] = "-"
@@ -258,203 +270,282 @@ func decodeShard(rep shardReply, shard int, v any) error {
 	return nil
 }
 
-// GET /v1/count — counts and totals sum across disjoint shards.
-func (c *Coordinator) handleCount(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	_, labels, err := server.ParseDimParams("dim", q["dim"])
+// fedPlan is one parsed, canonicalized federated query: the
+// coordinator-cache key (built with server.CacheKey — the same
+// canonicalization the shard snapshot caches use), the shard-side
+// request to scatter, and the merge that folds the gathered replies
+// into the federated response value. Exactly one prepare* function per
+// endpoint, shared by the GET handler and /v1/batch.
+type fedPlan struct {
+	key        string
+	shardPath  string
+	shardQuery url.Values
+	merge      func(g *gather) (any, error)
+}
+
+// batchPlans dispatches a /v1/batch sub-query endpoint name to its
+// prepare function — the coordinator's public endpoints only (the
+// marginal endpoints are shard-side wire, not federated API).
+var batchPlans = map[string]func(*Coordinator, url.Values) (fedPlan, error){
+	"count":     (*Coordinator).prepareCount,
+	"associate": (*Coordinator).prepareAssociate,
+	"relfreq":   (*Coordinator).prepareRelFreq,
+	"drilldown": (*Coordinator).prepareDrillDown,
+	"trend":     (*Coordinator).prepareTrend,
+	"concepts":  (*Coordinator).prepareConcepts,
+}
+
+// respondPlanned is the shared federated query path: parse, consult the
+// generation-vector result cache — a hit serves the previously merged
+// bytes without touching any shard — and on a miss scatter, merge,
+// write, and (when every shard answered) observe the fresh vector and
+// memoize the body under it.
+func (c *Coordinator) respondPlanned(w http.ResponseWriter, r *http.Request, prep func(url.Values) (fedPlan, error)) {
+	plan, err := prep(r.URL.Query())
 	if err != nil {
 		c.badRequest(w, err)
 		return
 	}
-	g, ok := c.fanout(w, r, "/v1/count", url.Values{"dim": q["dim"]}.Encode())
+	if body, vec, ok := c.cache.get(plan.key, time.Now()); ok {
+		w.Header().Set(server.GenerationHeader, vec)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+		return
+	}
+	g, ok := c.fanout(w, r, plan.shardPath, plan.shardQuery.Encode())
 	if !ok {
 		return
 	}
-	out := CountResponse{
-		CountResponse: server.CountResponse{Dims: labels, Counts: make([]int, len(labels))},
-		FedStatus:     g.fedStatus(),
+	v, err := plan.merge(g)
+	if err != nil {
+		c.writeError(w, g.genVec, http.StatusInternalServerError, err, g.fedStatus())
+		return
 	}
-	var agg genAgg
-	for _, i := range g.live {
-		var sr server.CountResponse
-		if err := decodeShard(g.replies[i], i, &sr); err != nil {
-			c.writeError(w, g.genVec, http.StatusInternalServerError, err, g.fedStatus())
-			return
-		}
-		out.Total += sr.Total
-		for j := 0; j < len(out.Counts) && j < len(sr.Counts); j++ {
-			out.Counts[j] += sr.Counts[j]
-		}
-		agg.add(sr.Generation, sr.Sealed)
+	body, err := json.Marshal(v)
+	if err != nil {
+		c.writeError(w, g.genVec, http.StatusInternalServerError, err, g.fedStatus())
+		return
 	}
-	out.Generation, out.Sealed = agg.gen, agg.sealed
-	c.writeOK(w, g, out)
+	body = append(body, '\n')
+	vec := joinVec(g.genVec)
+	if fullVec(g.genVec) {
+		c.cache.observe(vec, time.Now())
+		c.cache.put(plan.key, vec, body)
+	}
+	w.Header().Set(server.GenerationHeader, vec)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// GET /v1/count — counts and totals sum across disjoint shards.
+func (c *Coordinator) prepareCount(q url.Values) (fedPlan, error) {
+	_, labels, err := server.ParseDimParams("dim", q["dim"])
+	if err != nil {
+		return fedPlan{}, err
+	}
+	return fedPlan{
+		key:        server.CacheKey("count", labels...),
+		shardPath:  "/v1/count",
+		shardQuery: url.Values{"dim": q["dim"]},
+		merge: func(g *gather) (any, error) {
+			out := CountResponse{
+				CountResponse: server.CountResponse{Dims: labels, Counts: make([]int, len(labels))},
+				FedStatus:     g.fedStatus(),
+			}
+			var agg genAgg
+			for _, i := range g.live {
+				var sr server.CountResponse
+				if err := decodeShard(g.replies[i], i, &sr); err != nil {
+					return nil, err
+				}
+				out.Total += sr.Total
+				for j := 0; j < len(out.Counts) && j < len(sr.Counts); j++ {
+					out.Counts[j] += sr.Counts[j]
+				}
+				agg.add(sr.Generation, sr.Sealed)
+			}
+			out.Generation, out.Sealed = agg.gen, agg.sealed
+			return out, nil
+		},
+	}, nil
+}
+
+func (c *Coordinator) handleCount(w http.ResponseWriter, r *http.Request) {
+	c.respondPlanned(w, r, c.prepareCount)
 }
 
 // GET /v1/associate — shards return integer marginals
 // (/v1/marginals/assoc); the coordinator merges them by addition and
 // runs the Wilson float pipeline exactly once over the merged counts.
-func (c *Coordinator) handleAssociate(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
+func (c *Coordinator) prepareAssociate(q url.Values) (fedPlan, error) {
 	rows, rowLabels, err := server.ParseDimParams("row", q["row"])
 	if err != nil {
-		c.badRequest(w, err)
-		return
+		return fedPlan{}, err
 	}
 	cols, colLabels, err := server.ParseDimParams("col", q["col"])
 	if err != nil {
-		c.badRequest(w, err)
-		return
+		return fedPlan{}, err
 	}
 	confidence := c.cfg.confidence()
 	if cs := q.Get("confidence"); cs != "" {
 		cv, err := strconv.ParseFloat(cs, 64)
 		if err != nil || cv <= 0 || cv >= 1 {
-			c.badRequest(w, fmt.Errorf("confidence must be a number in (0,1), got %q", cs))
-			return
+			return fedPlan{}, fmt.Errorf("confidence must be a number in (0,1), got %q", cs)
 		}
 		confidence = cv
 	}
-	g, ok := c.fanout(w, r, "/v1/marginals/assoc", url.Values{"row": q["row"], "col": q["col"]}.Encode())
-	if !ok {
-		return
-	}
-	parts := make([]mining.AssocMarginals, 0, len(g.live))
-	var agg genAgg
-	for _, i := range g.live {
-		var sr server.AssocMarginalsResponse
-		if err := decodeShard(g.replies[i], i, &sr); err != nil {
-			c.writeError(w, g.genVec, http.StatusInternalServerError, err, g.fedStatus())
-			return
-		}
-		parts = append(parts, sr.Marginals)
-		agg.add(sr.Generation, sr.Sealed)
-	}
-	tbl := mining.FinalizeAssoc(rows, cols, confidence, c.cfg.AssociateWorkers,
-		mining.MergeAssocMarginals(parts...))
-	c.writeOK(w, g, AssociateResponse{
-		AssociateResponse: server.AssociateResponse{
-			Generation: agg.gen,
-			Sealed:     agg.sealed,
-			Confidence: tbl.Confidence,
-			Rows:       rowLabels,
-			Cols:       colLabels,
-			Cells:      server.AssocCellsJSON(tbl),
+	return fedPlan{
+		key: server.CacheKey("associate",
+			strings.Join(rowLabels, "\x01"),
+			strings.Join(colLabels, "\x01"),
+			strconv.FormatFloat(confidence, 'g', -1, 64)),
+		shardPath:  "/v1/marginals/assoc",
+		shardQuery: url.Values{"row": q["row"], "col": q["col"]},
+		merge: func(g *gather) (any, error) {
+			parts := make([]mining.AssocMarginals, 0, len(g.live))
+			var agg genAgg
+			for _, i := range g.live {
+				var sr server.AssocMarginalsResponse
+				if err := decodeShard(g.replies[i], i, &sr); err != nil {
+					return nil, err
+				}
+				parts = append(parts, sr.Marginals)
+				agg.add(sr.Generation, sr.Sealed)
+			}
+			tbl := mining.FinalizeAssoc(rows, cols, confidence, c.cfg.AssociateWorkers,
+				mining.MergeAssocMarginals(parts...))
+			return AssociateResponse{
+				AssociateResponse: server.AssociateResponse{
+					Generation: agg.gen,
+					Sealed:     agg.sealed,
+					Confidence: tbl.Confidence,
+					Rows:       rowLabels,
+					Cols:       colLabels,
+					Cells:      server.AssocCellsJSON(tbl),
+				},
+				FedStatus: g.fedStatus(),
+			}, nil
 		},
-		FedStatus: g.fedStatus(),
-	})
+	}, nil
+}
+
+func (c *Coordinator) handleAssociate(w http.ResponseWriter, r *http.Request) {
+	c.respondPlanned(w, r, c.prepareAssociate)
 }
 
 // GET /v1/relfreq — merge integer relevancy marginals, then run the
 // ratio math once over the merged counts.
-func (c *Coordinator) handleRelFreq(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
+func (c *Coordinator) prepareRelFreq(q url.Values) (fedPlan, error) {
 	category := q.Get("category")
 	if category == "" {
-		c.badRequest(w, fmt.Errorf("missing required parameter %q (a concept category)", "category"))
-		return
+		return fedPlan{}, fmt.Errorf("missing required parameter %q (a concept category)", "category")
 	}
 	featured, featLabels, err := server.ParseDimParams("featured", q["featured"])
 	if err != nil {
-		c.badRequest(w, err)
-		return
+		return fedPlan{}, err
 	}
 	if len(featured) > 1 {
-		c.badRequest(w, fmt.Errorf("featured must be a single dimension (use a ∧-conjunction for compound subsets)"))
-		return
+		return fedPlan{}, fmt.Errorf("featured must be a single dimension (use a ∧-conjunction for compound subsets)")
 	}
-	fwd := url.Values{"category": {category}, "featured": q["featured"]}
-	g, ok := c.fanout(w, r, "/v1/marginals/relfreq", fwd.Encode())
-	if !ok {
-		return
-	}
-	parts := make([]mining.RelFreqMarginals, 0, len(g.live))
-	var agg genAgg
-	for _, i := range g.live {
-		var sr server.RelFreqMarginalsResponse
-		if err := decodeShard(g.replies[i], i, &sr); err != nil {
-			c.writeError(w, g.genVec, http.StatusInternalServerError, err, g.fedStatus())
-			return
-		}
-		parts = append(parts, sr.Marginals)
-		agg.add(sr.Generation, sr.Sealed)
-	}
-	rel := mining.FinalizeRelFreq(mining.MergeRelFreqMarginals(parts...))
-	c.writeOK(w, g, RelFreqResponse{
-		RelFreqResponse: server.RelFreqResponse{
-			Generation: agg.gen,
-			Sealed:     agg.sealed,
-			Category:   category,
-			Featured:   featLabels[0],
-			Rows:       server.RelevancesJSON(rel),
+	return fedPlan{
+		key:        server.CacheKey("relfreq", category, featLabels[0]),
+		shardPath:  "/v1/marginals/relfreq",
+		shardQuery: url.Values{"category": {category}, "featured": q["featured"]},
+		merge: func(g *gather) (any, error) {
+			parts := make([]mining.RelFreqMarginals, 0, len(g.live))
+			var agg genAgg
+			for _, i := range g.live {
+				var sr server.RelFreqMarginalsResponse
+				if err := decodeShard(g.replies[i], i, &sr); err != nil {
+					return nil, err
+				}
+				parts = append(parts, sr.Marginals)
+				agg.add(sr.Generation, sr.Sealed)
+			}
+			rel := mining.FinalizeRelFreq(mining.MergeRelFreqMarginals(parts...))
+			return RelFreqResponse{
+				RelFreqResponse: server.RelFreqResponse{
+					Generation: agg.gen,
+					Sealed:     agg.sealed,
+					Category:   category,
+					Featured:   featLabels[0],
+					Rows:       server.RelevancesJSON(rel),
+				},
+				FedStatus: g.fedStatus(),
+			}, nil
 		},
-		FedStatus: g.fedStatus(),
-	})
+	}, nil
+}
+
+func (c *Coordinator) handleRelFreq(w http.ResponseWriter, r *http.Request) {
+	c.respondPlanned(w, r, c.prepareRelFreq)
 }
 
 // GET /v1/drilldown — per-shard matches concatenate and re-sort by
 // document ID (IDs are unique across shards); the global top-limit is a
 // subset of the union of per-shard top-limits, and Count sums the full
 // per-shard cell sizes.
-func (c *Coordinator) handleDrillDown(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
+func (c *Coordinator) prepareDrillDown(q url.Values) (fedPlan, error) {
 	rows, rowLabels, err := server.ParseDimParams("row", q["row"])
 	if err != nil {
-		c.badRequest(w, err)
-		return
+		return fedPlan{}, err
 	}
 	cols, colLabels, err := server.ParseDimParams("col", q["col"])
 	if err != nil {
-		c.badRequest(w, err)
-		return
+		return fedPlan{}, err
 	}
 	if len(rows) > 1 || len(cols) > 1 {
-		c.badRequest(w, fmt.Errorf("drilldown takes exactly one row and one col dimension"))
-		return
+		return fedPlan{}, fmt.Errorf("drilldown takes exactly one row and one col dimension")
 	}
 	limit := 50
 	if ls := q.Get("limit"); ls != "" {
 		limit, err = strconv.Atoi(ls)
 		if err != nil || limit < 0 {
-			c.badRequest(w, fmt.Errorf("limit must be a non-negative integer, got %q", ls))
-			return
+			return fedPlan{}, fmt.Errorf("limit must be a non-negative integer, got %q", ls)
 		}
 	}
-	fwd := url.Values{"row": q["row"], "col": q["col"], "limit": {strconv.Itoa(limit)}}
-	g, ok := c.fanout(w, r, "/v1/drilldown", fwd.Encode())
-	if !ok {
-		return
-	}
-	docs := []server.DocumentJSON{}
-	count := 0
-	var agg genAgg
-	for _, i := range g.live {
-		var sr server.DrillDownResponse
-		if err := decodeShard(g.replies[i], i, &sr); err != nil {
-			c.writeError(w, g.genVec, http.StatusInternalServerError, err, g.fedStatus())
-			return
-		}
-		docs = append(docs, sr.Docs...)
-		count += sr.Count
-		agg.add(sr.Generation, sr.Sealed)
-	}
-	sortDocsByID(docs)
-	truncated := count > limit
-	if len(docs) > limit {
-		docs = docs[:limit]
-	}
-	c.writeOK(w, g, DrillDownResponse{
-		DrillDownResponse: server.DrillDownResponse{
-			Generation: agg.gen,
-			Sealed:     agg.sealed,
-			Row:        rowLabels[0],
-			Col:        colLabels[0],
-			Count:      count,
-			Truncated:  truncated,
-			Docs:       docs,
+	return fedPlan{
+		key:        server.CacheKey("drilldown", rowLabels[0], colLabels[0], strconv.Itoa(limit)),
+		shardPath:  "/v1/drilldown",
+		shardQuery: url.Values{"row": q["row"], "col": q["col"], "limit": {strconv.Itoa(limit)}},
+		merge: func(g *gather) (any, error) {
+			docs := []server.DocumentJSON{}
+			count := 0
+			var agg genAgg
+			for _, i := range g.live {
+				var sr server.DrillDownResponse
+				if err := decodeShard(g.replies[i], i, &sr); err != nil {
+					return nil, err
+				}
+				docs = append(docs, sr.Docs...)
+				count += sr.Count
+				agg.add(sr.Generation, sr.Sealed)
+			}
+			sortDocsByID(docs)
+			truncated := count > limit
+			if len(docs) > limit {
+				docs = docs[:limit]
+			}
+			return DrillDownResponse{
+				DrillDownResponse: server.DrillDownResponse{
+					Generation: agg.gen,
+					Sealed:     agg.sealed,
+					Row:        rowLabels[0],
+					Col:        colLabels[0],
+					Count:      count,
+					Truncated:  truncated,
+					Docs:       docs,
+				},
+				FedStatus: g.fedStatus(),
+			}, nil
 		},
-		FedStatus: g.fedStatus(),
-	})
+	}, nil
+}
+
+func (c *Coordinator) handleDrillDown(w http.ResponseWriter, r *http.Request) {
+	c.respondPlanned(w, r, c.prepareDrillDown)
 }
 
 func sortDocsByID(docs []server.DocumentJSON) {
@@ -470,110 +561,114 @@ func sortDocsByID(docs []server.DocumentJSON) {
 // GET /v1/trend — per-shard time buckets sum; the slope is fitted once
 // over the merged series (identical to a single node's fit, because the
 // merged buckets are identical).
-func (c *Coordinator) handleTrend(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
+func (c *Coordinator) prepareTrend(q url.Values) (fedPlan, error) {
 	dims, labels, err := server.ParseDimParams("dim", q["dim"])
 	if err != nil {
-		c.badRequest(w, err)
-		return
+		return fedPlan{}, err
 	}
 	if len(dims) > 1 {
-		c.badRequest(w, fmt.Errorf("trend takes exactly one dim"))
-		return
+		return fedPlan{}, fmt.Errorf("trend takes exactly one dim")
 	}
-	g, ok := c.fanout(w, r, "/v1/trend", url.Values{"dim": q["dim"]}.Encode())
-	if !ok {
-		return
-	}
-	parts := make([][]mining.TrendPoint, 0, len(g.live))
-	var agg genAgg
-	for _, i := range g.live {
-		var sr server.TrendResponse
-		if err := decodeShard(g.replies[i], i, &sr); err != nil {
-			c.writeError(w, g.genVec, http.StatusInternalServerError, err, g.fedStatus())
-			return
-		}
-		pts := make([]mining.TrendPoint, len(sr.Points))
-		for k, p := range sr.Points {
-			pts[k] = mining.TrendPoint{Time: p.Time, Count: p.Count}
-		}
-		parts = append(parts, pts)
-		agg.add(sr.Generation, sr.Sealed)
-	}
-	merged := mining.MergeTrends(parts...)
-	c.writeOK(w, g, TrendResponse{
-		TrendResponse: server.TrendResponse{
-			Generation: agg.gen,
-			Sealed:     agg.sealed,
-			Dim:        labels[0],
-			Points:     server.TrendPointsJSON(merged),
-			Slope:      mining.TrendSlope(merged),
+	return fedPlan{
+		key:        server.CacheKey("trend", labels[0]),
+		shardPath:  "/v1/trend",
+		shardQuery: url.Values{"dim": q["dim"]},
+		merge: func(g *gather) (any, error) {
+			parts := make([][]mining.TrendPoint, 0, len(g.live))
+			var agg genAgg
+			for _, i := range g.live {
+				var sr server.TrendResponse
+				if err := decodeShard(g.replies[i], i, &sr); err != nil {
+					return nil, err
+				}
+				pts := make([]mining.TrendPoint, len(sr.Points))
+				for k, p := range sr.Points {
+					pts[k] = mining.TrendPoint{Time: p.Time, Count: p.Count}
+				}
+				parts = append(parts, pts)
+				agg.add(sr.Generation, sr.Sealed)
+			}
+			merged := mining.MergeTrends(parts...)
+			return TrendResponse{
+				TrendResponse: server.TrendResponse{
+					Generation: agg.gen,
+					Sealed:     agg.sealed,
+					Dim:        labels[0],
+					Points:     server.TrendPointsJSON(merged),
+					Slope:      mining.TrendSlope(merged),
+				},
+				FedStatus: g.fedStatus(),
+			}, nil
 		},
-		FedStatus: g.fedStatus(),
-	})
+	}, nil
+}
+
+func (c *Coordinator) handleTrend(w http.ResponseWriter, r *http.Request) {
+	c.respondPlanned(w, r, c.prepareTrend)
 }
 
 // GET /v1/concepts — category vocabularies merge on document frequency
 // (shards return counted marginals); field vocabularies are order-free
 // string unions of the public endpoint's values.
-func (c *Coordinator) handleConcepts(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
+func (c *Coordinator) prepareConcepts(q url.Values) (fedPlan, error) {
 	category, field := q.Get("category"), q.Get("field")
 	if (category == "") == (field == "") {
-		c.badRequest(w, fmt.Errorf("pass exactly one of %q or %q", "category", "field"))
-		return
+		return fedPlan{}, fmt.Errorf("pass exactly one of %q or %q", "category", "field")
 	}
-	var values []string
-	var agg genAgg
-	var g *gather
+	finish := func(g *gather, agg genAgg, values []string) any {
+		if values == nil {
+			values = []string{}
+		}
+		return ConceptsResponse{
+			ConceptsResponse: server.ConceptsResponse{
+				Generation: agg.gen,
+				Sealed:     agg.sealed,
+				Category:   category,
+				Field:      field,
+				Values:     values,
+			},
+			FedStatus: g.fedStatus(),
+		}
+	}
+	plan := fedPlan{key: server.CacheKey("concepts", category, field)}
 	if category != "" {
-		var ok bool
-		g, ok = c.fanout(w, r, "/v1/marginals/concepts", url.Values{"category": {category}}.Encode())
-		if !ok {
-			return
-		}
-		parts := make([][]mining.ConceptCount, 0, len(g.live))
-		for _, i := range g.live {
-			var sr server.ConceptDFResponse
-			if err := decodeShard(g.replies[i], i, &sr); err != nil {
-				c.writeError(w, g.genVec, http.StatusInternalServerError, err, g.fedStatus())
-				return
+		plan.shardPath = "/v1/marginals/concepts"
+		plan.shardQuery = url.Values{"category": {category}}
+		plan.merge = func(g *gather) (any, error) {
+			parts := make([][]mining.ConceptCount, 0, len(g.live))
+			var agg genAgg
+			for _, i := range g.live {
+				var sr server.ConceptDFResponse
+				if err := decodeShard(g.replies[i], i, &sr); err != nil {
+					return nil, err
+				}
+				parts = append(parts, sr.Concepts)
+				agg.add(sr.Generation, sr.Sealed)
 			}
-			parts = append(parts, sr.Concepts)
-			agg.add(sr.Generation, sr.Sealed)
+			return finish(g, agg, mining.ConceptNames(mining.MergeConceptCounts(parts...))), nil
 		}
-		values = mining.ConceptNames(mining.MergeConceptCounts(parts...))
 	} else {
-		var ok bool
-		g, ok = c.fanout(w, r, "/v1/concepts", url.Values{"field": {field}}.Encode())
-		if !ok {
-			return
-		}
-		parts := make([][]string, 0, len(g.live))
-		for _, i := range g.live {
-			var sr server.ConceptsResponse
-			if err := decodeShard(g.replies[i], i, &sr); err != nil {
-				c.writeError(w, g.genVec, http.StatusInternalServerError, err, g.fedStatus())
-				return
+		plan.shardPath = "/v1/concepts"
+		plan.shardQuery = url.Values{"field": {field}}
+		plan.merge = func(g *gather) (any, error) {
+			parts := make([][]string, 0, len(g.live))
+			var agg genAgg
+			for _, i := range g.live {
+				var sr server.ConceptsResponse
+				if err := decodeShard(g.replies[i], i, &sr); err != nil {
+					return nil, err
+				}
+				parts = append(parts, sr.Values)
+				agg.add(sr.Generation, sr.Sealed)
 			}
-			parts = append(parts, sr.Values)
-			agg.add(sr.Generation, sr.Sealed)
+			return finish(g, agg, mining.MergeFieldValues(parts...)), nil
 		}
-		values = mining.MergeFieldValues(parts...)
 	}
-	if values == nil {
-		values = []string{}
-	}
-	c.writeOK(w, g, ConceptsResponse{
-		ConceptsResponse: server.ConceptsResponse{
-			Generation: agg.gen,
-			Sealed:     agg.sealed,
-			Category:   category,
-			Field:      field,
-			Values:     values,
-		},
-		FedStatus: g.fedStatus(),
-	})
+	return plan, nil
+}
+
+func (c *Coordinator) handleConcepts(w http.ResponseWriter, r *http.Request) {
+	c.respondPlanned(w, r, c.prepareConcepts)
 }
 
 // GET /healthz — always 200 while the coordinator serves; aggregates
@@ -626,10 +721,18 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // shard's own stats section verbatim.
 func (c *Coordinator) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	g, _ := c.gatherStatsz(r)
+	fedHits, fedMisses, fedSize := c.cache.stats()
 	resp := StatszResponse{
 		Generations: g.genVec,
-		Shards:      make([]ShardStatsz, len(c.cfg.Shards)),
-		FedStatus:   g.fedStatus(),
+		FedCache: server.CacheStatsJSON{
+			Hits:     fedHits,
+			Misses:   fedMisses,
+			Size:     fedSize,
+			Capacity: c.cfg.cacheSize(),
+		},
+		Serving:   c.slo.Snapshot(),
+		Shards:    make([]ShardStatsz, len(c.cfg.Shards)),
+		FedStatus: g.fedStatus(),
 	}
 	for i, addr := range c.cfg.Shards {
 		ss := ShardStatsz{Shard: i, Addr: addr}
@@ -655,6 +758,7 @@ func (c *Coordinator) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		resp.Cache.Misses += sr.Cache.Misses
 		resp.Cache.Size += sr.Cache.Size
 		resp.Cache.Capacity += sr.Cache.Capacity
+		server.MergeServing(&resp.ShardServing, sr.Serving)
 		ss.Stats = &sr
 		resp.Shards[i] = ss
 	}

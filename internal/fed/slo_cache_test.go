@@ -1,0 +1,743 @@
+package fed
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bivoc/internal/server"
+)
+
+// inflightTransport counts concurrent RoundTrips. RoundTrip runs inside
+// the scatter semaphore, so its observed maximum is exactly the
+// concurrency the coordinator allowed.
+type inflightTransport struct {
+	base     http.RoundTripper
+	inflight atomic.Int64
+	maxSeen  atomic.Int64
+	total    atomic.Int64
+}
+
+func (t *inflightTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := t.inflight.Add(1)
+	defer t.inflight.Add(-1)
+	t.total.Add(1)
+	for {
+		m := t.maxSeen.Load()
+		if n <= m || t.maxSeen.CompareAndSwap(m, n) {
+			break
+		}
+	}
+	return t.base.RoundTrip(req)
+}
+
+// TestFedMaxFanoutBoundsConcurrency pins the scatter semaphore: with
+// MaxFanout 2 over six shards, at most two shard requests are ever in
+// flight — measured both coordinator-side (the transport) and
+// shard-side (a counting handler) — and the overlap really happens.
+func TestFedMaxFanoutBoundsConcurrency(t *testing.T) {
+	const shards, fanout = 6, 2
+	var handlerInflight, handlerMax atomic.Int64
+	counting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := handlerInflight.Add(1)
+		defer handlerInflight.Add(-1)
+		for {
+			m := handlerMax.Load()
+			if n <= m || handlerMax.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		time.Sleep(30 * time.Millisecond)
+		w.Header().Set(server.GenerationHeader, "1")
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"dim":["parity=even"],"count":0,"total":0,"generation":1,"sealed":true}`)
+	}))
+	t.Cleanup(counting.Close)
+
+	tr := &inflightTransport{base: &http.Transport{DisableKeepAlives: true}}
+	addrs := make([]string, shards)
+	for i := range addrs {
+		addrs[i] = counting.URL
+	}
+	coord := startCoordinator(t, Config{
+		Shards:    addrs,
+		MaxFanout: fanout,
+		Client:    &http.Client{Transport: tr},
+	})
+
+	start := time.Now()
+	status, _, body := get(t, "http://"+coord.Addr()+"/v1/count?dim="+url.QueryEscape("parity=even"))
+	elapsed := time.Since(start)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, body)
+	}
+	if got := tr.maxSeen.Load(); got > fanout {
+		t.Fatalf("transport saw %d concurrent shard requests, semaphore bound is %d", got, fanout)
+	}
+	if got := handlerMax.Load(); got > fanout {
+		t.Fatalf("shard saw %d concurrent requests, semaphore bound is %d", got, fanout)
+	}
+	if got := handlerMax.Load(); got < fanout {
+		t.Fatalf("shard never saw %d overlapping requests (max %d) — scatter is serialized", fanout, got)
+	}
+	if got := tr.total.Load(); got != shards {
+		t.Fatalf("scatter issued %d shard requests, want %d", got, shards)
+	}
+	// Six 30ms shards two at a time need at least three waves.
+	if elapsed < 80*time.Millisecond {
+		t.Fatalf("scatter finished in %v — faster than MaxFanout %d allows", elapsed, fanout)
+	}
+}
+
+// TestFedMaxFanoutBoundsSlowShards pins the semaphore under timeouts: a
+// hung shard holds its slot for the full ShardTimeout, so six hung
+// shards at fanout 2 drain in three timeout waves, never more than two
+// in flight.
+func TestFedMaxFanoutBoundsSlowShards(t *testing.T) {
+	const shards, fanout = 6, 2
+	timeout := 100 * time.Millisecond
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	t.Cleanup(hung.Close)
+
+	tr := &inflightTransport{base: &http.Transport{DisableKeepAlives: true}}
+	addrs := make([]string, shards)
+	for i := range addrs {
+		addrs[i] = hung.URL
+	}
+	coord := startCoordinator(t, Config{
+		Shards:       addrs,
+		MaxFanout:    fanout,
+		ShardTimeout: timeout,
+		Client:       &http.Client{Transport: tr},
+	})
+
+	start := time.Now()
+	status, _, body := get(t, "http://"+coord.Addr()+"/v1/count?dim="+url.QueryEscape("parity=even"))
+	elapsed := time.Since(start)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d with every shard hung, want 503 (body %s)", status, body)
+	}
+	if got := tr.maxSeen.Load(); got > fanout {
+		t.Fatalf("transport saw %d concurrent shard requests during timeouts, bound is %d", got, fanout)
+	}
+	if got := tr.total.Load(); got != shards {
+		t.Fatalf("scatter issued %d shard requests, want %d", got, shards)
+	}
+	// ceil(6/2) = 3 timeout waves; unbounded fan-out would finish in ~1.
+	if elapsed < 3*timeout-20*time.Millisecond {
+		t.Fatalf("six hung shards drained in %v — semaphore did not serialize the waves", elapsed)
+	}
+	if elapsed > 10*timeout {
+		t.Fatalf("scatter over hung shards took %v, want ~%v", elapsed, 3*timeout)
+	}
+}
+
+// shardEndpointRequests sums one endpoint's /statsz serving request
+// counter across shard servers.
+func shardEndpointRequests(t *testing.T, endpoint string, shards ...*server.Server) uint64 {
+	t.Helper()
+	var total uint64
+	for _, s := range shards {
+		status, _, body := get(t, "http://"+s.Addr()+"/statsz")
+		if status != http.StatusOK {
+			t.Fatalf("shard statsz: status %d", status)
+		}
+		var sr server.StatszResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		total += sr.Serving.Endpoints[endpoint].Requests
+	}
+	return total
+}
+
+// fedStatsz fetches and decodes the coordinator's /statsz.
+func fedStatsz(t *testing.T, fedBase string) StatszResponse {
+	t.Helper()
+	status, _, body := get(t, fedBase+"/statsz")
+	if status != http.StatusOK {
+		t.Fatalf("fed statsz: status %d", status)
+	}
+	var sr StatszResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// TestFedCacheHitSkipsScatter pins the coordinator cache's hot path: a
+// repeat query within the trust window answers the exact bytes and
+// generation vector of the first, without a single shard request.
+func TestFedCacheHitSkipsScatter(t *testing.T) {
+	const k = 2
+	docs := testDocs(80)
+	shards := make([]*server.Server, k)
+	for i := range shards {
+		shards[i] = startShard(t, docs, i, k, server.Config{})
+	}
+	waitIngestDone(t, shards...)
+	coord := startCoordinator(t, Config{Shards: shardAddrs(shards)})
+	fedBase := "http://" + coord.Addr()
+	q := fedBase + "/v1/count?dim=" + url.QueryEscape("parity=even")
+
+	status, hdr1, body1 := get(t, q)
+	if status != http.StatusOK {
+		t.Fatalf("first query: status %d", status)
+	}
+	scattered := shardEndpointRequests(t, "/v1/count", shards...)
+	if scattered != k {
+		t.Fatalf("first query hit %d shard count endpoints, want %d", scattered, k)
+	}
+
+	status, hdr2, body2 := get(t, q)
+	if status != http.StatusOK {
+		t.Fatalf("second query: status %d", status)
+	}
+	if !bytes.Equal(body2, body1) {
+		t.Fatalf("cached body diverges:\n hit: %s\nmiss: %s", body2, body1)
+	}
+	if v1, v2 := hdr1.Get(server.GenerationHeader), hdr2.Get(server.GenerationHeader); v1 != v2 {
+		t.Fatalf("cached generation vector %q, want %q", v2, v1)
+	}
+	if again := shardEndpointRequests(t, "/v1/count", shards...); again != scattered {
+		t.Fatalf("cache hit still scattered: shard count requests %d → %d", scattered, again)
+	}
+
+	sr := fedStatsz(t, fedBase)
+	if sr.FedCache.Hits < 1 || sr.FedCache.Size < 1 {
+		t.Fatalf("fed_cache did not record the hit: %+v", sr.FedCache)
+	}
+	if sr.FedCache.Capacity != 256 {
+		t.Fatalf("fed_cache capacity = %d, want default 256", sr.FedCache.Capacity)
+	}
+}
+
+// pollDim polls the federated count for dim until it reports want
+// documents in total.
+func pollDim(t *testing.T, fedBase, dim string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		status, _, body := get(t, fedBase+"/v1/count?dim="+url.QueryEscape(dim))
+		if status == http.StatusOK {
+			var m struct{ Total int }
+			if err := json.Unmarshal(body, &m); err == nil && m.Total == want {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s never reached %d documents", fedBase, want)
+}
+
+// TestFedCacheInvalidatesOnGenerationAdvance pins the invalidation
+// story: a body cached under one generation vector stops matching the
+// moment any shard's generation advances — even within the TTL — and
+// the next query scatters fresh bytes.
+func TestFedCacheInvalidatesOnGenerationAdvance(t *testing.T) {
+	const k, cut, total = 2, 60, 120
+	docs := testDocs(total)
+	gate := make(chan struct{})
+	shards := make([]*server.Server, k)
+	for i := range shards {
+		cfg := server.Config{
+			Source:    PartitionSource(gatedSource(docs, gate, cut), i, k),
+			SwapEvery: 1,
+		}
+		s, err := server.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { shutdownServer(t, s) })
+		shards[i] = s
+	}
+	coord := startCoordinator(t, Config{Shards: shardAddrs(shards)})
+	fedBase := "http://" + coord.Addr()
+	q := fedBase + "/v1/count?dim=" + url.QueryEscape("parity=even")
+
+	// Cache Q at the gated cut: every server holds exactly cut documents.
+	pollDim(t, fedBase, "parity=even", cut)
+	_, hdr1, body1 := get(t, q)
+	vec1 := hdr1.Get(server.GenerationHeader)
+	_, _, hit := get(t, q)
+	if !bytes.Equal(hit, body1) {
+		t.Fatalf("repeat query at the cut diverges:\n got %s\nwant %s", hit, body1)
+	}
+
+	// Release the rest; a different query observes the advanced vector,
+	// so Q's entry goes stale without any TTL expiry involved.
+	close(gate)
+	waitIngestDone(t, shards...)
+	pollDim(t, fedBase, "parity=odd", total)
+
+	status, hdr2, body2 := get(t, q)
+	if status != http.StatusOK {
+		t.Fatalf("post-advance query: status %d", status)
+	}
+	vec2 := hdr2.Get(server.GenerationHeader)
+	if vec2 == vec1 {
+		t.Fatalf("generation vector did not advance past %q", vec1)
+	}
+	if bytes.Equal(body2, body1) {
+		t.Fatalf("stale cached body served after generation advance: %s", body2)
+	}
+	var m struct {
+		Total  int
+		Sealed bool
+	}
+	if err := json.Unmarshal(body2, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Total != total || !m.Sealed {
+		t.Fatalf("post-advance count total=%d sealed=%v, want %d/true", m.Total, m.Sealed, total)
+	}
+
+	// The fresh body is itself cached under the new vector.
+	_, hdr3, body3 := get(t, q)
+	if !bytes.Equal(body3, body2) || hdr3.Get(server.GenerationHeader) != vec2 {
+		t.Fatalf("fresh body not re-cached under the new vector")
+	}
+}
+
+// TestFedDegradedNeverCached pins the partial-fleet rule: responses
+// merged while a shard is missing are recomputed on every query and
+// never enter the coordinator cache.
+func TestFedDegradedNeverCached(t *testing.T) {
+	const k = 2
+	docs := testDocs(80)
+	shards := make([]*server.Server, k)
+	for i := range shards {
+		shards[i] = startShard(t, docs, i, k, server.Config{})
+	}
+	waitIngestDone(t, shards...)
+	coord := startCoordinator(t, Config{Shards: shardAddrs(shards)})
+	fedBase := "http://" + coord.Addr()
+	q := fedBase + "/v1/count?dim=" + url.QueryEscape("parity=even")
+
+	shutdownServer(t, shards[1])
+
+	for i := 0; i < 2; i++ {
+		status, hdr, body := get(t, q)
+		if status != http.StatusOK {
+			t.Fatalf("degraded query %d: status %d", i, status)
+		}
+		var fb fedBody
+		if err := json.Unmarshal(body, &fb); err != nil {
+			t.Fatal(err)
+		}
+		if !fb.Degraded {
+			t.Fatalf("degraded query %d not marked degraded: %s", i, body)
+		}
+		if vec := hdr.Get(server.GenerationHeader); !strings.Contains(vec, "-") {
+			t.Fatalf("degraded query %d vector %q has no gap", i, vec)
+		}
+	}
+	if got := shardEndpointRequests(t, "/v1/count", shards[0]); got != 2 {
+		t.Fatalf("live shard served %d count requests, want 2 (degraded queries must scatter every time)", got)
+	}
+	sr := fedStatsz(t, fedBase)
+	if sr.FedCache.Size != 0 || sr.FedCache.Hits != 0 {
+		t.Fatalf("degraded responses leaked into the coordinator cache: %+v", sr.FedCache)
+	}
+}
+
+// postFedBatch POSTs a /v1/batch request to the coordinator.
+func postFedBatch(t *testing.T, fedBase string, req server.BatchRequest) (int, http.Header, []byte) {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := testClient.Post(fedBase+"/v1/batch", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, buf.Bytes()
+}
+
+// fedBatchCases pairs every batchable federated endpoint's sub-query
+// form with its GET equivalent.
+func fedBatchCases() []struct {
+	bq  server.BatchQuery
+	url string
+} {
+	mk := func(endpoint string, params url.Values) struct {
+		bq  server.BatchQuery
+		url string
+	} {
+		return struct {
+			bq  server.BatchQuery
+			url string
+		}{server.BatchQuery{Endpoint: endpoint, Params: params}, "/v1/" + endpoint + "?" + params.Encode()}
+	}
+	return []struct {
+		bq  server.BatchQuery
+		url string
+	}{
+		mk("count", url.Values{"dim": {"parity=even", "parity=odd", "topic", "austin[place]"}}),
+		mk("associate", url.Values{"row": {"billing[topic]", "coverage[topic]"}, "col": {"outcome=reservation", "outcome=unbooked"}}),
+		mk("associate", url.Values{"row": {"topic"}, "col": {"parity=odd"}, "confidence": {"0.99"}}),
+		mk("relfreq", url.Values{"category": {"topic"}, "featured": {"outcome=reservation"}}),
+		mk("drilldown", url.Values{"row": {"austin[place]"}, "col": {"outcome=service"}}),
+		mk("trend", url.Values{"dim": {"billing[topic]"}}),
+		mk("concepts", url.Values{"category": {"topic"}}),
+		mk("concepts", url.Values{"field": {"outcome"}}),
+	}
+}
+
+// TestFedBatchMatchesSingleFedQueries pins the federated batch against
+// the GET path: every sub-result is byte-identical to its single
+// federated query, from one scatter, on healthy and degraded fleets.
+func TestFedBatchMatchesSingleFedQueries(t *testing.T) {
+	const k = 2
+	docs := testDocs(100)
+	shards := make([]*server.Server, k)
+	for i := range shards {
+		shards[i] = startShard(t, docs, i, k, server.Config{})
+	}
+	waitIngestDone(t, shards...)
+	// Cache off: every GET recomputes, so equality means the merge paths
+	// agree, not that one served the other's cached bytes.
+	coord := startCoordinator(t, Config{Shards: shardAddrs(shards), CacheSize: -1})
+	fedBase := "http://" + coord.Addr()
+
+	cases := fedBatchCases()
+	req := server.BatchRequest{}
+	for _, c := range cases {
+		req.Queries = append(req.Queries, c.bq)
+	}
+	// Ride-along failures must not void the healthy sub-queries.
+	req.Queries = append(req.Queries,
+		server.BatchQuery{Endpoint: "nope", Params: url.Values{}},
+		server.BatchQuery{Endpoint: "count", Params: url.Values{"dim": {"[unclosed"}}},
+	)
+
+	status, hdr, body := postFedBatch(t, fedBase, req)
+	if status != http.StatusOK {
+		t.Fatalf("batch status %d, body %s", status, body)
+	}
+	vec := strings.Split(hdr.Get(server.GenerationHeader), ",")
+	if len(vec) != k {
+		t.Fatalf("batch generation vector %q, want %d entries", hdr.Get(server.GenerationHeader), k)
+	}
+	for _, g := range vec {
+		if g == "" || g == "-" {
+			t.Fatalf("batch vector %q has gaps on a healthy fleet", hdr.Get(server.GenerationHeader))
+		}
+	}
+	var env BatchResponse
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Results) != len(req.Queries) {
+		t.Fatalf("batch returned %d results for %d queries", len(env.Results), len(req.Queries))
+	}
+	if !env.Sealed || env.Degraded {
+		t.Fatalf("healthy sealed batch envelope: sealed=%v degraded=%v", env.Sealed, env.Degraded)
+	}
+	// One scatter for the whole batch: each shard's batch endpoint ran
+	// once and its GET query endpoints not at all.
+	if got := shardEndpointRequests(t, "/v1/batch", shards...); got != k {
+		t.Fatalf("batch hit %d shard batch endpoints, want %d", got, k)
+	}
+
+	checkSubs := func(env BatchResponse, wantDegraded bool) {
+		t.Helper()
+		for i, c := range cases {
+			sub := env.Results[i]
+			if sub.Status != http.StatusOK {
+				t.Fatalf("sub %d (%s): status %d, body %s", i, c.url, sub.Status, sub.Body)
+			}
+			gs, _, want := get(t, fedBase+c.url)
+			if gs != http.StatusOK {
+				t.Fatalf("GET %s: status %d", c.url, gs)
+			}
+			if got := append(append([]byte{}, sub.Body...), '\n'); !bytes.Equal(got, want) {
+				t.Fatalf("sub %d (%s) diverges from single federated GET\nbatch: %s\n  get: %s", i, c.url, got, want)
+			}
+			var fb fedBody
+			if err := json.Unmarshal(sub.Body, &fb); err != nil {
+				t.Fatal(err)
+			}
+			if fb.Degraded != wantDegraded {
+				t.Fatalf("sub %d (%s): degraded=%v, want %v", i, c.url, fb.Degraded, wantDegraded)
+			}
+		}
+		for i, wantErr := range map[int]string{len(cases): "unknown batch endpoint", len(cases) + 1: "dim"} {
+			sub := env.Results[i]
+			if sub.Status != http.StatusBadRequest {
+				t.Fatalf("bad sub %d: status %d, want 400 (%s)", i, sub.Status, sub.Body)
+			}
+			var fb fedBody
+			if err := json.Unmarshal(sub.Body, &fb); err != nil {
+				t.Fatalf("bad sub %d body not structured: %v", i, err)
+			}
+			if fb.Status != http.StatusBadRequest || !strings.Contains(fb.Error, wantErr) {
+				t.Fatalf("bad sub %d error contract: %+v", i, fb)
+			}
+		}
+	}
+	checkSubs(env, false)
+
+	// Kill a shard: the batch keeps answering, degraded exactly like the
+	// GET path, and sub-bodies still match the degraded GETs.
+	shutdownServer(t, shards[1])
+	status, hdr, body = postFedBatch(t, fedBase, req)
+	if status != http.StatusOK {
+		t.Fatalf("degraded batch status %d, body %s", status, body)
+	}
+	if vec := strings.Split(hdr.Get(server.GenerationHeader), ","); len(vec) != k || vec[1] != "-" {
+		t.Fatalf("degraded batch vector %q, want '-' at shard 1", hdr.Get(server.GenerationHeader))
+	}
+	env = BatchResponse{}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if !env.Degraded || len(env.MissingShards) != 1 || env.MissingShards[0] != 1 {
+		t.Fatalf("degraded batch envelope: degraded=%v missing=%v", env.Degraded, env.MissingShards)
+	}
+	checkSubs(env, true)
+}
+
+// TestFedBatchPopulatesCoordinatorCache pins layer interplay: a batch's
+// fully-merged sub-results land in the coordinator cache under the same
+// canonical keys, so the equivalent GET right after is a hit that
+// scatters nothing.
+func TestFedBatchPopulatesCoordinatorCache(t *testing.T) {
+	const k = 2
+	docs := testDocs(80)
+	shards := make([]*server.Server, k)
+	for i := range shards {
+		shards[i] = startShard(t, docs, i, k, server.Config{})
+	}
+	waitIngestDone(t, shards...)
+	coord := startCoordinator(t, Config{Shards: shardAddrs(shards)})
+	fedBase := "http://" + coord.Addr()
+
+	// Conjunction order differs between batch and GET; canonicalization
+	// must collapse them to one cache key.
+	batchDim := "billing[topic] ∧ parity=even"
+	getDim := "parity=even ∧ billing[topic]"
+	status, _, body := postFedBatch(t, fedBase, server.BatchRequest{Queries: []server.BatchQuery{
+		{Endpoint: "count", Params: url.Values{"dim": {batchDim}}},
+	}})
+	if status != http.StatusOK {
+		t.Fatalf("batch status %d, body %s", status, body)
+	}
+	var env BatchResponse
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Results[0].Status != http.StatusOK {
+		t.Fatalf("batch sub failed: %s", env.Results[0].Body)
+	}
+
+	before := shardEndpointRequests(t, "/v1/count", shards...)
+	gs, _, got := get(t, fedBase+"/v1/count?dim="+url.QueryEscape(getDim))
+	if gs != http.StatusOK {
+		t.Fatalf("GET after batch: status %d", gs)
+	}
+	if after := shardEndpointRequests(t, "/v1/count", shards...); after != before {
+		t.Fatalf("GET after batch scattered (%d → %d shard count requests), want coordinator cache hit", before, after)
+	}
+	if want := append(append([]byte{}, env.Results[0].Body...), '\n'); !bytes.Equal(got, want) {
+		t.Fatalf("cached GET diverges from batch sub-result\n  get: %s\nbatch: %s", got, want)
+	}
+}
+
+// TestFedBatchValidation pins the envelope-level error contract.
+func TestFedBatchValidation(t *testing.T) {
+	docs := testDocs(30)
+	shard := startShard(t, docs, 0, 1, server.Config{})
+	waitIngestDone(t, shard)
+	coord := startCoordinator(t, Config{Shards: shardAddrs([]*server.Server{shard})})
+	fedBase := "http://" + coord.Addr()
+
+	status, _, body := postFedBatch(t, fedBase, server.BatchRequest{})
+	if status != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, body %s", status, body)
+	}
+
+	over := server.BatchRequest{}
+	for i := 0; i <= server.MaxBatchQueries; i++ {
+		over.Queries = append(over.Queries, server.BatchQuery{Endpoint: "count", Params: url.Values{"dim": {"parity=even"}}})
+	}
+	status, _, body = postFedBatch(t, fedBase, over)
+	if status != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d, body %s", status, body)
+	}
+
+	resp, err := testClient.Post(fedBase+"/v1/batch", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed batch body: status %d", resp.StatusCode)
+	}
+
+	// All-invalid batch: nothing to scatter, still a 200 envelope with
+	// per-sub errors under the no-information vector.
+	status, hdr, body := postFedBatch(t, fedBase, server.BatchRequest{Queries: []server.BatchQuery{
+		{Endpoint: "nope"},
+		{Endpoint: "count", Params: url.Values{"dim": {"[unclosed"}}},
+	}})
+	if status != http.StatusOK {
+		t.Fatalf("all-invalid batch: status %d, body %s", status, body)
+	}
+	if got := hdr.Get(server.GenerationHeader); got != "-" {
+		t.Fatalf("all-invalid batch vector %q, want \"-\"", got)
+	}
+	var env BatchResponse
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	for i, sub := range env.Results {
+		if sub.Status != http.StatusBadRequest {
+			t.Fatalf("all-invalid sub %d: status %d, want 400", i, sub.Status)
+		}
+	}
+}
+
+// TestFedStatszServingSections pins the SLO sections of the federated
+// /statsz: the coordinator's own per-endpoint counters and the
+// element-wise sum of the shards', with bucket totals matching request
+// totals.
+func TestFedStatszServingSections(t *testing.T) {
+	const k = 2
+	docs := testDocs(60)
+	shards := make([]*server.Server, k)
+	for i := range shards {
+		shards[i] = startShard(t, docs, i, k, server.Config{})
+	}
+	waitIngestDone(t, shards...)
+	coord := startCoordinator(t, Config{Shards: shardAddrs(shards)})
+	fedBase := "http://" + coord.Addr()
+
+	for i := 0; i < 3; i++ {
+		get(t, fedBase+"/v1/count?dim="+url.QueryEscape("parity=even"))
+	}
+	get(t, fedBase+"/v1/trend?dim="+url.QueryEscape("billing[topic]"))
+	postFedBatch(t, fedBase, server.BatchRequest{Queries: []server.BatchQuery{
+		{Endpoint: "count", Params: url.Values{"dim": {"parity=odd"}}},
+	}})
+
+	sr := fedStatsz(t, fedBase)
+	if len(sr.Serving.BucketBoundsUS) == 0 {
+		t.Fatal("serving section missing bucket bounds")
+	}
+	for path, want := range map[string]uint64{"/v1/count": 3, "/v1/trend": 1, "/v1/batch": 1} {
+		es, ok := sr.Serving.Endpoints[path]
+		if !ok || es.Requests != want {
+			t.Fatalf("coordinator serving[%s] = %+v, want %d requests", path, es, want)
+		}
+		var sum uint64
+		for _, b := range es.LatencyBucketsUS {
+			sum += b
+		}
+		if sum != es.Requests {
+			t.Fatalf("serving[%s]: bucket sum %d != requests %d", path, sum, es.Requests)
+		}
+	}
+	// The shards saw one count scatter (the first; two were coordinator
+	// cache hits) and one batch scatter — k requests each, plus the
+	// trend scatter.
+	if es := sr.ShardServing.Endpoints["/v1/count"]; es.Requests != k {
+		t.Fatalf("shard_serving[/v1/count] = %d requests, want %d", es.Requests, k)
+	}
+	if es := sr.ShardServing.Endpoints["/v1/batch"]; es.Requests != k {
+		t.Fatalf("shard_serving[/v1/batch] = %d requests, want %d", es.Requests, k)
+	}
+	if es := sr.ShardServing.Endpoints["/v1/trend"]; es.Requests != k {
+		t.Fatalf("shard_serving[/v1/trend] = %d requests, want %d", es.Requests, k)
+	}
+}
+
+// TestFedBatchAndCacheMidIngest pins batch/GET byte-identity on a live
+// fleet: with every shard parked at the same gated cut, the federated
+// batch, the uncached scatter, and the coordinator-cache hit all serve
+// identical bytes — then again after the release and seal.
+func TestFedBatchAndCacheMidIngest(t *testing.T) {
+	const k, cut, total = 2, 60, 120
+	docs := testDocs(total)
+	gate := make(chan struct{})
+	shards := make([]*server.Server, k)
+	for i := range shards {
+		cfg := server.Config{
+			Source:    PartitionSource(gatedSource(docs, gate, cut), i, k),
+			SwapEvery: 1,
+		}
+		s, err := server.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { shutdownServer(t, s) })
+		shards[i] = s
+	}
+	coord := startCoordinator(t, Config{Shards: shardAddrs(shards)})
+	fedBase := "http://" + coord.Addr()
+
+	compare := func(phase string) {
+		t.Helper()
+		cases := fedBatchCases()
+		req := server.BatchRequest{}
+		for _, c := range cases {
+			req.Queries = append(req.Queries, c.bq)
+		}
+		status, _, body := postFedBatch(t, fedBase, req)
+		if status != http.StatusOK {
+			t.Fatalf("%s: batch status %d, body %s", phase, status, body)
+		}
+		var env BatchResponse
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range cases {
+			sub := env.Results[i]
+			if sub.Status != http.StatusOK {
+				t.Fatalf("%s: sub %d (%s): status %d, body %s", phase, i, c.url, sub.Status, sub.Body)
+			}
+			want := append(append([]byte{}, sub.Body...), '\n')
+			// First GET may scatter or hit the batch-populated cache;
+			// the second is a hit when the fleet is static. All three
+			// answers must carry the same bytes.
+			for pass := 0; pass < 2; pass++ {
+				gs, _, got := get(t, fedBase+c.url)
+				if gs != http.StatusOK {
+					t.Fatalf("%s: GET %s pass %d: status %d", phase, c.url, pass, gs)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s: GET %s pass %d diverges from batch sub\n  get: %s\nbatch: %s", phase, c.url, pass, got, want)
+				}
+			}
+		}
+	}
+
+	pollDim(t, fedBase, "parity=even", cut)
+	compare("mid-ingest")
+
+	close(gate)
+	waitIngestDone(t, shards...)
+	pollDim(t, fedBase, "parity=odd", total)
+	compare("sealed")
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// POST /v1/batch — many /v1 queries in one request, answered from one
+// snapshot load so the whole batch is generation-consistent. The point
+// is transport amortization: BENCH_server pins HTTP+JSON framing as the
+// dominant per-request cost, so a dashboard issuing N small queries
+// pays it once instead of N times. Every sub-query runs through the
+// same prepare* function as its GET endpoint, hitting the same
+// snapshot-LRU entries under the same canonical keys — a dim queried
+// via batch and via /v1/count shares one cache line by construction.
+
+// MaxBatchQueries bounds the sub-queries of one /v1/batch request.
+const MaxBatchQueries = 1000
+
+// MaxBatchBytes bounds the /v1/batch request body (1 MiB); the
+// federation coordinator applies the same bound.
+const MaxBatchBytes = 1 << 20
+
+// BatchQuery is one sub-query of a /v1/batch request: the /v1 endpoint
+// name without the prefix ("count", "associate", "relfreq",
+// "drilldown", "trend", "concepts", "marginals/...") plus the query
+// parameters that endpoint takes as a GET.
+type BatchQuery struct {
+	Endpoint string              `json:"endpoint"`
+	Params   map[string][]string `json:"params"`
+}
+
+// BatchRequest is the /v1/batch request body.
+type BatchRequest struct {
+	Queries []BatchQuery `json:"queries"`
+}
+
+// BatchResult is one sub-query's outcome: the HTTP status the GET
+// endpoint would have answered with, and the exact body it would have
+// sent (an ErrorResponse when status is not 200).
+type BatchResult struct {
+	Status int             `json:"status"`
+	Body   json.RawMessage `json:"body"`
+}
+
+// BatchResponse is the /v1/batch envelope. Generation and Sealed
+// describe the single snapshot every sub-result was computed from.
+type BatchResponse struct {
+	Generation uint64        `json:"generation"`
+	Sealed     bool          `json:"sealed"`
+	Results    []BatchResult `json:"results"`
+}
+
+// errorRaw renders the body a failed sub-query contributes to the batch
+// envelope — the ErrorResponse bytes writeErr would send, minus the
+// trailing newline the envelope does not carry per-result.
+func errorRaw(status int, err error) json.RawMessage {
+	body, _ := json.Marshal(ErrorResponse{Error: err.Error(), Status: status})
+	return body
+}
+
+// runBatchQuery answers one sub-query from sn, reusing the snapshot
+// cache under the canonical key. Counter contract matches respond:
+// exactly one hit or one miss per dispatched sub-query.
+func (s *Server) runBatchQuery(sn *snapshot, bq BatchQuery) BatchResult {
+	prep, ok := batchEndpoints[bq.Endpoint]
+	if !ok {
+		return BatchResult{
+			Status: http.StatusBadRequest,
+			Body:   errorRaw(http.StatusBadRequest, fmt.Errorf("unknown batch endpoint %q", bq.Endpoint)),
+		}
+	}
+	pq, err := prep(s, url.Values(bq.Params))
+	if err != nil {
+		return BatchResult{Status: http.StatusBadRequest, Body: errorRaw(http.StatusBadRequest, err)}
+	}
+	if body, ok := sn.cache.get(pq.key); ok {
+		s.hits.Add(1)
+		return BatchResult{Status: http.StatusOK, Body: bytes.TrimSuffix(body, []byte("\n"))}
+	}
+	s.misses.Add(1)
+	v, err := pq.compute(sn)
+	if err != nil {
+		status := http.StatusInternalServerError
+		var bqe badQueryError
+		if errors.As(err, &bqe) {
+			status = http.StatusBadRequest
+		}
+		return BatchResult{Status: status, Body: errorRaw(status, err)}
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		return BatchResult{Status: http.StatusInternalServerError, Body: errorRaw(http.StatusInternalServerError, err)}
+	}
+	body = append(body, '\n')
+	sn.cache.put(pq.key, body)
+	return BatchResult{Status: http.StatusOK, Body: bytes.TrimSuffix(body, []byte("\n"))}
+}
+
+// handleBatch answers POST /v1/batch. The envelope is 200 whenever the
+// request itself parses; per-sub-query failures are carried inside
+// Results so one bad dimension does not void its siblings.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.handlerDelay > 0 {
+		time.Sleep(s.handlerDelay)
+	}
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBatchBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding batch request: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("batch request has no queries"))
+		return
+	}
+	if len(req.Queries) > MaxBatchQueries {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("batch request has %d queries, limit is %d", len(req.Queries), MaxBatchQueries))
+		return
+	}
+	sn := s.snap.Load()
+	w.Header().Set(GenerationHeader, strconv.FormatUint(sn.gen, 10))
+	resp := BatchResponse{
+		Generation: sn.gen,
+		Sealed:     sn.sealed,
+		Results:    make([]BatchResult, len(req.Queries)),
+	}
+	for i, bq := range req.Queries {
+		resp.Results[i] = s.runBatchQuery(sn, bq)
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, append(body, '\n'))
+}

@@ -1,0 +1,351 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"bivoc/internal/mining"
+)
+
+// postBatch POSTs a BatchRequest and returns status + body.
+func postBatch(t *testing.T, base string, req BatchRequest) (int, []byte) {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := testClient.Post(base+"/v1/batch", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatalf("POST /v1/batch: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// batchTestQueries covers every batchable endpoint plus error shapes.
+func batchTestQueries() []BatchQuery {
+	return []BatchQuery{
+		{Endpoint: "count", Params: map[string][]string{"dim": {"topic billing[topic]", "parity=even"}}},
+		{Endpoint: "associate", Params: map[string][]string{
+			"row": {"billing[topic]", "coverage[topic]"},
+			"col": {"outcome=reservation", "outcome=unbooked"},
+		}},
+		{Endpoint: "relfreq", Params: map[string][]string{"category": {"topic"}, "featured": {"outcome=service"}}},
+		{Endpoint: "drilldown", Params: map[string][]string{"row": {"billing[topic]"}, "col": {"outcome=reservation"}, "limit": {"5"}}},
+		{Endpoint: "trend", Params: map[string][]string{"dim": {"austin[place]"}}},
+		{Endpoint: "concepts", Params: map[string][]string{"category": {"topic"}}},
+		{Endpoint: "concepts", Params: map[string][]string{"field": {"outcome"}}},
+		{Endpoint: "marginals/concepts", Params: map[string][]string{"category": {"topic"}}},
+		{Endpoint: "marginals/relfreq", Params: map[string][]string{"category": {"topic"}, "featured": {"parity=odd"}}},
+		{Endpoint: "marginals/assoc", Params: map[string][]string{"row": {"billing[topic]"}, "col": {"parity=even"}}},
+	}
+}
+
+// queryString renders a BatchQuery's params as the GET query string the
+// equivalent single-query request would use.
+func queryString(bq BatchQuery) string {
+	return url.Values(bq.Params).Encode()
+}
+
+// singlePath maps a batch endpoint name to its GET path.
+func singlePath(endpoint string) string { return "/v1/" + endpoint }
+
+// TestBatchMatchesSingleQueries pins the core batch contract: each
+// sub-result's status and body are exactly what the equivalent GET
+// endpoint returns (modulo the trailing newline the envelope strips),
+// and the whole batch is answered from one generation.
+func TestBatchMatchesSingleQueries(t *testing.T) {
+	s := startServer(t, Config{Source: sliceSource(testDocs(120))})
+	waitIngestDone(t, s)
+	base := "http://" + s.Addr()
+
+	queries := batchTestQueries()
+	// Error shapes ride along: unknown endpoint, bad dim, missing param.
+	queries = append(queries,
+		BatchQuery{Endpoint: "nope", Params: map[string][]string{}},
+		BatchQuery{Endpoint: "count", Params: map[string][]string{"dim": {"[unclosed"}}},
+		BatchQuery{Endpoint: "relfreq", Params: map[string][]string{"featured": {"parity=even"}}},
+	)
+
+	status, body := postBatch(t, base, BatchRequest{Queries: queries})
+	if status != http.StatusOK {
+		t.Fatalf("batch status = %d, body %s", status, body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("unmarshal envelope: %v", err)
+	}
+	if !resp.Sealed {
+		t.Fatal("batch over sealed corpus reports sealed=false")
+	}
+	if len(resp.Results) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(resp.Results), len(queries))
+	}
+	for i, bq := range queries {
+		res := resp.Results[i]
+		wantPath := singlePath(bq.Endpoint)
+		if bq.Endpoint == "nope" {
+			if res.Status != http.StatusBadRequest {
+				t.Errorf("query %d (unknown endpoint): status = %d, want 400", i, res.Status)
+			}
+			continue
+		}
+		singleStatus, singleBody := get(t, base+wantPath+"?"+queryString(bq))
+		if res.Status != singleStatus {
+			t.Errorf("query %d (%s): batch status %d != single status %d", i, bq.Endpoint, res.Status, singleStatus)
+		}
+		if got := append(append([]byte{}, res.Body...), '\n'); !bytes.Equal(got, singleBody) {
+			t.Errorf("query %d (%s): batch body differs from single GET\nbatch:  %s\nsingle: %s",
+				i, bq.Endpoint, res.Body, singleBody)
+		}
+		var gen struct {
+			Generation uint64 `json:"generation"`
+		}
+		if res.Status == http.StatusOK {
+			if err := json.Unmarshal(res.Body, &gen); err != nil {
+				t.Fatalf("query %d: unmarshal sub-body: %v", i, err)
+			}
+			if gen.Generation != resp.Generation {
+				t.Errorf("query %d: sub-generation %d != envelope generation %d", i, gen.Generation, resp.Generation)
+			}
+		}
+	}
+}
+
+// TestBatchSharesCacheWithSingleQueries pins the shared-canonicalization
+// fix: a dimension first queried through /v1/batch must land the
+// follow-up GET /v1/count on the very same snapshot-LRU entry, and vice
+// versa — one prepare* implementation, one cache key, both paths.
+func TestBatchSharesCacheWithSingleQueries(t *testing.T) {
+	s := startServer(t, Config{Source: sliceSource(testDocs(60))})
+	waitIngestDone(t, s)
+	base := "http://" + s.Addr()
+
+	// Batch first: a miss that populates the cache...
+	bq := BatchQuery{Endpoint: "count", Params: map[string][]string{"dim": {"billing[topic] ∧ parity=even"}}}
+	if status, body := postBatch(t, base, BatchRequest{Queries: []BatchQuery{bq}}); status != http.StatusOK {
+		t.Fatalf("batch status = %d, body %s", status, body)
+	}
+	hits0, misses0 := s.CacheStats()
+	if misses0 == 0 {
+		t.Fatal("batch miss did not count")
+	}
+	// ...that the single GET must hit. Note the conjunct order differs —
+	// canonicalization (sorted conjuncts), not string equality, is what
+	// keys the cache, and both paths share the one implementation.
+	if status, _ := get(t, base+"/v1/count?"+url.Values{"dim": {"parity=even ∧ billing[topic]"}}.Encode()); status != http.StatusOK {
+		t.Fatalf("single GET status = %d", status)
+	}
+	hits1, misses1 := s.CacheStats()
+	if hits1 != hits0+1 || misses1 != misses0 {
+		t.Fatalf("single GET after batch: hits %d→%d misses %d→%d, want one new hit and no new miss",
+			hits0, hits1, misses0, misses1)
+	}
+	// And the reverse direction: GET misses, batch hits.
+	if status, _ := get(t, base+"/v1/trend?"+url.Values{"dim": {"austin[place]"}}.Encode()); status != http.StatusOK {
+		t.Fatal("single trend GET failed")
+	}
+	hits2, misses2 := s.CacheStats()
+	if misses2 != misses1+1 {
+		t.Fatalf("trend GET should miss: misses %d→%d", misses1, misses2)
+	}
+	tq := BatchQuery{Endpoint: "trend", Params: map[string][]string{"dim": {"austin[place]"}}}
+	if status, _ := postBatch(t, base, BatchRequest{Queries: []BatchQuery{tq}}); status != http.StatusOK {
+		t.Fatal("trend batch failed")
+	}
+	hits3, misses3 := s.CacheStats()
+	if hits3 != hits2+1 || misses3 != misses2 {
+		t.Fatalf("batch after single GET: hits %d→%d misses %d→%d, want one new hit and no new miss",
+			hits2, hits3, misses2, misses3)
+	}
+}
+
+// TestBatchValidation pins the envelope-level error paths.
+func TestBatchValidation(t *testing.T) {
+	s := startServer(t, Config{Source: sliceSource(testDocs(10))})
+	waitIngestDone(t, s)
+	base := "http://" + s.Addr()
+
+	if status, _ := postBatch(t, base, BatchRequest{}); status != http.StatusBadRequest {
+		t.Errorf("empty batch: status = %d, want 400", status)
+	}
+	over := make([]BatchQuery, MaxBatchQueries+1)
+	for i := range over {
+		over[i] = BatchQuery{Endpoint: "count", Params: map[string][]string{"dim": {"parity=even"}}}
+	}
+	if status, _ := postBatch(t, base, BatchRequest{Queries: over}); status != http.StatusBadRequest {
+		t.Errorf("oversized batch: status = %d, want 400", status)
+	}
+	resp, err := testClient.Post(base+"/v1/batch", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status = %d, want 400", resp.StatusCode)
+	}
+	// GET on the batch route is not registered.
+	if status, _ := get(t, base+"/v1/batch"); status != http.StatusMethodNotAllowed && status != http.StatusNotFound {
+		t.Errorf("GET /v1/batch: status = %d, want 405 or 404", status)
+	}
+}
+
+// TestStatszServingCounters pins the /statsz serving section: every
+// wrapped route counts its requests and buckets its latency, and the
+// bucket totals reconcile with the request count.
+func TestStatszServingCounters(t *testing.T) {
+	s := startServer(t, Config{Source: sliceSource(testDocs(30))})
+	waitIngestDone(t, s)
+	base := "http://" + s.Addr()
+
+	for i := 0; i < 3; i++ {
+		get(t, base+"/v1/count?dim=parity%3Deven")
+	}
+	postBatch(t, base, BatchRequest{Queries: []BatchQuery{
+		{Endpoint: "count", Params: map[string][]string{"dim": {"parity=odd"}}},
+	}})
+
+	var st StatszResponse
+	getOK(t, base+"/statsz", &st)
+	if len(st.Serving.BucketBoundsUS) != len(SLOBucketBoundsUS) {
+		t.Fatalf("serving bucket bounds = %v", st.Serving.BucketBoundsUS)
+	}
+	count := st.Serving.Endpoints["/v1/count"]
+	if count.Requests != 3 {
+		t.Errorf("/v1/count requests = %d, want 3", count.Requests)
+	}
+	if batch := st.Serving.Endpoints["/v1/batch"]; batch.Requests != 1 {
+		t.Errorf("/v1/batch requests = %d, want 1", batch.Requests)
+	}
+	for name, es := range st.Serving.Endpoints {
+		var sum uint64
+		for _, b := range es.LatencyBucketsUS {
+			sum += b
+		}
+		if sum != es.Requests {
+			t.Errorf("%s: bucket sum %d != requests %d", name, sum, es.Requests)
+		}
+		if len(es.LatencyBucketsUS) != len(SLOBucketBoundsUS)+1 {
+			t.Errorf("%s: %d buckets, want %d", name, len(es.LatencyBucketsUS), len(SLOBucketBoundsUS)+1)
+		}
+	}
+}
+
+// TestSlowHeaderClientDisconnected pins the slowloris hardening: a
+// client that dials and then trickles (or never sends) its request
+// header is cut off once ReadHeaderTimeout elapses, instead of pinning
+// the connection forever.
+func TestSlowHeaderClientDisconnected(t *testing.T) {
+	s := startServer(t, Config{
+		Source:            sliceSource(testDocs(10)),
+		ReadHeaderTimeout: 150 * time.Millisecond,
+	})
+	waitIngestDone(t, s)
+
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Start a request line but never finish the header section.
+	if _, err := fmt.Fprintf(conn, "GET /v1/count HTTP/1.1\r\nHost: x\r\nX-Slow:"); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	if err == nil {
+		t.Fatal("expected the server to close the slow-header connection, got bytes instead")
+	}
+	// A deadline error here means the server never closed the
+	// connection — exactly the slowloris pin this hardening removes.
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatal("server left the slow-header connection open past ReadHeaderTimeout")
+	}
+	// The server must still answer well-formed requests afterwards.
+	if status, _ := get(t, "http://"+s.Addr()+"/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz after slowloris cutoff: status = %d", status)
+	}
+}
+
+// TestBatchMatchesSingleQueriesMidIngest pins batch/GET byte-identity
+// while ingest is still running: the feed is parked after an exact
+// snapshot publish, every batchable endpoint is compared batch-vs-GET
+// against that live snapshot, and again after the seal.
+func TestBatchMatchesSingleQueriesMidIngest(t *testing.T) {
+	const firstBatch, total = 50, 100
+	feed := make(chan mining.Document)
+	src := func(ctx context.Context, _ func(string) bool, emit func(mining.Document) error) error {
+		for d := range feed {
+			if err := emit(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	s := startServer(t, Config{Source: src, SwapEvery: firstBatch})
+	base := "http://" + s.Addr()
+	docs := testDocs(total)
+
+	compare := func(phase string, wantSealed bool) {
+		t.Helper()
+		queries := batchTestQueries()
+		status, body := postBatch(t, base, BatchRequest{Queries: queries})
+		if status != http.StatusOK {
+			t.Fatalf("%s: batch status %d, body %s", phase, status, body)
+		}
+		var resp BatchResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Sealed != wantSealed {
+			t.Fatalf("%s: batch envelope sealed=%v, want %v", phase, resp.Sealed, wantSealed)
+		}
+		for i, bq := range queries {
+			sub := resp.Results[i]
+			if sub.Status != http.StatusOK {
+				t.Fatalf("%s: sub %d (%s): status %d, body %s", phase, i, bq.Endpoint, sub.Status, sub.Body)
+			}
+			singleStatus, want := get(t, base+singlePath(bq.Endpoint)+"?"+queryString(bq))
+			if singleStatus != http.StatusOK {
+				t.Fatalf("%s: GET %s: status %d", phase, bq.Endpoint, singleStatus)
+			}
+			if got := append(append([]byte{}, sub.Body...), '\n'); !bytes.Equal(got, want) {
+				t.Fatalf("%s: sub %d (%s) diverges from GET\nbatch: %s\n  get: %s", phase, i, bq.Endpoint, got, want)
+			}
+		}
+	}
+
+	for _, d := range docs[:firstBatch] {
+		feed <- d
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Generation() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("snapshot swap did not land")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	compare("mid-ingest", false)
+
+	for _, d := range docs[firstBatch:] {
+		feed <- d
+	}
+	close(feed)
+	waitIngestDone(t, s)
+	compare("sealed", true)
+}

@@ -179,6 +179,7 @@ type StatszResponse struct {
 	Docs        int                   `json:"docs"`
 	Segments    SegmentsJSON          `json:"segments"`
 	Cache       CacheStatsJSON        `json:"cache"`
+	Serving     ServingJSON           `json:"serving"`
 	Pipeline    []pipeline.StageStats `json:"pipeline"`
 	Store       *StoreStatsJSON       `json:"store,omitempty"`
 	IngestError string                `json:"ingest_error,omitempty"`
@@ -200,20 +201,25 @@ const GenerationHeader = "X-Bivoc-Generation"
 // buildMux wires the API routes, wrapped so every response — including
 // 404s and parse errors — carries GenerationHeader. Handlers that load
 // a snapshot overwrite the header with that snapshot's generation, so
-// header and body always agree.
+// header and body always agree. Every route runs through the SLO
+// recorder, which feeds the per-endpoint serving section of /statsz.
 func (s *Server) buildMux() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/count", s.handleCount)
-	mux.HandleFunc("GET /v1/associate", s.handleAssociate)
-	mux.HandleFunc("GET /v1/relfreq", s.handleRelFreq)
-	mux.HandleFunc("GET /v1/drilldown", s.handleDrillDown)
-	mux.HandleFunc("GET /v1/trend", s.handleTrend)
-	mux.HandleFunc("GET /v1/concepts", s.handleConcepts)
-	mux.HandleFunc("GET /v1/marginals/concepts", s.handleConceptDF)
-	mux.HandleFunc("GET /v1/marginals/relfreq", s.handleRelFreqMarginals)
-	mux.HandleFunc("GET /v1/marginals/assoc", s.handleAssocMarginals)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	route := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" "+path, s.slo.Wrap(path, h))
+	}
+	route("GET", "/v1/count", s.handleCount)
+	route("GET", "/v1/associate", s.handleAssociate)
+	route("GET", "/v1/relfreq", s.handleRelFreq)
+	route("GET", "/v1/drilldown", s.handleDrillDown)
+	route("GET", "/v1/trend", s.handleTrend)
+	route("GET", "/v1/concepts", s.handleConcepts)
+	route("GET", "/v1/marginals/concepts", s.handleConceptDF)
+	route("GET", "/v1/marginals/relfreq", s.handleRelFreqMarginals)
+	route("GET", "/v1/marginals/assoc", s.handleAssocMarginals)
+	route("POST", "/v1/batch", s.handleBatch)
+	route("GET", "/healthz", s.handleHealthz)
+	route("GET", "/statsz", s.handleStatsz)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(GenerationHeader, strconv.FormatUint(s.Generation(), 10))
 		mux.ServeHTTP(w, r)
@@ -285,6 +291,18 @@ func (s *Server) respond(w http.ResponseWriter, key string, compute func(sn *sna
 	writeJSON(w, http.StatusOK, body)
 }
 
+// respondPrepared runs a prepare function over raw query parameters and
+// answers the prepared query through respond, mapping parse failures to
+// 400 — the single-query half of the shared prepare*/respond machinery.
+func (s *Server) respondPrepared(w http.ResponseWriter, prep func(url.Values) (preparedQuery, error), q url.Values) {
+	pq, err := prep(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.respond(w, pq.key, pq.compute)
+}
+
 // ParseDimParams parses every value of a repeated dimension query
 // parameter, returning the dims and their canonical labels. Exported
 // because the federation coordinator validates and canonicalizes the
@@ -307,23 +325,49 @@ func ParseDimParams(param string, vals []string) ([]mining.Dim, []string, error)
 	return dims, labels, nil
 }
 
-// cacheKey builds a canonical cache key from the endpoint name and its
+// CacheKey builds a canonical cache key from the endpoint name and its
 // canonicalized parameters. Parameter order within one repeated key is
 // preserved (it is echoed in the response), so only dimension spelling
-// is canonicalized, not request shape.
-func cacheKey(endpoint string, parts ...string) string {
+// is canonicalized, not request shape. Exported because the federation
+// coordinator keys its generation-vector result cache with the same
+// canonical form — one canonicalization implementation for the single,
+// batch, and federated paths.
+func CacheKey(endpoint string, parts ...string) string {
 	return endpoint + "\x00" + strings.Join(parts, "\x00")
+}
+
+// preparedQuery is one parsed, canonicalized /v1 query: the
+// snapshot-LRU cache key plus the compute closure that answers it from
+// a snapshot. Exactly one prepare* function exists per endpoint and is
+// shared by the GET handler and the /v1/batch executor, so a dimension
+// queried either way lands on the same cache entry by construction.
+type preparedQuery struct {
+	key     string
+	compute func(sn *snapshot) (any, error)
+}
+
+// batchEndpoints dispatches a /v1/batch sub-query endpoint name to its
+// prepare function. The names are the /v1 paths without the prefix.
+var batchEndpoints = map[string]func(*Server, url.Values) (preparedQuery, error){
+	"count":              (*Server).prepareCount,
+	"associate":          (*Server).prepareAssociate,
+	"relfreq":            (*Server).prepareRelFreq,
+	"drilldown":          (*Server).prepareDrillDown,
+	"trend":              (*Server).prepareTrend,
+	"concepts":           (*Server).prepareConcepts,
+	"marginals/concepts": (*Server).prepareConceptDF,
+	"marginals/relfreq":  (*Server).prepareRelFreqMarginals,
+	"marginals/assoc":    (*Server).prepareAssocMarginals,
 }
 
 // GET /v1/count?dim=<label>[&dim=<label>...] — document counts for one
 // or more dimensions, plus the snapshot total, all from one generation.
-func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
-	dims, labels, err := ParseDimParams("dim", r.URL.Query()["dim"])
+func (s *Server) prepareCount(q url.Values) (preparedQuery, error) {
+	dims, labels, err := ParseDimParams("dim", q["dim"])
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return preparedQuery{}, err
 	}
-	s.respond(w, cacheKey("count", labels...), func(sn *snapshot) (any, error) {
+	return preparedQuery{key: CacheKey("count", labels...), compute: func(sn *snapshot) (any, error) {
 		counts := make([]int, len(dims))
 		for i, d := range dims {
 			counts[i] = sn.view.Count(d)
@@ -335,37 +379,37 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 			Dims:       labels,
 			Counts:     counts,
 		}, nil
-	})
+	}}, nil
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	s.respondPrepared(w, s.prepareCount, r.URL.Query())
 }
 
 // GET /v1/associate?row=<label>&...&col=<label>&...[&confidence=0.95] —
 // the §IV.D.2 two-dimensional association table.
-func (s *Server) handleAssociate(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
+func (s *Server) prepareAssociate(q url.Values) (preparedQuery, error) {
 	rows, rowLabels, err := ParseDimParams("row", q["row"])
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return preparedQuery{}, err
 	}
 	cols, colLabels, err := ParseDimParams("col", q["col"])
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return preparedQuery{}, err
 	}
 	confidence := s.cfg.confidence()
 	if cs := q.Get("confidence"); cs != "" {
 		c, err := strconv.ParseFloat(cs, 64)
 		if err != nil || c <= 0 || c >= 1 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("confidence must be a number in (0,1), got %q", cs))
-			return
+			return preparedQuery{}, fmt.Errorf("confidence must be a number in (0,1), got %q", cs)
 		}
 		confidence = c
 	}
-	key := cacheKey("associate",
+	key := CacheKey("associate",
 		strings.Join(rowLabels, "\x01"),
 		strings.Join(colLabels, "\x01"),
 		strconv.FormatFloat(confidence, 'g', -1, 64))
-	s.respond(w, key, func(sn *snapshot) (any, error) {
+	return preparedQuery{key: key, compute: func(sn *snapshot) (any, error) {
 		tbl := sn.view.AssociateN(rows, cols, confidence, s.cfg.AssociateWorkers)
 		return AssociateResponse{
 			Generation: sn.gen,
@@ -375,29 +419,29 @@ func (s *Server) handleAssociate(w http.ResponseWriter, r *http.Request) {
 			Cols:       colLabels,
 			Cells:      AssocCellsJSON(tbl),
 		}, nil
-	})
+	}}, nil
+}
+
+func (s *Server) handleAssociate(w http.ResponseWriter, r *http.Request) {
+	s.respondPrepared(w, s.prepareAssociate, r.URL.Query())
 }
 
 // GET /v1/relfreq?category=<cat>&featured=<label> — the §IV.D.1
 // relevancy analysis: category concept densities inside the featured
 // subset versus the whole collection.
-func (s *Server) handleRelFreq(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
+func (s *Server) prepareRelFreq(q url.Values) (preparedQuery, error) {
 	category := q.Get("category")
 	if category == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing required parameter %q (a concept category)", "category"))
-		return
+		return preparedQuery{}, fmt.Errorf("missing required parameter %q (a concept category)", "category")
 	}
 	featured, featLabels, err := ParseDimParams("featured", q["featured"])
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return preparedQuery{}, err
 	}
 	if len(featured) > 1 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("featured must be a single dimension (use a ∧-conjunction for compound subsets)"))
-		return
+		return preparedQuery{}, fmt.Errorf("featured must be a single dimension (use a ∧-conjunction for compound subsets)")
 	}
-	s.respond(w, cacheKey("relfreq", category, featLabels[0]), func(sn *snapshot) (any, error) {
+	return preparedQuery{key: CacheKey("relfreq", category, featLabels[0]), compute: func(sn *snapshot) (any, error) {
 		rows := RelevancesJSON(sn.view.RelativeFrequency(category, featured[0]))
 		return RelFreqResponse{
 			Generation: sn.gen,
@@ -406,38 +450,37 @@ func (s *Server) handleRelFreq(w http.ResponseWriter, r *http.Request) {
 			Featured:   featLabels[0],
 			Rows:       rows,
 		}, nil
-	})
+	}}, nil
+}
+
+func (s *Server) handleRelFreq(w http.ResponseWriter, r *http.Request) {
+	s.respondPrepared(w, s.prepareRelFreq, r.URL.Query())
 }
 
 // GET /v1/drilldown?row=<label>&col=<label>[&limit=N] — Figure 4's
 // cell-to-documents navigation. limit bounds the returned documents
 // (default 50; Count is always the full cell size).
-func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
+func (s *Server) prepareDrillDown(q url.Values) (preparedQuery, error) {
 	rows, rowLabels, err := ParseDimParams("row", q["row"])
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return preparedQuery{}, err
 	}
 	cols, colLabels, err := ParseDimParams("col", q["col"])
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return preparedQuery{}, err
 	}
 	if len(rows) > 1 || len(cols) > 1 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("drilldown takes exactly one row and one col dimension"))
-		return
+		return preparedQuery{}, fmt.Errorf("drilldown takes exactly one row and one col dimension")
 	}
 	limit := 50
 	if ls := q.Get("limit"); ls != "" {
 		limit, err = strconv.Atoi(ls)
 		if err != nil || limit < 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("limit must be a non-negative integer, got %q", ls))
-			return
+			return preparedQuery{}, fmt.Errorf("limit must be a non-negative integer, got %q", ls)
 		}
 	}
-	key := cacheKey("drilldown", rowLabels[0], colLabels[0], strconv.Itoa(limit))
-	s.respond(w, key, func(sn *snapshot) (any, error) {
+	key := CacheKey("drilldown", rowLabels[0], colLabels[0], strconv.Itoa(limit))
+	return preparedQuery{key: key, compute: func(sn *snapshot) (any, error) {
 		docs := sn.view.DrillDown(rows[0], cols[0])
 		n := len(docs)
 		truncated := false
@@ -455,22 +498,24 @@ func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
 			Truncated:  truncated,
 			Docs:       out,
 		}, nil
-	})
+	}}, nil
+}
+
+func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
+	s.respondPrepared(w, s.prepareDrillDown, r.URL.Query())
 }
 
 // GET /v1/trend?dim=<label> — per-time-bucket counts plus the fitted
 // slope (documents per bucket).
-func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) {
-	dims, labels, err := ParseDimParams("dim", r.URL.Query()["dim"])
+func (s *Server) prepareTrend(q url.Values) (preparedQuery, error) {
+	dims, labels, err := ParseDimParams("dim", q["dim"])
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return preparedQuery{}, err
 	}
 	if len(dims) > 1 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("trend takes exactly one dim"))
-		return
+		return preparedQuery{}, fmt.Errorf("trend takes exactly one dim")
 	}
-	s.respond(w, cacheKey("trend", labels[0]), func(sn *snapshot) (any, error) {
+	return preparedQuery{key: CacheKey("trend", labels[0]), compute: func(sn *snapshot) (any, error) {
 		pts := sn.view.Trend(dims[0])
 		points := TrendPointsJSON(pts)
 		return TrendResponse{
@@ -480,21 +525,23 @@ func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) {
 			Points:     points,
 			Slope:      mining.TrendSlope(pts),
 		}, nil
-	})
+	}}, nil
+}
+
+func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) {
+	s.respondPrepared(w, s.prepareTrend, r.URL.Query())
 }
 
 // GET /v1/concepts?category=<cat> | ?field=<name> — the vocabulary of a
 // concept category (document-frequency order) or a structured field
 // (sorted values); the discovery endpoint analysts use to find
 // dimension labels to query with.
-func (s *Server) handleConcepts(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
+func (s *Server) prepareConcepts(q url.Values) (preparedQuery, error) {
 	category, field := q.Get("category"), q.Get("field")
 	if (category == "") == (field == "") {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("pass exactly one of %q or %q", "category", "field"))
-		return
+		return preparedQuery{}, fmt.Errorf("pass exactly one of %q or %q", "category", "field")
 	}
-	s.respond(w, cacheKey("concepts", category, field), func(sn *snapshot) (any, error) {
+	return preparedQuery{key: CacheKey("concepts", category, field), compute: func(sn *snapshot) (any, error) {
 		resp := ConceptsResponse{
 			Generation: sn.gen,
 			Sealed:     sn.sealed,
@@ -510,7 +557,11 @@ func (s *Server) handleConcepts(w http.ResponseWriter, r *http.Request) {
 			resp.Values = []string{}
 		}
 		return resp, nil
-	})
+	}}, nil
+}
+
+func (s *Server) handleConcepts(w http.ResponseWriter, r *http.Request) {
+	s.respondPrepared(w, s.prepareConcepts, r.URL.Query())
 }
 
 // GET /healthz — liveness plus the serving generation. Always 200 while
@@ -555,6 +606,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			Size:     sn.cache.len(),
 			Capacity: s.cfg.cacheSize(),
 		},
+		Serving: s.slo.Snapshot(),
 	}
 	if s.cfg.PipelineStats != nil {
 		resp.Pipeline = s.cfg.PipelineStats()
@@ -685,41 +737,40 @@ type AssocMarginalsResponse struct {
 // frequencies for one category (the counted form of /v1/concepts;
 // structured-field vocabularies merge order-free, so the coordinator
 // uses the public endpoint for those).
-func (s *Server) handleConceptDF(w http.ResponseWriter, r *http.Request) {
-	category := r.URL.Query().Get("category")
+func (s *Server) prepareConceptDF(q url.Values) (preparedQuery, error) {
+	category := q.Get("category")
 	if category == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing required parameter %q (a concept category)", "category"))
-		return
+		return preparedQuery{}, fmt.Errorf("missing required parameter %q (a concept category)", "category")
 	}
-	s.respond(w, cacheKey("marginals/concepts", category), func(sn *snapshot) (any, error) {
+	return preparedQuery{key: CacheKey("marginals/concepts", category), compute: func(sn *snapshot) (any, error) {
 		return ConceptDFResponse{
 			Generation: sn.gen,
 			Sealed:     sn.sealed,
 			Category:   category,
 			Concepts:   sn.view.ConceptDF(category),
 		}, nil
-	})
+	}}, nil
+}
+
+func (s *Server) handleConceptDF(w http.ResponseWriter, r *http.Request) {
+	s.respondPrepared(w, s.prepareConceptDF, r.URL.Query())
 }
 
 // GET /v1/marginals/relfreq?category=<cat>&featured=<label> — the
 // integer marginals of a relevancy analysis over this shard's documents.
-func (s *Server) handleRelFreqMarginals(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
+func (s *Server) prepareRelFreqMarginals(q url.Values) (preparedQuery, error) {
 	category := q.Get("category")
 	if category == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing required parameter %q (a concept category)", "category"))
-		return
+		return preparedQuery{}, fmt.Errorf("missing required parameter %q (a concept category)", "category")
 	}
 	featured, featLabels, err := ParseDimParams("featured", q["featured"])
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return preparedQuery{}, err
 	}
 	if len(featured) > 1 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("featured must be a single dimension (use a ∧-conjunction for compound subsets)"))
-		return
+		return preparedQuery{}, fmt.Errorf("featured must be a single dimension (use a ∧-conjunction for compound subsets)")
 	}
-	s.respond(w, cacheKey("marginals/relfreq", category, featLabels[0]), func(sn *snapshot) (any, error) {
+	return preparedQuery{key: CacheKey("marginals/relfreq", category, featLabels[0]), compute: func(sn *snapshot) (any, error) {
 		return RelFreqMarginalsResponse{
 			Generation: sn.gen,
 			Sealed:     sn.sealed,
@@ -727,28 +778,29 @@ func (s *Server) handleRelFreqMarginals(w http.ResponseWriter, r *http.Request) 
 			Featured:   featLabels[0],
 			Marginals:  sn.view.RelFreqMarginals(category, featured[0]),
 		}, nil
-	})
+	}}, nil
+}
+
+func (s *Server) handleRelFreqMarginals(w http.ResponseWriter, r *http.Request) {
+	s.respondPrepared(w, s.prepareRelFreqMarginals, r.URL.Query())
 }
 
 // GET /v1/marginals/assoc?row=<label>&...&col=<label>&... — the integer
 // marginals of an association table over this shard's documents
 // (confidence is a finalize-time input, so it does not appear here).
-func (s *Server) handleAssocMarginals(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
+func (s *Server) prepareAssocMarginals(q url.Values) (preparedQuery, error) {
 	rows, rowLabels, err := ParseDimParams("row", q["row"])
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return preparedQuery{}, err
 	}
 	cols, colLabels, err := ParseDimParams("col", q["col"])
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return preparedQuery{}, err
 	}
-	key := cacheKey("marginals/assoc",
+	key := CacheKey("marginals/assoc",
 		strings.Join(rowLabels, "\x01"),
 		strings.Join(colLabels, "\x01"))
-	s.respond(w, key, func(sn *snapshot) (any, error) {
+	return preparedQuery{key: key, compute: func(sn *snapshot) (any, error) {
 		return AssocMarginalsResponse{
 			Generation: sn.gen,
 			Sealed:     sn.sealed,
@@ -756,7 +808,11 @@ func (s *Server) handleAssocMarginals(w http.ResponseWriter, r *http.Request) {
 			Cols:       colLabels,
 			Marginals:  sn.view.AssocMarginals(rows, cols),
 		}, nil
-	})
+	}}, nil
+}
+
+func (s *Server) handleAssocMarginals(w http.ResponseWriter, r *http.Request) {
+	s.respondPrepared(w, s.prepareAssocMarginals, r.URL.Query())
 }
 
 // QueryURL renders a /v1 query URL against base (scheme://host) with

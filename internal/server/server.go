@@ -112,6 +112,17 @@ type Config struct {
 	// compactions replace their inputs on disk. Open it with store.Open;
 	// the server takes ownership (Shutdown closes it).
 	Persist *store.Store
+	// ReadHeaderTimeout bounds how long a connection may take to deliver
+	// its request headers (default 5s; negative disables). Without it a
+	// slowloris client trickling header bytes pins a connection — and its
+	// goroutine — forever.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading an entire request including the body
+	// (default 60s; negative disables).
+	ReadTimeout time.Duration
+	// MaxHeaderBytes bounds request header size (default 1 MiB; negative
+	// falls back to net/http's own default).
+	MaxHeaderBytes int
 }
 
 func (c Config) cacheSize() int {
@@ -133,6 +144,46 @@ func (c Config) drainTimeout() time.Duration {
 		return 5 * time.Second
 	}
 	return c.DrainTimeout
+}
+
+func (c Config) readHeaderTimeout() time.Duration {
+	if c.ReadHeaderTimeout == 0 {
+		return 5 * time.Second
+	}
+	if c.ReadHeaderTimeout < 0 {
+		return 0
+	}
+	return c.ReadHeaderTimeout
+}
+
+func (c Config) readTimeout() time.Duration {
+	if c.ReadTimeout == 0 {
+		return 60 * time.Second
+	}
+	if c.ReadTimeout < 0 {
+		return 0
+	}
+	return c.ReadTimeout
+}
+
+func (c Config) maxHeaderBytes() int {
+	if c.MaxHeaderBytes == 0 {
+		return 1 << 20
+	}
+	if c.MaxHeaderBytes < 0 {
+		return 0
+	}
+	return c.MaxHeaderBytes
+}
+
+// HardenHTTPServer applies the shared serving-tier hardening defaults to
+// hs: header/read timeouts so a slowloris client cannot pin connections,
+// and a header size bound. The federation coordinator hardens its own
+// http.Server with the same resolution rules.
+func HardenHTTPServer(hs *http.Server, readHeaderTimeout, readTimeout time.Duration, maxHeaderBytes int) {
+	hs.ReadHeaderTimeout = readHeaderTimeout
+	hs.ReadTimeout = readTimeout
+	hs.MaxHeaderBytes = maxHeaderBytes
 }
 
 // maxSegments resolves Config.MaxSegments: 0 picks the default bound,
@@ -195,6 +246,7 @@ type Server struct {
 	compactions atomic.Uint64
 
 	hits, misses atomic.Uint64
+	slo          *SLORecorder
 
 	started    atomic.Bool
 	lifeMu     sync.Mutex // guards ln, hs, ingestStop (Start may run in another goroutine, e.g. under Run)
@@ -241,6 +293,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:        cfg,
+		slo:        NewSLORecorder(),
 		ingestDone: make(chan struct{}),
 		serveDone:  make(chan struct{}),
 	}
@@ -631,6 +684,7 @@ func (s *Server) Start() error {
 		return fmt.Errorf("server: listen %s: %w", addr, err)
 	}
 	hs := &http.Server{Handler: s.mux}
+	HardenHTTPServer(hs, s.cfg.readHeaderTimeout(), s.cfg.readTimeout(), s.cfg.maxHeaderBytes())
 	ictx, cancel := context.WithCancel(context.Background())
 	s.lifeMu.Lock()
 	s.ln = ln

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Serving SLO counters: per-endpoint request counts and a coarse
+// latency histogram, surfaced on /statsz next to the cache counters so
+// "how fast is the daemon" is answerable from the daemon itself, not
+// only from an external load harness. The histogram is log-coarse on
+// purpose — five boundaries spanning 100µs to 1s — because its job is
+// SLO accounting (how many requests missed the bucket a target lives
+// in), not precise quantiles; cmd/bivocload measures those.
+//
+// The same recorder fronts the federation coordinator's routes, and the
+// wire format is additive: aggregating a fleet is an element-wise sum
+// of counts and buckets (see fed's /statsz).
+
+// SLOBucketBoundsUS are the histogram bucket upper bounds in
+// microseconds; a sixth, unbounded bucket catches everything slower.
+// Part of the /statsz wire contract.
+var SLOBucketBoundsUS = []int64{100, 1000, 10000, 100000, 1000000}
+
+const sloBuckets = 6 // len(SLOBucketBoundsUS) + 1 overflow bucket
+
+// endpointSLO is one endpoint's counters. Atomics, not a mutex: the
+// recorder sits on every request of a daemon whose per-request budget
+// is tens of microseconds.
+type endpointSLO struct {
+	requests atomic.Uint64
+	buckets  [sloBuckets]atomic.Uint64
+}
+
+func (e *endpointSLO) observe(d time.Duration) {
+	e.requests.Add(1)
+	us := d.Microseconds()
+	for i, bound := range SLOBucketBoundsUS {
+		if us <= bound {
+			e.buckets[i].Add(1)
+			return
+		}
+	}
+	e.buckets[sloBuckets-1].Add(1)
+}
+
+// SLORecorder tracks serving counters for a fixed route set. Endpoints
+// are registered by Wrap at mux-build time, so the map is read-only
+// once requests flow and needs no lock.
+type SLORecorder struct {
+	endpoints map[string]*endpointSLO
+}
+
+// NewSLORecorder returns an empty recorder.
+func NewSLORecorder() *SLORecorder {
+	return &SLORecorder{endpoints: make(map[string]*endpointSLO)}
+}
+
+// Wrap registers name and returns h instrumented to count the request
+// and bucket its wall latency. Call only while building the mux.
+func (r *SLORecorder) Wrap(name string, h http.HandlerFunc) http.HandlerFunc {
+	e, ok := r.endpoints[name]
+	if !ok {
+		e = &endpointSLO{}
+		r.endpoints[name] = e
+	}
+	return func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		h(w, req)
+		e.observe(time.Since(start))
+	}
+}
+
+// EndpointServingJSON is one endpoint's serving counters on /statsz.
+type EndpointServingJSON struct {
+	Requests uint64 `json:"requests"`
+	// LatencyBucketsUS are cumulative-free per-bucket counts aligned
+	// with ServingJSON.BucketBoundsUS, plus one final overflow bucket.
+	LatencyBucketsUS []uint64 `json:"latency_buckets_us"`
+}
+
+// ServingJSON is the serving section of /statsz.
+type ServingJSON struct {
+	BucketBoundsUS []int64                        `json:"bucket_bounds_us"`
+	Endpoints      map[string]EndpointServingJSON `json:"endpoints"`
+}
+
+// Snapshot materializes the current counters in wire form.
+func (r *SLORecorder) Snapshot() ServingJSON {
+	out := ServingJSON{
+		BucketBoundsUS: SLOBucketBoundsUS,
+		Endpoints:      make(map[string]EndpointServingJSON, len(r.endpoints)),
+	}
+	for name, e := range r.endpoints {
+		es := EndpointServingJSON{
+			Requests:         e.requests.Load(),
+			LatencyBucketsUS: make([]uint64, sloBuckets),
+		}
+		for i := range es.LatencyBucketsUS {
+			es.LatencyBucketsUS[i] = e.buckets[i].Load()
+		}
+		out.Endpoints[name] = es
+	}
+	return out
+}
+
+// MergeServing element-wise sums src into dst (allocating dst's maps on
+// first use) — the aggregation the federation coordinator applies
+// across shard serving sections.
+func MergeServing(dst *ServingJSON, src ServingJSON) {
+	if dst.BucketBoundsUS == nil {
+		dst.BucketBoundsUS = SLOBucketBoundsUS
+	}
+	if dst.Endpoints == nil {
+		dst.Endpoints = make(map[string]EndpointServingJSON, len(src.Endpoints))
+	}
+	for name, es := range src.Endpoints {
+		agg := dst.Endpoints[name]
+		agg.Requests += es.Requests
+		if agg.LatencyBucketsUS == nil {
+			agg.LatencyBucketsUS = make([]uint64, len(es.LatencyBucketsUS))
+		}
+		for i := 0; i < len(agg.LatencyBucketsUS) && i < len(es.LatencyBucketsUS); i++ {
+			agg.LatencyBucketsUS[i] += es.LatencyBucketsUS[i]
+		}
+		dst.Endpoints[name] = agg
+	}
+}
