@@ -56,9 +56,11 @@ bench-mine:
 
 # The persistence benchmarks recorded in BENCH_store.json: seal-time
 # segment writes, cold segment load vs full pipeline rebuild (the
-# warm-restart payoff), WAL append cost per fsync cadence, and
-# disk-loaded vs in-memory query latency. Pass profiler hooks through
-# BENCH_FLAGS, e.g.
+# warm-restart payoff), WAL append cost per fsync cadence, disk-loaded
+# vs in-memory query latency, and the mapped-segment sweep — mmap open
+# vs materialized load across a 10x corpus growth (with post-open heap)
+# plus hot/first query latency through the lazy-decode postings cache.
+# Pass profiler hooks through BENCH_FLAGS, e.g.
 #   make bench-store BENCH_FLAGS='-cpuprofile=cpu.out'
 bench-store:
 	$(GO) test -bench='BenchmarkStore' -benchmem -run='^$$' $(BENCH_FLAGS) .
@@ -98,7 +100,9 @@ examples:
 
 # Black-box daemon checks: build cmd/bivocd (and cmd/bivocfed over a
 # two-shard fleet), start them, query /healthz and /v1/count, SIGINT,
-# require a clean exit — plus one short bivocload self-boot sweep.
+# require a clean exit — plus one short bivocload self-boot sweep. The
+# bivocd pattern also matches TestDaemonSmokeMapped, which restarts a
+# durable daemon under -mmap and pins recovery from mapped segments.
 smoke:
 	$(GO) test -run TestDaemonSmoke -count=1 ./cmd/bivocd
 	$(GO) test -run TestFedDaemonSmoke -count=1 ./cmd/bivocfed

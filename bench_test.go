@@ -593,6 +593,9 @@ func serverQueryClients(b *testing.B, u string, clients int) {
 	client := &http.Client{Transport: tr}
 	var iter atomic.Int64
 	var wg sync.WaitGroup
+	// The server runs in-process, so allocs/op covers both sides of the
+	// request — the gate on the pooled respond/marshal path.
+	b.ReportAllocs()
 	b.ResetTimer()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)

@@ -11,6 +11,7 @@
 //	       [-days N] [-workers N] [-swap-interval D] [-swap-every N]
 //	       [-max-segments N] [-cache N] [-confidence P] [-assoc-workers N]
 //	       [-drain-timeout D] [-data-dir PATH] [-wal-sync N] [-shard I/N]
+//	       [-mmap] [-postings-budget BYTES]
 //
 // With -shard i/n the daemon ingests only the calls whose document ID
 // hashes onto shard i of n (see internal/fed); run n such daemons and
@@ -22,6 +23,15 @@
 // recovers segment + WAL tail and skips re-processing durable calls —
 // a warm restart over a completed corpus serves the full index in
 // well under a second instead of re-running the whole pipeline.
+//
+// With -mmap (requires -data-dir) sealed segments are served from
+// mmap-backed postings with lazy decode: recovery maps the on-disk
+// segment instead of materializing it, compactions swap their merged
+// heap index for a mapped view of the bytes just written, and hot
+// postings are cached under the -postings-budget byte cap. Query
+// results are byte-identical to the materialized path; the win is
+// opening corpora larger than memory in O(#lists) time and letting
+// resident size track the working set instead of the corpus.
 //
 // Endpoints:
 //
@@ -73,7 +83,14 @@ func main() {
 	dataDir := flag.String("data-dir", "", "persistence directory: segments + ingest WAL (empty = in-memory only)")
 	walSync := flag.Int("wal-sync", 1, "fsync the ingest WAL every N documents (1 = every document)")
 	shard := flag.String("shard", "", "serve as shard i of n, as \"i/n\" (empty = serve everything); pair with bivocfed")
+	useMmap := flag.Bool("mmap", false, "serve sealed segments from mmap-backed postings with lazy decode (requires -data-dir)")
+	postingsBudget := flag.Int64("postings-budget", 0, "byte cap on cached decoded postings under -mmap (0 = default 64 MiB, negative = unbounded)")
 	flag.Parse()
+
+	if *useMmap && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "bivocd: -mmap requires -data-dir")
+		os.Exit(2)
+	}
 
 	shardIndex, shardCount, err := parseShard(*shard)
 	if err != nil {
@@ -98,6 +115,8 @@ func main() {
 	cfg.Analysis.Confidence = *confidence
 	cfg.DataDir = *dataDir
 	cfg.WALSyncEvery = *walSync
+	cfg.MapSegments = *useMmap
+	cfg.PostingsBudget = *postingsBudget
 	cfg.ShardIndex = shardIndex
 	cfg.ShardCount = shardCount
 

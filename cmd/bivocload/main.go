@@ -96,10 +96,15 @@ type options struct {
 }
 
 // sweepRun is one cell of the report: a target crossed with one
-// (query mix, offered QPS, batch size) triple.
+// (query mix, offered QPS, batch size) triple. Memory is the target's
+// /statsz memory section sampled right after the cell finished (absent
+// when the target does not expose one, e.g. a coordinator), so a sweep
+// doubles as a resident-size profile — the interesting read under
+// -mmap, where heap should track the hot working set, not the corpus.
 type sweepRun struct {
-	Target string `json:"target"`
-	Mix    string `json:"mix"`
+	Target string                  `json:"target"`
+	Mix    string                  `json:"mix"`
+	Memory *server.MemoryStatsJSON `json:"memory,omitempty"`
 	load.Report
 }
 
@@ -212,7 +217,7 @@ func run(o options) error {
 					fmt.Fprintf(os.Stderr,
 						"bivocload: %-6s %-5s batch=%-3d offered=%-7.0f achieved=%-7.0f p50=%dus p99=%dus p999=%dus errors=%d\n",
 						t.name, mix, batch, r.OfferedQPS, r.AchievedQPS, r.P50US, r.P99US, r.P999US, r.Errors)
-					rep.Runs = append(rep.Runs, sweepRun{Target: t.name, Mix: mix, Report: r})
+					rep.Runs = append(rep.Runs, sweepRun{Target: t.name, Mix: mix, Memory: fetchMemory(client, t.base), Report: r})
 				}
 			}
 		}
@@ -228,6 +233,24 @@ func run(o options) error {
 		return err
 	}
 	return os.WriteFile(o.out, body, 0o644)
+}
+
+// fetchMemory samples the target's /statsz memory section. Best-effort:
+// a target without one (a coordinator, an older daemon) yields nil and
+// the report cell simply omits the field.
+func fetchMemory(client *http.Client, base string) *server.MemoryStatsJSON {
+	resp, err := client.Get(base + "/statsz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var ss struct {
+		Memory *server.MemoryStatsJSON `json:"memory"`
+	}
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&ss) != nil {
+		return nil
+	}
+	return ss.Memory
 }
 
 // resolveTargets returns the systems under test, booting local fleets

@@ -53,6 +53,17 @@ type ServeConfig struct {
 	// document; larger values trade fsync cost for a bounded re-ingest
 	// window after a crash).
 	WALSyncEvery int
+	// MapSegments serves sealed on-disk segments from mmap-backed
+	// postings with lazy decode instead of materializing them on the
+	// heap: recovered segments open mapped, and each compaction swaps
+	// its merged heap index for a mapped view of the bytes it just
+	// wrote. Requires DataDir; query results are byte-identical either
+	// way.
+	MapSegments bool
+	// PostingsBudget caps the bytes of lazily decoded postings the
+	// mapped readers keep on the heap (0 = store default, 64 MiB;
+	// negative = unbounded). Only meaningful with MapSegments.
+	PostingsBudget int64
 }
 
 // DefaultServeConfig serves reference transcripts (UseASR off, so the
@@ -116,7 +127,11 @@ func NewServeServer(cfg ServeConfig) (*server.Server, error) {
 	var st *store.Store
 	if cfg.DataDir != "" {
 		var err error
-		st, err = store.Open(cfg.DataDir, store.Options{SyncEvery: cfg.WALSyncEvery})
+		st, err = store.Open(cfg.DataDir, store.Options{
+			SyncEvery:      cfg.WALSyncEvery,
+			MapSegments:    cfg.MapSegments,
+			PostingsBudget: cfg.PostingsBudget,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -133,6 +148,7 @@ func NewServeServer(cfg ServeConfig) (*server.Server, error) {
 		AssociateWorkers: cfg.AssociateWorkers,
 		DrainTimeout:     cfg.DrainTimeout,
 		Persist:          st,
+		MapSegments:      cfg.MapSegments,
 	})
 }
 

@@ -171,9 +171,7 @@ func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set(server.GenerationHeader, vec)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
-	w.Write(append(body, '\n'))
+	server.WriteJSONBody(w, r, http.StatusOK, &server.CachedBody{Plain: append(body, '\n')})
 }
 
 // mergeBatchSub folds one sub-query's per-shard batch results into a
@@ -228,7 +226,7 @@ func (c *Coordinator) mergeBatchSub(plan fedPlan, vi int, genVec []string, shard
 	// Only fully-merged sub-results over the full fleet are cacheable —
 	// and they are exactly the bytes the single GET path would serve.
 	if full && len(g.missing) == 0 {
-		c.cache.put(plan.key, vec, append(append([]byte{}, body...), '\n'))
+		c.cache.put(plan.key, vec, &server.CachedBody{Plain: append(append([]byte{}, body...), '\n')})
 	}
 	return server.BatchResult{Status: http.StatusOK, Body: body}
 }

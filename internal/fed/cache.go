@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"bivoc/internal/server"
 )
 
 // resultCache is the coordinator-side result cache, keyed on (canonical
@@ -46,7 +48,7 @@ type resultCache struct {
 type resultEntry struct {
 	key  string
 	vec  string // comma-joined generation vector the body was merged from
-	body []byte
+	body *server.CachedBody
 }
 
 // newResultCache returns a cache holding at most capacity entries
@@ -81,7 +83,7 @@ func (c *resultCache) observe(vec string, now time.Time) {
 // get returns the cached body for key if its generation vector matches
 // the trusted vector and the trust is fresh. The returned vec is the
 // vector the body was merged from (== the trusted vector on a hit).
-func (c *resultCache) get(key string, now time.Time) (body []byte, vec string, ok bool) {
+func (c *resultCache) get(key string, now time.Time) (body *server.CachedBody, vec string, ok bool) {
 	if c.cap < 1 {
 		return nil, "", false
 	}
@@ -103,7 +105,7 @@ func (c *resultCache) get(key string, now time.Time) (body []byte, vec string, o
 
 // put stores a body merged from the given fully-live vector, evicting
 // the least recently used entry when full.
-func (c *resultCache) put(key, vec string, body []byte) {
+func (c *resultCache) put(key, vec string, body *server.CachedBody) {
 	if c.cap < 1 {
 		return
 	}

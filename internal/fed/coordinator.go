@@ -171,7 +171,11 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		serveDone: make(chan struct{}),
 	}
 	if c.client == nil {
-		c.client = &http.Client{}
+		// DisableCompression keeps shard replies plain: the coordinator
+		// re-marshals merged results anyway, so decompressing scatters
+		// would burn shard CPU for loopback-sized hops. Client-facing
+		// coordinator responses still negotiate gzip on their own.
+		c.client = &http.Client{Transport: &http.Transport{DisableCompression: true}}
 	}
 	c.mux = c.buildMux()
 	return c, nil

@@ -228,17 +228,15 @@ func (c *Coordinator) fanout(w http.ResponseWriter, r *http.Request, path, rawQu
 }
 
 // writeOK writes a merged 200 response with the gathered generation
-// vector in the header.
-func (c *Coordinator) writeOK(w http.ResponseWriter, g *gather, v any) {
+// vector in the header, gzip-encoded when the client negotiated it.
+func (c *Coordinator) writeOK(w http.ResponseWriter, r *http.Request, g *gather, v any) {
 	body, err := json.Marshal(v)
 	if err != nil {
 		c.writeError(w, g.genVec, http.StatusInternalServerError, err, g.fedStatus())
 		return
 	}
 	w.Header().Set(server.GenerationHeader, strings.Join(g.genVec, ","))
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
-	w.Write(append(body, '\n'))
+	server.WriteJSONBody(w, r, http.StatusOK, &server.CachedBody{Plain: append(body, '\n')})
 }
 
 // writeError writes a coordinator-originated structured error. A nil
@@ -306,11 +304,9 @@ func (c *Coordinator) respondPlanned(w http.ResponseWriter, r *http.Request, pre
 		c.badRequest(w, err)
 		return
 	}
-	if body, vec, ok := c.cache.get(plan.key, time.Now()); ok {
+	if cb, vec, ok := c.cache.get(plan.key, time.Now()); ok {
 		w.Header().Set(server.GenerationHeader, vec)
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusOK)
-		w.Write(body)
+		server.WriteJSONBody(w, r, http.StatusOK, cb)
 		return
 	}
 	g, ok := c.fanout(w, r, plan.shardPath, plan.shardQuery.Encode())
@@ -327,16 +323,17 @@ func (c *Coordinator) respondPlanned(w http.ResponseWriter, r *http.Request, pre
 		c.writeError(w, g.genVec, http.StatusInternalServerError, err, g.fedStatus())
 		return
 	}
-	body = append(body, '\n')
+	cb := &server.CachedBody{Plain: append(body, '\n')}
 	vec := joinVec(g.genVec)
 	if fullVec(g.genVec) {
 		c.cache.observe(vec, time.Now())
-		c.cache.put(plan.key, vec, body)
+		// The CachedBody is shared with the cache, so a later
+		// gzip-accepting replay reuses the compression paid here (or
+		// pays it once, whichever request comes first).
+		c.cache.put(plan.key, vec, cb)
 	}
 	w.Header().Set(server.GenerationHeader, vec)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
-	w.Write(body)
+	server.WriteJSONBody(w, r, http.StatusOK, cb)
 }
 
 // GET /v1/count — counts and totals sum across disjoint shards.
@@ -714,7 +711,7 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Shards[i] = sh
 	}
-	c.writeOK(w, g, resp)
+	c.writeOK(w, r, g, resp)
 }
 
 // GET /statsz — fleet-wide document/segment/cache sums plus each
@@ -762,7 +759,7 @@ func (c *Coordinator) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		ss.Stats = &sr
 		resp.Shards[i] = ss
 	}
-	c.writeOK(w, g, resp)
+	c.writeOK(w, r, g, resp)
 }
 
 // gatherHealth/gatherStatsz scatter without the fanout error shortcuts:

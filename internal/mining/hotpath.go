@@ -63,16 +63,17 @@ func (ctx *queryCtx) putBuf(b []int) {
 }
 
 // leafPostings returns the inverted list of a non-conjunction
-// dimension. The result aliases index-internal storage: read-only (see
-// the postings contract on Index).
+// dimension. The result aliases backing-internal storage (or, on a
+// mapped segment, its decoded-postings cache): read-only (see the
+// postings contract on Index).
 func (ix *Index) leafPostings(d Dim) []int {
 	switch {
 	case d.Field != "":
-		return ix.byField[[2]string{d.Field, d.Value}]
+		return ix.b.FieldPostings(d.Field, d.Value)
 	case d.Canonical != "":
-		return ix.byConcept[[2]string{d.Category, d.Canonical}]
+		return ix.b.ConceptPostings(d.Category, d.Canonical)
 	default:
-		return ix.byCat[d.Category]
+		return ix.b.CategoryPostings(d.Category)
 	}
 }
 

@@ -10,16 +10,26 @@ import (
 // test can later prove no query wrote through them.
 func snapshotPostings(ix *Index) map[string][]int {
 	snap := map[string][]int{}
-	for k, v := range ix.byConcept {
-		snap["concept/"+k[0]+"/"+k[1]] = append([]int(nil), v...)
-	}
-	for k, v := range ix.byCat {
-		snap["cat/"+k] = append([]int(nil), v...)
-	}
-	for k, v := range ix.byField {
-		snap["field/"+k[0]+"/"+k[1]] = append([]int(nil), v...)
-	}
+	ix.b.EachConcept(func(cat, canon string, _ int) {
+		snap["concept/"+cat+"/"+canon] = append([]int(nil), ix.b.ConceptPostings(cat, canon)...)
+	})
+	ix.b.EachCategory(func(cat string, _ int) {
+		snap["cat/"+cat] = append([]int(nil), ix.b.CategoryPostings(cat)...)
+	})
+	ix.b.EachField(func(f, v string, _ int) {
+		snap["field/"+f+"/"+v] = append([]int(nil), ix.b.FieldPostings(f, v)...)
+	})
 	return snap
+}
+
+// allDocs returns the index's documents in position order — the test
+// helper replacement for reaching into the backing's document slice.
+func allDocs(ix *Index) []Document {
+	docs := make([]Document, ix.Len())
+	for i := range docs {
+		docs[i] = ix.Doc(i)
+	}
+	return docs
 }
 
 // runQueryBattery drives every analytics entry point, including repeat

@@ -17,16 +17,16 @@ func (ix *Index) ConceptDF(category string) []ConceptCount {
 		entries := p.catEntries[category]
 		out := make([]ConceptCount, len(entries))
 		for i, e := range entries {
-			out[i] = ConceptCount{Concept: e.canon, DF: len(e.posts)}
+			out[i] = ConceptCount{Concept: e.canon, DF: e.df}
 		}
 		return out
 	}
 	out := []ConceptCount{} // non-nil even when the category is absent
-	for k, posts := range ix.byConcept {
-		if k[0] == category {
-			out = append(out, ConceptCount{Concept: k[1], DF: len(posts)})
+	ix.b.EachConcept(func(cat, canon string, df int) {
+		if cat == category {
+			out = append(out, ConceptCount{Concept: canon, DF: df})
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].DF != out[j].DF {
 			return out[i].DF > out[j].DF
@@ -45,7 +45,7 @@ func (ix *Index) RelFreqMarginals(category string, featured Dim) RelFreqMarginal
 	ctx := acquireQueryCtx()
 	defer releaseQueryCtx(ctx)
 	subset, owned := segPostings(ix, ctx, featured)
-	m := RelFreqMarginals{N: len(ix.docs), SubsetSize: len(subset)}
+	m := RelFreqMarginals{N: ix.b.DocCount(), SubsetSize: len(subset)}
 	addConcept := func(canon string, posts []int) {
 		m.Concepts = append(m.Concepts, ConceptMarginal{
 			Concept:  canon,
@@ -55,14 +55,14 @@ func (ix *Index) RelFreqMarginals(category string, featured Dim) RelFreqMarginal
 	}
 	if p := ix.prep; p != nil && !ctx.naive {
 		for _, e := range p.catEntries[category] {
-			addConcept(e.canon, e.posts)
+			addConcept(e.canon, ix.b.ConceptPostings(category, e.canon))
 		}
 	} else {
-		for k, posts := range ix.byConcept {
-			if k[0] == category {
-				addConcept(k[1], posts)
+		ix.b.EachConcept(func(cat, canon string, _ int) {
+			if cat == category {
+				addConcept(canon, ix.b.ConceptPostings(cat, canon))
 			}
-		}
+		})
 	}
 	if owned {
 		ctx.putBuf(subset)
@@ -80,7 +80,7 @@ func (ix *Index) AssocMarginals(rows, cols []Dim) AssocMarginals {
 	rowPosts := segMarginPostings(ix, ctx, rows)
 	colPosts := segMarginPostings(ix, ctx, cols)
 	m := AssocMarginals{
-		N:     len(ix.docs),
+		N:     ix.b.DocCount(),
 		Nver:  make([]int, len(rows)),
 		Nhor:  make([]int, len(cols)),
 		Ncell: make([][]int, len(rows)),

@@ -104,7 +104,7 @@ func TestMergeHelpersMatchMonolithic(t *testing.T) {
 		for _, k := range []int{1, 2, 8} {
 			t.Run(fmt.Sprintf("world-%d-parts-%d", trial, k), func(t *testing.T) {
 				w := newEquivWorld(rand.New(rand.NewSource(seed)), ndocs)
-				segs := partitionSegments(w.ix.docs, k)
+				segs := partitionSegments(allDocs(w.ix), k)
 				checkMergeEquiv(t, w, segs) // raw monolithic baseline
 				w.ix.Prepare()
 				checkMergeEquiv(t, w, segs) // prepared baseline

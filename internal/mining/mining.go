@@ -87,6 +87,8 @@ func (d Dim) Label() string {
 }
 
 // Index stores documents with inverted lists per concept and field.
+// The storage itself lives behind a Backing: the mutable in-memory
+// maps Add builds, or a read-only mapped segment (see backing.go).
 //
 // Postings contract: every inverted list is kept sorted by document
 // position (Add appends monotonically increasing positions), and every
@@ -97,56 +99,41 @@ func (d Dim) Label() string {
 // sealed index answer from many server handlers concurrently without a
 // lock, and it is enforced by TestQueriesNeverMutatePostings.
 type Index struct {
-	docs      []Document
-	byConcept map[[2]string][]int // {category, canonical} → doc positions
-	byCat     map[string][]int    // category → doc positions
-	byField   map[[2]string][]int // {field, value} → doc positions
+	b Backing
 
 	// prep holds the sealed-index query caches (see Prepare); nil while
 	// the index is still being built.
 	prep *prepared
 }
 
-// NewIndex returns an empty index.
+// NewIndex returns an empty index over the mutable in-memory backing.
 func NewIndex() *Index {
-	return &Index{
-		byConcept: make(map[[2]string][]int),
-		byCat:     make(map[string][]int),
-		byField:   make(map[[2]string][]int),
-	}
+	return &Index{b: newMemBacking()}
 }
 
 // Add indexes a document. Inverted lists record each document at most
 // once per key (documents often repeat a concept). Adding to a Prepared
 // index drops its prepared caches — they describe a snapshot that no
-// longer exists.
+// longer exists. Add panics on a read-only backing (a mapped segment):
+// those are sealed by construction.
 func (ix *Index) Add(doc Document) {
+	mb, ok := ix.b.(*memBacking)
+	if !ok {
+		panic("mining: Add on a read-only index backing (mapped segment)")
+	}
 	ix.prep = nil
-	pos := len(ix.docs)
-	ix.docs = append(ix.docs, doc)
-	seenC := map[[2]string]bool{}
-	seenCat := map[string]bool{}
-	for _, c := range doc.Concepts {
-		k := [2]string{c.Category, c.Canonical}
-		if !seenC[k] {
-			seenC[k] = true
-			ix.byConcept[k] = append(ix.byConcept[k], pos)
-		}
-		if !seenCat[c.Category] {
-			seenCat[c.Category] = true
-			ix.byCat[c.Category] = append(ix.byCat[c.Category], pos)
-		}
-	}
-	for f, v := range doc.Fields {
-		ix.byField[[2]string{f, v}] = append(ix.byField[[2]string{f, v}], pos)
-	}
+	mb.add(doc)
 }
 
 // Len returns the number of indexed documents.
-func (ix *Index) Len() int { return len(ix.docs) }
+func (ix *Index) Len() int { return ix.b.DocCount() }
 
 // Doc returns the i-th document.
-func (ix *Index) Doc(i int) Document { return ix.docs[i] }
+func (ix *Index) Doc(i int) Document { return ix.b.Doc(i) }
+
+// DocID returns the i-th document's ID without materializing the
+// document (cheap over a mapped segment; see Backing.DocID).
+func (ix *Index) DocID(i int) string { return ix.b.DocID(i) }
 
 // Count returns how many documents match the dimension.
 func (ix *Index) Count(d Dim) int {
@@ -199,7 +186,7 @@ func (ix *Index) DrillDown(a, b Dim) []Document {
 	both := intersectInto(ctx.getBuf(), pa, pb)
 	var out []Document
 	for _, p := range both {
-		out = append(out, ix.docs[p])
+		out = append(out, ix.b.Doc(p))
 	}
 	ctx.putBuf(both)
 	if ownedB {
@@ -321,7 +308,7 @@ func (ix *Index) AssociateN(rows, cols []Dim, confidence float64, workers int) *
 	if ctx.naive {
 		return ix.associateNaive(rows, cols, confidence)
 	}
-	n := len(ix.docs)
+	n := ix.b.DocCount()
 	// Hoist every marginal out of the cell loop: postings and counts are
 	// derived once per row and once per column (the naive path recomputes
 	// each column's count and interval in every row), then the shared
@@ -422,7 +409,7 @@ func (ix *Index) Trend(d Dim) []TrendPoint {
 	posts, owned := ix.resolve(ctx, d)
 	counts := map[int]int{}
 	for _, p := range posts {
-		counts[ix.docs[p].Time]++
+		counts[ix.b.DocTime(p)]++
 	}
 	if owned {
 		ctx.putBuf(posts)

@@ -20,11 +20,11 @@ func (ix *Index) postingsNaive(d Dim) []int {
 	}
 	switch {
 	case d.Field != "":
-		return ix.byField[[2]string{d.Field, d.Value}]
+		return ix.b.FieldPostings(d.Field, d.Value)
 	case d.Canonical != "":
-		return ix.byConcept[[2]string{d.Category, d.Canonical}]
+		return ix.b.ConceptPostings(d.Category, d.Canonical)
 	default:
-		return ix.byCat[d.Category]
+		return ix.b.CategoryPostings(d.Category)
 	}
 }
 
@@ -94,7 +94,7 @@ func (ix *Index) drillDownNaive(a, b Dim) []Document {
 	var out []Document
 	for _, p := range pb {
 		if set[p] {
-			out = append(out, ix.docs[p])
+			out = append(out, ix.b.Doc(p))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -108,11 +108,11 @@ func (ix *Index) conceptsInCategoryNaive(category string) []string {
 		n     int
 	}
 	var all []cc
-	for k, posts := range ix.byConcept {
-		if k[0] == category {
-			all = append(all, cc{k[1], len(posts)})
+	ix.b.EachConcept(func(cat, canon string, df int) {
+		if cat == category {
+			all = append(all, cc{canon, df})
 		}
-	}
+	})
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].n != all[j].n {
 			return all[i].n > all[j].n
@@ -129,11 +129,11 @@ func (ix *Index) conceptsInCategoryNaive(category string) []string {
 // fieldValuesNaive scans the field map for the field's values.
 func (ix *Index) fieldValuesNaive(field string) []string {
 	var out []string
-	for k := range ix.byField {
-		if k[0] == field {
-			out = append(out, k[1])
+	ix.b.EachField(func(f, value string, _ int) {
+		if f == field {
+			out = append(out, value)
 		}
-	}
+	})
 	sort.Strings(out)
 	return out
 }
@@ -145,12 +145,13 @@ func (ix *Index) relativeFrequencyNaive(category string, featured Dim) []Relevan
 	for _, p := range subset {
 		subSet[p] = true
 	}
-	n := len(ix.docs)
+	n := ix.b.DocCount()
 	var out []Relevance
-	for k, posts := range ix.byConcept {
-		if k[0] != category {
-			continue
+	ix.b.EachConcept(func(cat, canon string, _ int) {
+		if cat != category {
+			return
 		}
+		posts := ix.b.ConceptPostings(cat, canon)
 		inSub := 0
 		for _, p := range posts {
 			if subSet[p] {
@@ -158,7 +159,7 @@ func (ix *Index) relativeFrequencyNaive(category string, featured Dim) []Relevan
 			}
 		}
 		r := Relevance{
-			Concept:  k[1],
+			Concept:  canon,
 			InSubset: inSub, SubsetSize: len(subset),
 			InAll: len(posts), N: n,
 		}
@@ -168,7 +169,7 @@ func (ix *Index) relativeFrequencyNaive(category string, featured Dim) []Relevan
 			r.Ratio = pSub / pAll
 		}
 		out = append(out, r)
-	}
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Ratio != out[j].Ratio {
 			return out[i].Ratio > out[j].Ratio
@@ -182,7 +183,7 @@ func (ix *Index) relativeFrequencyNaive(category string, featured Dim) []Relevan
 // every column marginal (and its Wilson interval) once per row — the
 // original shape the hoisted fast path is proven against.
 func (ix *Index) associateNaive(rows, cols []Dim, confidence float64) *AssocTable {
-	n := len(ix.docs)
+	n := ix.b.DocCount()
 	tbl := &AssocTable{Rows: rows, Cols: cols, Confidence: confidence}
 	tbl.Cells = make([][]Cell, len(rows))
 	for i, rd := range rows {
@@ -230,7 +231,7 @@ func (ix *Index) associateNaive(rows, cols []Dim, confidence float64) *AssocTabl
 func (ix *Index) trendNaive(d Dim) []TrendPoint {
 	counts := map[int]int{}
 	for _, p := range ix.postingsNaive(d) {
-		counts[ix.docs[p].Time]++
+		counts[ix.b.DocTime(p)]++
 	}
 	out := make([]TrendPoint, 0, len(counts))
 	for t, c := range counts {

@@ -33,11 +33,16 @@ type prepared struct {
 	wilson map[wilsonKey]stats.Interval
 }
 
-// catEntry is one canonical concept of a category with its postings,
-// held in ConceptsInCategory order (frequency desc, ties lexicographic).
+// catEntry is one canonical concept of a category with its document
+// frequency, held in ConceptsInCategory order (frequency desc, ties
+// lexicographic). It deliberately carries the df, not the postings:
+// over a mapped backing, holding every category's lists here would
+// materialize the whole segment at Prepare time — consumers that need
+// the actual list (RelFreqMarginals) fetch it through the backing on
+// demand instead.
 type catEntry struct {
 	canon string
-	posts []int
+	df    int
 }
 
 // wilsonKey caches one marginal interval; the trial count n is the
@@ -64,13 +69,13 @@ func (ix *Index) Prepare() {
 		conj:       make(map[string][]int),
 		wilson:     make(map[wilsonKey]stats.Interval),
 	}
-	for k, posts := range ix.byConcept {
-		p.catEntries[k[0]] = append(p.catEntries[k[0]], catEntry{canon: k[1], posts: posts})
-	}
+	ix.b.EachConcept(func(cat, canon string, df int) {
+		p.catEntries[cat] = append(p.catEntries[cat], catEntry{canon: canon, df: df})
+	})
 	for cat, entries := range p.catEntries {
 		sort.Slice(entries, func(i, j int) bool {
-			if len(entries[i].posts) != len(entries[j].posts) {
-				return len(entries[i].posts) > len(entries[j].posts)
+			if entries[i].df != entries[j].df {
+				return entries[i].df > entries[j].df
 			}
 			return entries[i].canon < entries[j].canon
 		})
@@ -80,9 +85,9 @@ func (ix *Index) Prepare() {
 		}
 		p.catNames[cat] = names
 	}
-	for k := range ix.byField {
-		p.fieldVals[k[0]] = append(p.fieldVals[k[0]], k[1])
-	}
+	ix.b.EachField(func(field, value string, _ int) {
+		p.fieldVals[field] = append(p.fieldVals[field], value)
+	})
 	for _, vals := range p.fieldVals {
 		sort.Strings(vals)
 	}

@@ -84,7 +84,9 @@ func (s *SegmentSet) SegmentLens() []int {
 func MergeSegments(segs ...*Index) *Index {
 	var docs []Document
 	for _, ix := range segs {
-		docs = append(docs, ix.docs...)
+		for i, n := 0, ix.Len(); i < n; i++ {
+			docs = append(docs, ix.b.Doc(i))
+		}
 	}
 	sort.Slice(docs, func(i, j int) bool { return docs[i].ID < docs[j].ID })
 	out := NewIndex()

@@ -100,7 +100,7 @@ func TestSegmentSetMatchesMonolithic(t *testing.T) {
 		for _, k := range []int{1, 2, 8} {
 			t.Run(fmt.Sprintf("world-%d-segs-%d", trial, k), func(t *testing.T) {
 				w := newEquivWorld(rand.New(rand.NewSource(seed)), ndocs)
-				set := NewSegmentSet(partitionSegments(w.ix.docs, k)...)
+				set := NewSegmentSet(partitionSegments(allDocs(w.ix), k)...)
 				checkSegmentEquiv(t, w, set) // raw monolithic baseline
 				w.ix.Prepare()
 				checkSegmentEquiv(t, w, set) // prepared baseline, cold caches
@@ -117,7 +117,7 @@ func TestSegmentSetMatchesMonolithic(t *testing.T) {
 // monolithic index byte for byte.
 func TestSegmentSetAcrossCompaction(t *testing.T) {
 	w := newEquivWorld(rand.New(rand.NewSource(41)), 160)
-	segs := partitionSegments(w.ix.docs, 8)
+	segs := partitionSegments(allDocs(w.ix), 8)
 	w.ix.Prepare()
 
 	checkSegmentEquiv(t, w, NewSegmentSet(segs...))
@@ -171,7 +171,7 @@ func TestSegmentSetEdgeCases(t *testing.T) {
 	// A set containing empty segments must behave like the non-empty one.
 	w := newEquivWorld(rand.New(rand.NewSource(9)), 60)
 	w.ix.Prepare()
-	segs := partitionSegments(w.ix.docs, 3)
+	segs := partitionSegments(allDocs(w.ix), 3)
 	padded := append([]*Index{NewIndex()}, segs...)
 	padded = append(padded, NewIndex())
 	for _, ix := range padded {

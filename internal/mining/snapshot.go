@@ -49,21 +49,31 @@ type CatPostings struct {
 // is deterministic (sorted by key), so the same index always exports
 // the same snapshot regardless of map iteration order.
 func (ix *Index) Export() *IndexSnapshot {
-	s := &IndexSnapshot{
-		Docs:       ix.docs,
-		Concepts:   make([]KeyedPostings, 0, len(ix.byConcept)),
-		Categories: make([]CatPostings, 0, len(ix.byCat)),
-		Fields:     make([]KeyedPostings, 0, len(ix.byField)),
+	s := &IndexSnapshot{}
+	if mb, ok := ix.b.(*memBacking); ok {
+		// Materialized backing: share the document slice directly.
+		s.Docs = mb.docs
+	} else {
+		// Read-only backing (mapped segment): materialize every record.
+		// Export is off the query path — it runs when a segment is
+		// re-encoded, e.g. at compaction — so the full decode is paid
+		// exactly where the bytes are needed.
+		s.Docs = make([]Document, ix.b.DocCount())
+		for i := range s.Docs {
+			s.Docs[i] = ix.b.Doc(i)
+		}
 	}
-	for k, posts := range ix.byConcept {
-		s.Concepts = append(s.Concepts, KeyedPostings{Key: k, Posts: posts})
-	}
-	for cat, posts := range ix.byCat {
-		s.Categories = append(s.Categories, CatPostings{Category: cat, Posts: posts})
-	}
-	for k, posts := range ix.byField {
-		s.Fields = append(s.Fields, KeyedPostings{Key: k, Posts: posts})
-	}
+	ix.b.EachConcept(func(cat, canon string, _ int) {
+		s.Concepts = append(s.Concepts, KeyedPostings{
+			Key: [2]string{cat, canon}, Posts: ix.b.ConceptPostings(cat, canon)})
+	})
+	ix.b.EachCategory(func(cat string, _ int) {
+		s.Categories = append(s.Categories, CatPostings{Category: cat, Posts: ix.b.CategoryPostings(cat)})
+	})
+	ix.b.EachField(func(field, value string, _ int) {
+		s.Fields = append(s.Fields, KeyedPostings{
+			Key: [2]string{field, value}, Posts: ix.b.FieldPostings(field, value)})
+	})
 	sortKeyed(s.Concepts)
 	sortKeyed(s.Fields)
 	sort.Slice(s.Categories, func(i, j int) bool {
@@ -88,7 +98,7 @@ func sortKeyed(entries []KeyedPostings) {
 // sealed-index caches call Prepare on it. The snapshot's slices are
 // adopted, not copied — do not reuse them afterwards.
 func FromSnapshot(s *IndexSnapshot) (*Index, error) {
-	ix := &Index{
+	mb := &memBacking{
 		docs:      s.Docs,
 		byConcept: make(map[[2]string][]int, len(s.Concepts)),
 		byCat:     make(map[string][]int, len(s.Categories)),
@@ -99,30 +109,30 @@ func FromSnapshot(s *IndexSnapshot) (*Index, error) {
 		if err := checkPostings("concept", e.Key[0]+"/"+e.Key[1], e.Posts, n); err != nil {
 			return nil, err
 		}
-		if _, dup := ix.byConcept[e.Key]; dup {
+		if _, dup := mb.byConcept[e.Key]; dup {
 			return nil, fmt.Errorf("mining: snapshot: duplicate concept key %q/%q", e.Key[0], e.Key[1])
 		}
-		ix.byConcept[e.Key] = e.Posts
+		mb.byConcept[e.Key] = e.Posts
 	}
 	for _, e := range s.Categories {
 		if err := checkPostings("category", e.Category, e.Posts, n); err != nil {
 			return nil, err
 		}
-		if _, dup := ix.byCat[e.Category]; dup {
+		if _, dup := mb.byCat[e.Category]; dup {
 			return nil, fmt.Errorf("mining: snapshot: duplicate category key %q", e.Category)
 		}
-		ix.byCat[e.Category] = e.Posts
+		mb.byCat[e.Category] = e.Posts
 	}
 	for _, e := range s.Fields {
 		if err := checkPostings("field", e.Key[0]+"="+e.Key[1], e.Posts, n); err != nil {
 			return nil, err
 		}
-		if _, dup := ix.byField[e.Key]; dup {
+		if _, dup := mb.byField[e.Key]; dup {
 			return nil, fmt.Errorf("mining: snapshot: duplicate field key %q=%q", e.Key[0], e.Key[1])
 		}
-		ix.byField[e.Key] = e.Posts
+		mb.byField[e.Key] = e.Posts
 	}
-	return ix, nil
+	return &Index{b: mb}, nil
 }
 
 // checkPostings enforces the postings contract on one decoded list.

@@ -164,7 +164,10 @@ func (s *StreamIndex) Seal() *Index {
 		return s.ix
 	}
 	s.sealed = true
-	docs := append([]Document(nil), s.ix.docs...)
+	docs := make([]Document, 0, s.ix.Len())
+	for i, n := 0, s.ix.Len(); i < n; i++ {
+		docs = append(docs, s.ix.b.Doc(i))
+	}
 	sort.Slice(docs, func(i, j int) bool { return docs[i].ID < docs[j].ID })
 	rebuilt := NewIndex()
 	for _, d := range docs {

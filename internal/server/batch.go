@@ -80,9 +80,9 @@ func (s *Server) runBatchQuery(sn *snapshot, bq BatchQuery) BatchResult {
 	if err != nil {
 		return BatchResult{Status: http.StatusBadRequest, Body: errorRaw(http.StatusBadRequest, err)}
 	}
-	if body, ok := sn.cache.get(pq.key); ok {
+	if cb, ok := sn.cache.get(pq.key); ok {
 		s.hits.Add(1)
-		return BatchResult{Status: http.StatusOK, Body: bytes.TrimSuffix(body, []byte("\n"))}
+		return BatchResult{Status: http.StatusOK, Body: bytes.TrimSuffix(cb.Plain, []byte("\n"))}
 	}
 	s.misses.Add(1)
 	v, err := pq.compute(sn)
@@ -94,12 +94,11 @@ func (s *Server) runBatchQuery(sn *snapshot, bq BatchQuery) BatchResult {
 		}
 		return BatchResult{Status: status, Body: errorRaw(status, err)}
 	}
-	body, err := json.Marshal(v)
+	body, err := marshalBody(v)
 	if err != nil {
 		return BatchResult{Status: http.StatusInternalServerError, Body: errorRaw(http.StatusInternalServerError, err)}
 	}
-	body = append(body, '\n')
-	sn.cache.put(pq.key, body)
+	sn.cache.put(pq.key, &CachedBody{Plain: body})
 	return BatchResult{Status: http.StatusOK, Body: bytes.TrimSuffix(body, []byte("\n"))}
 }
 
@@ -134,10 +133,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, bq := range req.Queries {
 		resp.Results[i] = s.runBatchQuery(sn, bq)
 	}
-	body, err := json.Marshal(resp)
+	body, err := marshalBody(resp)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, append(body, '\n'))
+	WriteJSONBody(w, r, http.StatusOK, &CachedBody{Plain: body})
 }

@@ -12,8 +12,10 @@ import (
 // cache a handler consults is reached *through* the snapshot it is
 // answering from.
 //
-// Values are the final response bodies ([]byte), so a cached reply is
-// byte-identical to the uncached one by construction.
+// Values are the final response bodies (*CachedBody), so a cached
+// reply is byte-identical to the uncached one by construction — and the
+// gzip form, derived lazily inside the CachedBody, is compressed at
+// most once per cached body.
 type lruCache struct {
 	mu  sync.Mutex
 	cap int
@@ -23,7 +25,7 @@ type lruCache struct {
 
 type lruEntry struct {
 	key  string
-	body []byte
+	body *CachedBody
 }
 
 // newLRUCache returns a cache holding at most capacity entries
@@ -33,7 +35,7 @@ func newLRUCache(capacity int) *lruCache {
 }
 
 // get returns the cached body for key and marks it most recently used.
-func (c *lruCache) get(key string) ([]byte, bool) {
+func (c *lruCache) get(key string) (*CachedBody, bool) {
 	if c.cap < 1 {
 		return nil, false
 	}
@@ -49,7 +51,7 @@ func (c *lruCache) get(key string) ([]byte, bool) {
 
 // put stores body under key, evicting the least recently used entry
 // when the cache is full.
-func (c *lruCache) put(key string, body []byte) {
+func (c *lruCache) put(key string, body *CachedBody) {
 	if c.cap < 1 {
 		return
 	}

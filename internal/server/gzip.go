@@ -1,0 +1,115 @@
+package server
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Response-body encoding. Every /v1 body is marshaled exactly once into
+// its canonical plain bytes (marshalBody, pooled scratch) and wrapped in
+// a CachedBody; the gzip form is derived lazily from those bytes and
+// memoized, so a cached response compresses once no matter how many
+// gzip-accepting clients replay it. Decompressing a gzip response
+// always yields the exact plain bytes — compression is an encoding of
+// the response, never a different response — which is what lets the
+// byte-identity suites compare daemons across the flag.
+
+// GzipMinSize is the smallest plain body worth compressing: below it
+// the gzip envelope (header + CRC trailer) eats the savings and the
+// response is sent identity-encoded even to gzip-accepting clients.
+const GzipMinSize = 256
+
+// CachedBody is one marshaled response body in both encodings: the
+// canonical plain bytes and, lazily, their gzip form. The snapshot LRU
+// and the federation result cache store these, so a cache hit reuses
+// whichever encodings have already been paid for. Exported because the
+// federation coordinator caches merged bodies the same way.
+type CachedBody struct {
+	Plain []byte
+
+	once sync.Once
+	gz   []byte
+}
+
+// Gzip returns the gzip encoding of Plain, compressing on the first
+// call and memoizing the result (safe for concurrent use).
+func (cb *CachedBody) Gzip() []byte {
+	cb.once.Do(func() {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		zw.Write(cb.Plain)
+		zw.Close()
+		cb.gz = buf.Bytes()
+	})
+	return cb.gz
+}
+
+// AcceptsGzip reports whether the request negotiates gzip response
+// encoding: an Accept-Encoding listing gzip (any case) with a nonzero
+// quality. Exported because the federation coordinator negotiates its
+// own responses with the same rule.
+func AcceptsGzip(r *http.Request) bool {
+	for _, field := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		name, params, hasQ := strings.Cut(strings.TrimSpace(field), ";")
+		if !strings.EqualFold(strings.TrimSpace(name), "gzip") {
+			continue
+		}
+		if !hasQ {
+			return true
+		}
+		for _, p := range strings.Split(params, ";") {
+			k, v, _ := strings.Cut(strings.TrimSpace(p), "=")
+			if strings.TrimSpace(k) != "q" {
+				continue
+			}
+			q, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			return err != nil || q > 0
+		}
+		return true
+	}
+	return false
+}
+
+// WriteJSONBody writes cb in the encoding the request negotiated:
+// gzip when the client accepts it and the body clears GzipMinSize (and
+// actually shrinks), the plain bytes otherwise. Vary: Accept-Encoding
+// is always set so shared caches never serve one client's encoding to
+// another. A nil request writes plain.
+func WriteJSONBody(w http.ResponseWriter, r *http.Request, status int, cb *CachedBody) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Add("Vary", "Accept-Encoding")
+	if r != nil && len(cb.Plain) >= GzipMinSize && AcceptsGzip(r) {
+		if gz := cb.Gzip(); len(gz) < len(cb.Plain) {
+			h.Set("Content-Encoding", "gzip")
+			w.WriteHeader(status)
+			w.Write(gz)
+			return
+		}
+	}
+	w.WriteHeader(status)
+	w.Write(cb.Plain)
+}
+
+// bodyScratch pools the marshal working buffers so a cache miss does
+// not allocate a fresh growth-sized buffer per response.
+var bodyScratch = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// marshalBody renders v in the canonical response framing — exactly
+// append(json.Marshal(v), '\n'), which is what json.Encoder emits — but
+// through a pooled working buffer, so the only allocation that survives
+// the call is the exact-size body copy.
+func marshalBody(v any) ([]byte, error) {
+	buf := bodyScratch.Get().(*bytes.Buffer)
+	defer bodyScratch.Put(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), buf.Bytes()...), nil
+}

@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/url"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
@@ -157,6 +160,38 @@ type StoreStatsJSON struct {
 	RecoveredWALDocs     int    `json:"recovered_wal_docs"`
 	RecoveredWALDropped  int64  `json:"recovered_wal_dropped_bytes,omitempty"`
 	PersistError         string `json:"persist_error,omitempty"`
+	// Mapped-segment serving (populated only when the store was opened
+	// with MapSegments): live segments served straight from their file
+	// mappings, the bytes those mappings cover, the decoded-postings
+	// cache, and how long the last Open spent bringing the lineage up —
+	// the number that should stay O(#lists) as the corpus grows.
+	MappedSegments int                `json:"mapped_segments,omitempty"`
+	MappedBytes    int64              `json:"mapped_bytes,omitempty"`
+	PostingsCache  *PostingsCacheJSON `json:"postings_cache,omitempty"`
+	OpenMicros     int64              `json:"open_us,omitempty"`
+}
+
+// PostingsCacheJSON is the decoded-postings LRU subsection of the store
+// section: byte occupancy against its budget plus hit/miss counters.
+type PostingsCacheJSON struct {
+	Bytes   int64  `json:"bytes"`
+	Budget  int64  `json:"budget"`
+	Entries int    `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+}
+
+// MemoryStatsJSON is the memory section of /statsz: the Go heap the
+// daemon is actually paying for, next to the mapped-segment bytes the
+// kernel can reclaim under pressure — the two numbers whose ratio is
+// the point of -mmap serving. GoMemLimitBytes echoes GOMEMLIMIT when
+// one is set.
+type MemoryStatsJSON struct {
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	HeapInuseBytes  uint64 `json:"heap_inuse_bytes"`
+	NumGC           uint32 `json:"num_gc"`
+	GoMemLimitBytes int64  `json:"go_mem_limit_bytes,omitempty"`
+	MappedBytes     int64  `json:"mapped_bytes,omitempty"`
 }
 
 // SegmentsJSON is the segment section of /statsz: the live immutable
@@ -180,6 +215,7 @@ type StatszResponse struct {
 	Segments    SegmentsJSON          `json:"segments"`
 	Cache       CacheStatsJSON        `json:"cache"`
 	Serving     ServingJSON           `json:"serving"`
+	Memory      MemoryStatsJSON       `json:"memory"`
 	Pipeline    []pipeline.StageStats `json:"pipeline"`
 	Store       *StoreStatsJSON       `json:"store,omitempty"`
 	IngestError string                `json:"ingest_error,omitempty"`
@@ -259,15 +295,19 @@ func badQuery(err error) error { return badQueryError{err: err} }
 // one miss — a cache-get failure counts as a miss even when the compute
 // then fails, so hits+misses reconciles with requests served. Compute
 // failures are internal (500) unless marked with badQuery (400).
-func (s *Server) respond(w http.ResponseWriter, key string, compute func(sn *snapshot) (any, error)) {
+//
+// The body is marshaled once through the pooled scratch buffer and
+// cached as a CachedBody, so a hit re-serves the same bytes — and, for
+// gzip-accepting clients, the same once-compressed encoding.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, key string, compute func(sn *snapshot) (any, error)) {
 	if s.handlerDelay > 0 {
 		time.Sleep(s.handlerDelay)
 	}
 	sn := s.snap.Load()
 	w.Header().Set(GenerationHeader, strconv.FormatUint(sn.gen, 10))
-	if body, ok := sn.cache.get(key); ok {
+	if cb, ok := sn.cache.get(key); ok {
 		s.hits.Add(1)
-		writeJSON(w, http.StatusOK, body)
+		WriteJSONBody(w, r, http.StatusOK, cb)
 		return
 	}
 	s.misses.Add(1)
@@ -281,26 +321,27 @@ func (s *Server) respond(w http.ResponseWriter, key string, compute func(sn *sna
 		writeErr(w, status, err)
 		return
 	}
-	body, err := json.Marshal(v)
+	body, err := marshalBody(v)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	body = append(body, '\n')
-	sn.cache.put(key, body)
-	writeJSON(w, http.StatusOK, body)
+	cb := &CachedBody{Plain: body}
+	sn.cache.put(key, cb)
+	WriteJSONBody(w, r, http.StatusOK, cb)
 }
 
-// respondPrepared runs a prepare function over raw query parameters and
-// answers the prepared query through respond, mapping parse failures to
-// 400 — the single-query half of the shared prepare*/respond machinery.
-func (s *Server) respondPrepared(w http.ResponseWriter, prep func(url.Values) (preparedQuery, error), q url.Values) {
-	pq, err := prep(q)
+// respondPrepared runs a prepare function over the request's query
+// parameters and answers the prepared query through respond, mapping
+// parse failures to 400 — the single-query half of the shared
+// prepare*/respond machinery.
+func (s *Server) respondPrepared(w http.ResponseWriter, r *http.Request, prep func(url.Values) (preparedQuery, error)) {
+	pq, err := prep(r.URL.Query())
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.respond(w, pq.key, pq.compute)
+	s.respond(w, r, pq.key, pq.compute)
 }
 
 // ParseDimParams parses every value of a repeated dimension query
@@ -383,7 +424,7 @@ func (s *Server) prepareCount(q url.Values) (preparedQuery, error) {
 }
 
 func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
-	s.respondPrepared(w, s.prepareCount, r.URL.Query())
+	s.respondPrepared(w, r, s.prepareCount)
 }
 
 // GET /v1/associate?row=<label>&...&col=<label>&...[&confidence=0.95] —
@@ -423,7 +464,7 @@ func (s *Server) prepareAssociate(q url.Values) (preparedQuery, error) {
 }
 
 func (s *Server) handleAssociate(w http.ResponseWriter, r *http.Request) {
-	s.respondPrepared(w, s.prepareAssociate, r.URL.Query())
+	s.respondPrepared(w, r, s.prepareAssociate)
 }
 
 // GET /v1/relfreq?category=<cat>&featured=<label> — the §IV.D.1
@@ -454,7 +495,7 @@ func (s *Server) prepareRelFreq(q url.Values) (preparedQuery, error) {
 }
 
 func (s *Server) handleRelFreq(w http.ResponseWriter, r *http.Request) {
-	s.respondPrepared(w, s.prepareRelFreq, r.URL.Query())
+	s.respondPrepared(w, r, s.prepareRelFreq)
 }
 
 // GET /v1/drilldown?row=<label>&col=<label>[&limit=N] — Figure 4's
@@ -502,7 +543,7 @@ func (s *Server) prepareDrillDown(q url.Values) (preparedQuery, error) {
 }
 
 func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
-	s.respondPrepared(w, s.prepareDrillDown, r.URL.Query())
+	s.respondPrepared(w, r, s.prepareDrillDown)
 }
 
 // GET /v1/trend?dim=<label> — per-time-bucket counts plus the fitted
@@ -529,7 +570,7 @@ func (s *Server) prepareTrend(q url.Values) (preparedQuery, error) {
 }
 
 func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) {
-	s.respondPrepared(w, s.prepareTrend, r.URL.Query())
+	s.respondPrepared(w, r, s.prepareTrend)
 }
 
 // GET /v1/concepts?category=<cat> | ?field=<name> — the vocabulary of a
@@ -561,7 +602,7 @@ func (s *Server) prepareConcepts(q url.Values) (preparedQuery, error) {
 }
 
 func (s *Server) handleConcepts(w http.ResponseWriter, r *http.Request) {
-	s.respondPrepared(w, s.prepareConcepts, r.URL.Query())
+	s.respondPrepared(w, r, s.prepareConcepts)
 }
 
 // GET /healthz — liveness plus the serving generation. Always 200 while
@@ -580,8 +621,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Status = "degraded"
 		resp.PersistError = err.Error()
 	}
-	body, _ := json.Marshal(resp)
-	writeJSON(w, http.StatusOK, append(body, '\n'))
+	body, _ := marshalBody(resp)
+	WriteJSONBody(w, r, http.StatusOK, &CachedBody{Plain: body})
 }
 
 // GET /statsz — operational counters: snapshot generation, cache
@@ -607,6 +648,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			Capacity: s.cfg.cacheSize(),
 		},
 		Serving: s.slo.Snapshot(),
+		Memory:  memoryStats(),
 	}
 	if s.cfg.PipelineStats != nil {
 		resp.Pipeline = s.cfg.PipelineStats()
@@ -623,6 +665,18 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			RecoveredSegmentDocs: s.recInfo.segmentDocs,
 			RecoveredWALDocs:     s.recInfo.walDocs,
 			RecoveredWALDropped:  s.recInfo.walDropped,
+			MappedSegments:       st.MappedSegments,
+			MappedBytes:          st.MappedBytes,
+			OpenMicros:           st.OpenDuration.Microseconds(),
+		}
+		if st.PostingsCache.Budget > 0 {
+			ss.PostingsCache = &PostingsCacheJSON{
+				Bytes:   st.PostingsCache.Bytes,
+				Budget:  st.PostingsCache.Budget,
+				Entries: st.PostingsCache.Entries,
+				Hits:    st.PostingsCache.Hits,
+				Misses:  st.PostingsCache.Misses,
+			}
 		}
 		if !st.LastSeal.IsZero() {
 			ss.LastSealUnixMS = st.LastSeal.UnixMilli()
@@ -631,16 +685,36 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			ss.PersistError = err.Error()
 		}
 		resp.Store = ss
+		resp.Memory.MappedBytes = st.MappedBytes
 	}
 	if err := s.IngestErr(); err != nil {
 		resp.IngestError = err.Error()
 	}
-	body, err := json.Marshal(resp)
+	body, err := marshalBody(resp)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, append(body, '\n'))
+	WriteJSONBody(w, r, http.StatusOK, &CachedBody{Plain: body})
+}
+
+// memoryStats reads the process-wide memory counters for /statsz. The
+// ReadMemStats pause is microseconds on a modern runtime — fine for an
+// operational endpoint, not something to put on the query path.
+func memoryStats() MemoryStatsJSON {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	out := MemoryStatsJSON{
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapInuseBytes: ms.HeapInuse,
+		NumGC:          ms.NumGC,
+	}
+	// SetMemoryLimit(-1) is a pure read; MaxInt64 means "no limit set",
+	// which the section omits rather than reporting an absurd number.
+	if lim := debug.SetMemoryLimit(-1); lim < math.MaxInt64 {
+		out.GoMemLimitBytes = lim
+	}
+	return out
 }
 
 // Wire converters — the single mapping from mining results onto the
@@ -753,7 +827,7 @@ func (s *Server) prepareConceptDF(q url.Values) (preparedQuery, error) {
 }
 
 func (s *Server) handleConceptDF(w http.ResponseWriter, r *http.Request) {
-	s.respondPrepared(w, s.prepareConceptDF, r.URL.Query())
+	s.respondPrepared(w, r, s.prepareConceptDF)
 }
 
 // GET /v1/marginals/relfreq?category=<cat>&featured=<label> — the
@@ -782,7 +856,7 @@ func (s *Server) prepareRelFreqMarginals(q url.Values) (preparedQuery, error) {
 }
 
 func (s *Server) handleRelFreqMarginals(w http.ResponseWriter, r *http.Request) {
-	s.respondPrepared(w, s.prepareRelFreqMarginals, r.URL.Query())
+	s.respondPrepared(w, r, s.prepareRelFreqMarginals)
 }
 
 // GET /v1/marginals/assoc?row=<label>&...&col=<label>&... — the integer
@@ -812,7 +886,7 @@ func (s *Server) prepareAssocMarginals(q url.Values) (preparedQuery, error) {
 }
 
 func (s *Server) handleAssocMarginals(w http.ResponseWriter, r *http.Request) {
-	s.respondPrepared(w, s.prepareAssocMarginals, r.URL.Query())
+	s.respondPrepared(w, r, s.prepareAssocMarginals)
 }
 
 // QueryURL renders a /v1 query URL against base (scheme://host) with

@@ -1,0 +1,240 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bivoc/internal/mining"
+	"bivoc/internal/store"
+)
+
+// Byte-identity acceptance suite for mmap-backed serving: a daemon
+// recovering its corpus through mapped segments must answer every /v1
+// endpoint with exactly the bytes a materialized daemon serves — on the
+// fast query paths and the naive oracle, at any associate worker
+// count, and across a compaction that swaps the merged heap index for
+// a mapped view of the freshly written segment.
+
+func openMappedStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{MapSegments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// copyStoreDir clones a store directory so a second daemon can open it
+// concurrently — two daemons can never share one live WAL.
+func copyStoreDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			t.Fatalf("store dir unexpectedly contains a subdirectory %q", e.Name())
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+func shutdownServer(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// sealCorpus ingests docs through a persisted daemon and returns the
+// store directory holding the sealed segment, plus the baseline bodies.
+func sealCorpus(t *testing.T, docs []mining.Document, queries []string) (string, map[string][]byte) {
+	t.Helper()
+	dir := t.TempDir()
+	s := startServer(t, Config{Source: resumableSource(docs, nil), Persist: openStore(t, dir)})
+	waitIngestDone(t, s)
+	want := fetchAll(t, "http://"+s.Addr(), queries)
+	shutdownServer(t, s)
+	return dir, want
+}
+
+// TestMappedDaemonServesIdenticalBytes boots a materialized and a
+// mapped daemon over copies of the same sealed corpus and requires
+// every endpoint body to match the original run byte for byte, across
+// associate worker counts and on the naive-sets oracle. Caching is
+// disabled so the oracle pass actually recomputes.
+func TestMappedDaemonServesIdenticalBytes(t *testing.T) {
+	docs := testDocs(150)
+	queries := persistQueries()
+	dir, want := sealCorpus(t, docs, queries)
+
+	for _, workers := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			mat := startServer(t, Config{
+				Source:           resumableSource(docs, nil),
+				Persist:          openStore(t, copyStoreDir(t, dir)),
+				AssociateWorkers: workers,
+				CacheSize:        -1,
+			})
+			mapSt := openMappedStore(t, copyStoreDir(t, dir))
+			mapped := startServer(t, Config{
+				Source:           resumableSource(docs, nil),
+				Persist:          mapSt,
+				MapSegments:      true,
+				AssociateWorkers: workers,
+				CacheSize:        -1,
+			})
+			waitIngestDone(t, mat)
+			waitIngestDone(t, mapped)
+
+			if st := mapSt.Stats(); st.MappedSegments < 1 {
+				t.Fatalf("mapped daemon recovered without mapping: %+v", st)
+			}
+
+			matBase, mapBase := "http://"+mat.Addr(), "http://"+mapped.Addr()
+			got := fetchAll(t, mapBase, queries)
+			compareAll(t, "mapped vs seed run", want, got)
+			compareAll(t, "mapped vs materialized", fetchAll(t, matBase, queries), got)
+
+			// Oracle pass: the naive set implementations must agree with
+			// themselves across the backing too.
+			old := mining.UseNaiveSets
+			mining.UseNaiveSets = true
+			naiveMat := fetchAll(t, matBase, queries)
+			naiveMap := fetchAll(t, mapBase, queries)
+			mining.UseNaiveSets = old
+			compareAll(t, "naive oracle mapped vs materialized", naiveMat, naiveMap)
+			compareAll(t, "naive oracle vs fast path", want, naiveMap)
+
+			shutdownServer(t, mat)
+			shutdownServer(t, mapped)
+		})
+	}
+}
+
+// TestMappedStatszSections pins the observability added with mapped
+// serving: every daemon reports a process memory section, and a mapped
+// daemon's store section carries mapped-segment and postings-cache
+// counters (which a materialized daemon omits).
+func TestMappedStatszSections(t *testing.T) {
+	docs := testDocs(60)
+	queries := persistQueries()
+	dir, _ := sealCorpus(t, docs, queries)
+
+	s := startServer(t, Config{
+		Source:      resumableSource(docs, nil),
+		Persist:     openMappedStore(t, dir),
+		MapSegments: true,
+	})
+	waitIngestDone(t, s)
+	base := "http://" + s.Addr()
+	fetchAll(t, base, queries) // touch postings so the cache has traffic
+
+	var sz StatszResponse
+	getOK(t, base+"/statsz", &sz)
+	if sz.Memory.HeapAllocBytes == 0 || sz.Memory.HeapInuseBytes == 0 {
+		t.Errorf("memory section empty: %+v", sz.Memory)
+	}
+	if sz.Store == nil {
+		t.Fatal("statsz missing the store section")
+	}
+	if sz.Store.MappedSegments < 1 || sz.Store.MappedBytes <= 0 {
+		t.Errorf("store section shows no mappings: %+v", sz.Store)
+	}
+	if sz.Memory.MappedBytes != sz.Store.MappedBytes {
+		t.Errorf("memory.mapped_bytes %d != store.mapped_bytes %d", sz.Memory.MappedBytes, sz.Store.MappedBytes)
+	}
+	if pc := sz.Store.PostingsCache; pc == nil {
+		t.Error("store section missing postings_cache")
+	} else if pc.Budget <= 0 || pc.Hits+pc.Misses == 0 {
+		t.Errorf("postings cache saw no traffic: %+v", pc)
+	}
+	if sz.Store.OpenMicros <= 0 {
+		t.Errorf("open_us = %d, want > 0", sz.Store.OpenMicros)
+	}
+	shutdownServer(t, s)
+
+	// A materialized daemon reports memory but no mapping counters.
+	plain := startServer(t, Config{Source: sliceSource(testDocs(10))})
+	waitIngestDone(t, plain)
+	var psz StatszResponse
+	getOK(t, "http://"+plain.Addr()+"/statsz", &psz)
+	if psz.Memory.HeapAllocBytes == 0 {
+		t.Errorf("plain daemon memory section empty: %+v", psz.Memory)
+	}
+	if psz.Memory.MappedBytes != 0 {
+		t.Errorf("plain daemon reports %d mapped bytes", psz.Memory.MappedBytes)
+	}
+}
+
+// TestMappedDaemonCompactionIdentical drives both daemons through
+// fresh ingest with a tight segment bound so the compactor runs, and
+// requires the bytes to keep matching after the mapped daemon has
+// swapped its merged heap index for a mapped view of the compacted
+// segment.
+func TestMappedDaemonCompactionIdentical(t *testing.T) {
+	seed := testDocs(150)
+	all := testDocs(300) // same first 150 IDs; the suffix is fresh ingest
+	queries := persistQueries()
+	dir, _ := sealCorpus(t, seed, queries)
+
+	const maxSegs = 3
+	cfg := func(st *store.Store, mapped bool) Config {
+		return Config{
+			Source:      resumableSource(all, nil),
+			Persist:     st,
+			MapSegments: mapped,
+			SwapEvery:   25,
+			MaxSegments: maxSegs,
+		}
+	}
+	mat := startServer(t, cfg(openStore(t, copyStoreDir(t, dir)), false))
+	mapSt := openMappedStore(t, copyStoreDir(t, dir))
+	mapped := startServer(t, cfg(mapSt, true))
+	waitIngestDone(t, mat)
+	waitIngestDone(t, mapped)
+
+	// The compactor is asynchronous; wait for both daemons to come back
+	// under the segment bound with at least one compaction behind them.
+	for _, s := range []*Server{mat, mapped} {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			segDocs, compactions := s.SegmentInfo()
+			if len(segDocs) <= maxSegs && compactions > 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("compactor never bounded the segments: %v (compactions %d)", segDocs, compactions)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// The mapped daemon must now be serving at least one segment from a
+	// mapping of the compaction's output.
+	if st := mapSt.Stats(); st.MappedSegments < 1 {
+		t.Fatalf("no mapped segments after compaction: %+v", st)
+	}
+
+	compareAll(t, "across compaction",
+		fetchAll(t, "http://"+mat.Addr(), queries),
+		fetchAll(t, "http://"+mapped.Addr(), queries))
+
+	shutdownServer(t, mat)
+	shutdownServer(t, mapped)
+}

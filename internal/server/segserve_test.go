@@ -256,7 +256,7 @@ func TestRespondCounterReconciliation(t *testing.T) {
 	requests := 0
 	do := func(key string, compute func(sn *snapshot) (any, error)) int {
 		rec := httptest.NewRecorder()
-		s.respond(rec, key, compute)
+		s.respond(rec, nil, key, compute)
 		requests++
 		return rec.Code
 	}

@@ -112,6 +112,14 @@ type Config struct {
 	// compactions replace their inputs on disk. Open it with store.Open;
 	// the server takes ownership (Shutdown closes it).
 	Persist *store.Store
+	// MapSegments, when set alongside Persist, serves compacted segments
+	// from mmap-backed postings instead of re-heaping the merged index:
+	// after a compaction lands on disk the server swaps the in-memory
+	// merge result for a mapped view of the very bytes it just wrote.
+	// Mapping is an optimization, never a correctness dependency — if the
+	// remap fails the heap index keeps serving. Recovery-time mapping is
+	// governed by the store's own Options.MapSegments.
+	MapSegments bool
 	// ReadHeaderTimeout bounds how long a connection may take to deliver
 	// its request headers (default 5s; negative disables). Without it a
 	// slowloris client trickling header bytes pins a connection — and its
@@ -452,6 +460,14 @@ func (s *Server) compactLoop() {
 					s.setPersistErr(err)
 				} else {
 					newSeg.diskGen = st.SegmentGen
+					if s.cfg.MapSegments {
+						// Serve the compacted segment from the bytes just
+						// written. On failure keep the heap merge — the map
+						// is a memory optimization, not a dependency.
+						if mapped, merr := s.cfg.Persist.MapSegment(st.SegmentGen); merr == nil {
+							newSeg.ix = mapped
+						}
+					}
 				}
 			}
 		}

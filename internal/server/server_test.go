@@ -505,28 +505,29 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestLRUCacheUnit(t *testing.T) {
+	cb := func(s string) *CachedBody { return &CachedBody{Plain: []byte(s)} }
 	c := newLRUCache(2)
-	c.put("a", []byte("A"))
-	c.put("b", []byte("B"))
+	c.put("a", cb("A"))
+	c.put("b", cb("B"))
 	if _, ok := c.get("a"); !ok {
 		t.Fatal("a evicted too early")
 	}
-	c.put("c", []byte("C")) // evicts b (a was just used)
+	c.put("c", cb("C")) // evicts b (a was just used)
 	if _, ok := c.get("b"); ok {
 		t.Error("b should have been evicted")
 	}
-	if v, ok := c.get("a"); !ok || string(v) != "A" {
+	if v, ok := c.get("a"); !ok || string(v.Plain) != "A" {
 		t.Error("a lost")
 	}
-	if v, ok := c.get("c"); !ok || string(v) != "C" {
+	if v, ok := c.get("c"); !ok || string(v.Plain) != "C" {
 		t.Error("c lost")
 	}
 	if c.len() != 2 {
 		t.Errorf("len = %d, want 2", c.len())
 	}
 	// Overwrite keeps one entry.
-	c.put("a", []byte("A2"))
-	if v, _ := c.get("a"); string(v) != "A2" {
+	c.put("a", cb("A2"))
+	if v, _ := c.get("a"); string(v.Plain) != "A2" {
 		t.Error("overwrite did not take")
 	}
 	if c.len() != 2 {
@@ -534,7 +535,7 @@ func TestLRUCacheUnit(t *testing.T) {
 	}
 	// Capacity 0 disables caching entirely.
 	z := newLRUCache(0)
-	z.put("k", []byte("v"))
+	z.put("k", cb("v"))
 	if _, ok := z.get("k"); ok {
 		t.Error("zero-capacity cache stored an entry")
 	}

@@ -65,6 +65,13 @@ func (w *writer) str(s string) {
 	w.buf = append(w.buf, s...)
 }
 
+// u32 appends a fixed-width little-endian uint32 — the segment offset
+// directory is fixed-width so a mapped reader can index it without
+// decoding (see segment.go).
+func (w *writer) u32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
 // reader decodes the writer's encoding with strict bounds checking:
 // every accessor returns an error instead of panicking, whatever the
 // input bytes — the contract FuzzSegmentDecode enforces.

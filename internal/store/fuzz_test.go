@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"bivoc/internal/mining"
@@ -40,14 +41,17 @@ func FuzzSegmentDecode(f *testing.F) {
 			if !IsCorrupt(err) {
 				t.Fatalf("decode error is not IsCorrupt: %v", err)
 			}
+			fuzzMapped(t, data, nil)
 			return
 		}
 		ix, err := mining.FromSnapshot(snap)
 		if err != nil {
 			// Structurally invalid but checksum-valid: only reachable by
 			// hand-crafting, still must be a clean rejection.
+			fuzzMapped(t, data, nil)
 			return
 		}
+		fuzzMapped(t, data, snap)
 		// Accepted input: canonical re-encoding must round-trip.
 		re := EncodeSegment(ix.Export())
 		snap2, err := DecodeSegment(re)
@@ -61,6 +65,91 @@ func FuzzSegmentDecode(f *testing.F) {
 			t.Fatal("canonical encoding is not deterministic")
 		}
 	})
+}
+
+// fuzzMapped drives the same bytes through the mapped reader's open
+// path and, when it opens, through every lazy accessor: the mapped
+// reader must never panic on any input, and on a version-2 file the
+// eager decoder accepted it must serve exactly the decoded snapshot
+// (that agreement is what lets the store fall back between the two
+// loaders without a behavior change). When the eager decoder rejected
+// the input, lazy reads may return empty results with a sticky error —
+// but must stay in bounds.
+func fuzzMapped(t *testing.T, data []byte, snap *mining.IndexSnapshot) {
+	m, err := newMapped("fuzz", data, func([]byte) error { return nil }, NewPostingsCache(1<<20))
+	if err != nil {
+		if !IsCorrupt(err) {
+			t.Fatalf("mapped open error is not IsCorrupt: %v", err)
+		}
+		if snap != nil && len(data) >= segHeaderLen && data[4] == SegmentVersion {
+			t.Fatalf("eager decoder accepted a version-%d file the mapped reader rejects: %v", SegmentVersion, err)
+		}
+		return
+	}
+	// Exercise every accessor; decode twice so the second pass crosses
+	// the cache.
+	for range [2]int{} {
+		m.EachConcept(func(cat, canon string, df int) {
+			if got := len(m.ConceptPostings(cat, canon)); snap != nil && got != df && m.Err() == nil {
+				t.Fatalf("concept %q/%q: %d postings, directory df %d", cat, canon, got, df)
+			}
+		})
+		m.EachCategory(func(cat string, df int) { m.CategoryPostings(cat) })
+		m.EachField(func(f, v string, df int) { m.FieldPostings(f, v) })
+		for i := 0; i < m.DocCount(); i++ {
+			m.Doc(i)
+			m.DocID(i)
+			m.DocTime(i)
+		}
+	}
+	if snap == nil {
+		return
+	}
+	// The eager decoder accepted this file: the mapped view must agree
+	// on every byte it serves.
+	if m.DocCount() != len(snap.Docs) {
+		t.Fatalf("mapped DocCount %d, snapshot has %d docs", m.DocCount(), len(snap.Docs))
+	}
+	for i, want := range snap.Docs {
+		if got := m.Doc(i); !reflect.DeepEqual(got, want) {
+			t.Fatalf("mapped Doc(%d) = %+v, want %+v", i, got, want)
+		}
+		if m.DocID(i) != want.ID || m.DocTime(i) != want.Time {
+			t.Fatalf("mapped DocID/DocTime(%d) diverge", i)
+		}
+	}
+	for _, e := range snap.Concepts {
+		if got := m.ConceptPostings(e.Key[0], e.Key[1]); !postingsEqual(got, e.Posts) {
+			t.Fatalf("mapped concept %q/%q postings diverge", e.Key[0], e.Key[1])
+		}
+	}
+	for _, e := range snap.Categories {
+		if got := m.CategoryPostings(e.Category); !postingsEqual(got, e.Posts) {
+			t.Fatalf("mapped category %q postings diverge", e.Category)
+		}
+	}
+	for _, e := range snap.Fields {
+		if got := m.FieldPostings(e.Key[0], e.Key[1]); !postingsEqual(got, e.Posts) {
+			t.Fatalf("mapped field %q=%q postings diverge", e.Key[0], e.Key[1])
+		}
+	}
+	if err := m.Err(); err != nil {
+		t.Fatalf("mapped reads over an accepted file left a sticky error: %v", err)
+	}
+}
+
+// postingsEqual treats nil and empty as equal (absent keys are nil on
+// both readers, but a decoded empty list may be empty-non-nil).
+func postingsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // FuzzWALReplay: arbitrary bytes through the WAL replayer — torn tails

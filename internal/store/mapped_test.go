@@ -1,0 +1,386 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bivoc/internal/mining"
+)
+
+// writeSegmentFile encodes ix and writes it where a test wants it.
+func writeSegFile(t *testing.T, path string, ix *mining.Index) []byte {
+	t.Helper()
+	data := EncodeSegment(ix.Export())
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestMappedSegmentEquivalence pins the tentpole invariant at the store
+// layer: an index served from a mapped segment answers every query —
+// fast path and naive oracle — exactly as the materialized index the
+// segment was written from, and re-exports to the identical bytes.
+func TestMappedSegmentEquivalence(t *testing.T) {
+	ix := sealedIndex(corpus(200, 21))
+	path := filepath.Join(t.TempDir(), "seg.seg")
+	data := writeSegFile(t, path, ix)
+
+	m, err := OpenMapped(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	mapped := mining.FromBacking(m)
+	mapped.Prepare()
+
+	indexQueriesEqual(t, mapped, ix)
+	if err := m.Err(); err != nil {
+		t.Fatalf("sticky error after clean queries: %v", err)
+	}
+
+	// Per-document accessors agree with the materialized docs.
+	for i := 0; i < ix.Len(); i++ {
+		if !reflect.DeepEqual(mapped.Doc(i), ix.Doc(i)) {
+			t.Fatalf("Doc(%d) diverges", i)
+		}
+		if mapped.DocID(i) != ix.Doc(i).ID || m.DocTime(i) != ix.Doc(i).Time {
+			t.Fatalf("DocID/DocTime(%d) diverge", i)
+		}
+	}
+
+	// Export over the mapped backing re-encodes byte-identically: a
+	// compaction that re-encodes a mapped segment loses nothing.
+	re := EncodeSegment(mapped.Export())
+	if !reflect.DeepEqual(re, data) {
+		t.Fatal("mapped re-encode is not byte-identical to the original segment")
+	}
+}
+
+// TestMappedOracleEquivalence runs the mapped index against the naive
+// set-algebra oracle — the same equivalence discipline the mining
+// package pins for the materialized backing.
+func TestMappedOracleEquivalence(t *testing.T) {
+	ix := sealedIndex(corpus(150, 22))
+	path := filepath.Join(t.TempDir(), "seg.seg")
+	writeSegFile(t, path, ix)
+	m, err := OpenMapped(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	mapped := mining.FromBacking(m)
+	mapped.Prepare()
+
+	weak := mining.ConceptDim("intent", "weak start")
+	res := mining.FieldDim("outcome", "reservation")
+	conj := mining.AndDim(weak, res)
+	mining.UseNaiveSets = true
+	naiveCount := mapped.Count(conj)
+	naiveRel := mapped.RelativeFrequency("discount", conj)
+	mining.UseNaiveSets = false
+	if got := mapped.Count(conj); got != naiveCount {
+		t.Fatalf("mapped fast Count %d, naive %d", got, naiveCount)
+	}
+	if got := mapped.RelativeFrequency("discount", conj); !reflect.DeepEqual(got, naiveRel) {
+		t.Fatal("mapped fast RelativeFrequency diverges from naive")
+	}
+}
+
+// TestOpenMappedRejectsDamage mirrors TestSegmentDecodeRejectsDamage
+// for the mapped open path: truncations and bit flips anywhere die at
+// the envelope, before any lazy read could serve them.
+func TestOpenMappedRejectsDamage(t *testing.T) {
+	dir := t.TempDir()
+	good := EncodeSegment(sealedIndex(corpus(60, 23)).Export())
+	check := func(name string, data []byte) {
+		t.Helper()
+		path := filepath.Join(dir, name+".seg")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if m, err := OpenMapped(path, nil); err == nil {
+			m.Close()
+			t.Errorf("%s: mapped open accepted damaged segment", name)
+		} else if !IsCorrupt(err) {
+			t.Errorf("%s: error does not satisfy IsCorrupt: %v", name, err)
+		}
+	}
+	check("empty", nil)
+	check("magic-only", good[:4])
+	check("truncated-half", good[:len(good)/2])
+	check("truncated-one", good[:len(good)-1])
+	for _, off := range []int{0, 5, segHeaderLen + 3, len(good) / 2, len(good) - 5} {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x40
+		check(fmt.Sprintf("flip-%d", off), bad)
+	}
+}
+
+// TestOpenMappedRejectsLegacy builds a version-1 file (no directory)
+// out of a version-2 segment's body; the eager decoder must accept it,
+// the mapped reader must refuse it with IsCorrupt so the store's
+// fallback engages.
+func TestOpenMappedRejectsLegacy(t *testing.T) {
+	ix := sealedIndex(corpus(40, 24))
+	v2 := EncodeSegment(ix.Export())
+	env, err := checkEnvelope(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v1 []byte
+	v1 = append(v1, segMagic[:]...)
+	v1 = binary.LittleEndian.AppendUint32(v1, segLegacyVersion)
+	v1 = append(v1, v2[segHeaderLen:env.bodyEnd]...) // body without directory
+	bodyLen := uint64(len(v1) - segHeaderLen)
+	crc := crc32.ChecksumIEEE(v1)
+	v1 = binary.LittleEndian.AppendUint64(v1, bodyLen)
+	v1 = binary.LittleEndian.AppendUint64(v1, uint64(ix.Len()))
+	v1 = binary.LittleEndian.AppendUint32(v1, segLegacyVersion)
+	v1 = binary.LittleEndian.AppendUint32(v1, crc)
+
+	snap, err := DecodeSegment(v1)
+	if err != nil {
+		t.Fatalf("eager decoder rejects legacy file: %v", err)
+	}
+	legacy, err := mining.FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy.Prepare()
+	indexQueriesEqual(t, legacy, ix)
+
+	path := filepath.Join(t.TempDir(), "legacy.seg")
+	if err := os.WriteFile(path, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := OpenMapped(path, nil); err == nil {
+		m.Close()
+		t.Fatal("mapped reader accepted a version-1 segment")
+	} else if !IsCorrupt(err) {
+		t.Fatalf("legacy rejection is not IsCorrupt: %v", err)
+	}
+
+	// The store-level loader transparently materializes it instead.
+	st, err := Open(t.TempDir(), Options{MapSegments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	lix, _, m, err := st.loadOrMap(path)
+	if err != nil {
+		t.Fatalf("loadOrMap on legacy file: %v", err)
+	}
+	if m != nil {
+		t.Fatal("legacy file reported as mapped")
+	}
+	indexQueriesEqual(t, lix, ix)
+}
+
+// TestStoreMappedRecovery: a store opened with MapSegments serves its
+// recovered lineage from mappings — same answers, stats reporting the
+// mapped set — and a corrupted segment falls back to the materializing
+// loader's verdict, then WAL recovery, never wrong bytes.
+func TestStoreMappedRecovery(t *testing.T) {
+	dir := t.TempDir()
+	docs := corpus(120, 25)
+	ix := sealedIndex(docs)
+
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		if err := st.AppendWAL(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.WriteSegment(ix); err != nil {
+		t.Fatal(err)
+	}
+	// No ResetWAL: the WAL still covers the same documents, so recovery
+	// must dedup across the mapped segment.
+	st.Close()
+
+	st2, err := Open(dir, Options{MapSegments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := st2.Recovered()
+	if rec.Index == nil || len(rec.WALDocs) != 0 {
+		t.Fatalf("mapped recovery: index=%v wal=%d", rec.Index != nil, len(rec.WALDocs))
+	}
+	if _, ok := rec.Index.Backing().(*Mapped); !ok {
+		t.Fatalf("recovered index backing is %T, want *Mapped", rec.Index.Backing())
+	}
+	indexQueriesEqual(t, rec.Index, ix)
+	stats := st2.Stats()
+	if stats.MappedSegments != 1 || stats.MappedBytes <= 0 {
+		t.Fatalf("stats: %d mapped segments, %d bytes", stats.MappedSegments, stats.MappedBytes)
+	}
+	if stats.PostingsCache.Budget != DefaultPostingsBudget {
+		t.Fatalf("postings cache budget %d", stats.PostingsCache.Budget)
+	}
+	if stats.PostingsCache.Hits == 0 || stats.PostingsCache.Bytes == 0 {
+		t.Fatalf("query battery left no cache footprint: %+v", stats.PostingsCache)
+	}
+	st2.Close()
+
+	// Corrupt the only segment: mapped open and materializing loader
+	// both reject it, and recovery falls through to the WAL tail.
+	seg := st2.Stats().SegmentPath
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 1
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := Open(dir, Options{MapSegments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	rec3 := st3.Recovered()
+	if rec3.Index != nil || len(rec3.SkippedSegments) == 0 {
+		t.Fatalf("damaged segment not skipped: index=%v skipped=%v", rec3.Index != nil, rec3.SkippedSegments)
+	}
+	if len(rec3.WALDocs) != len(docs) {
+		t.Fatalf("WAL fallback recovered %d docs, want %d", len(rec3.WALDocs), len(docs))
+	}
+}
+
+// TestStoreMapSegmentRemap drives the compaction handoff: append two
+// segments, replace them with a merged one, remap the new generation,
+// and require the mapping to answer exactly as the merged index.
+func TestStoreMapSegmentRemap(t *testing.T) {
+	dir := t.TempDir()
+	docsA, docsB := corpus(60, 26), corpus(90, 27)
+	for i := range docsB {
+		docsB[i].ID = fmt.Sprintf("b-%05d", i) // disjoint IDs across segments
+	}
+	st, err := Open(dir, Options{MapSegments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ixA, ixB := sealedIndex(docsA), sealedIndex(docsB)
+	if _, err := st.AppendSegment(ixA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendSegment(ixB); err != nil {
+		t.Fatal(err)
+	}
+	merged := mining.MergeSegments(ixA, ixB)
+	stats, err := st.ReplaceSegments([]uint64{1, 2}, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remapped, err := st.MapSegment(stats.SegmentGen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := remapped.Backing().(*Mapped); !ok {
+		t.Fatalf("remapped backing is %T", remapped.Backing())
+	}
+	indexQueriesEqual(t, remapped, merged)
+	if got := st.Stats(); got.MappedSegments != 1 {
+		t.Fatalf("stats after remap: %d mapped segments", got.MappedSegments)
+	}
+	// A dead generation cannot be remapped.
+	if _, err := st.MapSegment(1); err == nil {
+		t.Fatal("MapSegment accepted a superseded generation")
+	}
+}
+
+// TestPostingsCacheBudget exercises eviction, the canonical-copy rule,
+// and the hit/miss counters.
+func TestPostingsCacheBudget(t *testing.T) {
+	c := NewPostingsCache(3 * (8*100 + postEntryOverhead)) // room for 3 hundred-entry lists
+	mk := func(n int) []int {
+		posts := make([]int, n)
+		for i := range posts {
+			posts[i] = i
+		}
+		return posts
+	}
+	for i := 0; i < 5; i++ {
+		c.put(postKey{seg: 1, off: uint32(i)}, mk(100))
+	}
+	st := c.StatsSnapshot()
+	if st.Entries != 3 {
+		t.Fatalf("entries after over-budget puts: %d, want 3", st.Entries)
+	}
+	if st.Bytes > st.Budget {
+		t.Fatalf("bytes %d exceed budget %d", st.Bytes, st.Budget)
+	}
+	// Oldest two were evicted, newest three hit.
+	for i := 0; i < 2; i++ {
+		if _, ok := c.get(postKey{seg: 1, off: uint32(i)}); ok {
+			t.Fatalf("entry %d survived eviction", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if _, ok := c.get(postKey{seg: 1, off: uint32(i)}); !ok {
+			t.Fatalf("entry %d missing", i)
+		}
+	}
+	st = c.StatsSnapshot()
+	if st.Hits != 3 || st.Misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 3/2", st.Hits, st.Misses)
+	}
+	// Racing puts converge on the first copy.
+	first := mk(10)
+	if got := c.put(postKey{seg: 2, off: 0}, first); &got[0] != &first[0] {
+		t.Fatal("first put did not return the caller's slice")
+	}
+	second := mk(10)
+	if got := c.put(postKey{seg: 2, off: 0}, second); &got[0] != &first[0] {
+		t.Fatal("second put did not converge on the cached copy")
+	}
+	// A list larger than the whole budget is served but not retained.
+	huge := mk(10_000)
+	if got := c.put(postKey{seg: 3, off: 0}, huge); &got[0] != &huge[0] {
+		t.Fatal("over-budget put did not serve the decoded slice")
+	}
+	if _, ok := c.get(postKey{seg: 3, off: 0}); ok {
+		t.Fatal("over-budget list was retained")
+	}
+}
+
+// TestMappedHotQueryAllocs pins the steady-state promise: once the hot
+// set is decoded, repeated counts over a mapped index stay on the
+// cache path (hits, no new decoded bytes).
+func TestMappedHotQueryAllocs(t *testing.T) {
+	ix := sealedIndex(corpus(300, 28))
+	path := filepath.Join(t.TempDir(), "seg.seg")
+	writeSegFile(t, path, ix)
+	cache := NewPostingsCache(0)
+	m, err := OpenMapped(path, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	mapped := mining.FromBacking(m)
+	mapped.Prepare()
+
+	dim := mining.AndDim(mining.ConceptDim("intent", "weak start"), mining.FieldDim("outcome", "reservation"))
+	mapped.Count(dim) // warm: decodes + conjunction memo
+	before := cache.StatsSnapshot()
+	for i := 0; i < 50; i++ {
+		mapped.Count(dim)
+	}
+	after := cache.StatsSnapshot()
+	if after.Bytes != before.Bytes || after.Entries != before.Entries {
+		t.Fatalf("hot queries grew the cache: %+v -> %+v", before, after)
+	}
+	if after.Misses != before.Misses {
+		t.Fatalf("hot queries missed the cache: %+v -> %+v", before, after)
+	}
+}

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapFile on platforms without a usable mmap reads the whole file
+// into memory. The laziness of the mapped reader still holds — decode
+// work is deferred and cached the same way — only the residency
+// advantage is lost.
+func mmapFile(path string) ([]byte, func([]byte) error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: reading segment for mapping: %w", err)
+	}
+	return data, func([]byte) error { return nil }, nil
+}

@@ -1,0 +1,36 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps a file read-only and returns the mapping plus its
+// release function. Empty files yield a nil slice (checkEnvelope
+// rejects them as too short, with no mapping to release).
+func mmapFile(path string) ([]byte, func([]byte) error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: opening segment for mapping: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: stat %s: %w", path, err)
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, func([]byte) error { return nil }, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("store: segment %s too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: mmap %s: %w", path, err)
+	}
+	return data, syscall.Munmap, nil
+}

@@ -21,6 +21,17 @@ type Options struct {
 	// lost; larger values amortize the fsync at the cost of a bounded
 	// window of documents that may need re-ingesting after a crash.
 	SyncEvery int
+	// MapSegments serves sealed segments straight out of read-only file
+	// mappings (OpenMapped) instead of materializing them on the heap:
+	// recovery touches O(#postings lists) per segment instead of
+	// O(corpus), and resident memory tracks the hot query set rather
+	// than the corpus. Segments that cannot be mapped (legacy version-1
+	// files, damage) silently fall back to the materializing loader.
+	MapSegments bool
+	// PostingsBudget caps the decoded-postings cache shared by the
+	// mapped segments, in bytes. 0 uses DefaultPostingsBudget. Ignored
+	// unless MapSegments is set.
+	PostingsBudget int64
 }
 
 func (o Options) syncEvery() int {
@@ -86,7 +97,7 @@ func (r *Recovery) IDs() map[string]bool {
 	ids := make(map[string]bool, r.SegmentDocs+len(r.WALDocs))
 	for _, seg := range r.Segments {
 		for i := 0; i < seg.Index.Len(); i++ {
-			ids[seg.Index.Doc(i).ID] = true
+			ids[seg.Index.DocID(i)] = true
 		}
 	}
 	for _, d := range r.WALDocs {
@@ -117,14 +128,23 @@ type Stats struct {
 	// LastSeal is the wall time the current segment was written by this
 	// process; zero for segments inherited from an earlier run.
 	LastSeal time.Time
+	// Mapped-segment serving (zero unless the store was opened with
+	// MapSegments): how many live segments are served from mappings,
+	// their total mapped bytes, the decoded-postings cache occupancy,
+	// and how long Open spent bringing the lineage up.
+	MappedSegments int
+	MappedBytes    int64
+	PostingsCache  PostingsCacheStats
+	OpenDuration   time.Duration
 }
 
 // segMeta is the in-memory record of one live segment file.
 type segMeta struct {
-	gen   uint64
-	path  string
-	bytes int64
-	docs  int
+	gen    uint64
+	path   string
+	bytes  int64
+	docs   int
+	mapped *Mapped // non-nil when this generation is served from a mapping
 }
 
 // Store is one data directory: the live segment lineage (named by the
@@ -135,6 +155,8 @@ type segMeta struct {
 type Store struct {
 	dir       string
 	syncEvery int
+	mapSegs   bool
+	cache     *PostingsCache // decoded-postings LRU shared by mappings; nil unless MapSegments
 
 	mu       sync.Mutex
 	rec      *Recovery
@@ -145,6 +167,12 @@ type Store struct {
 	segments []segMeta // live lineage, ascending by generation
 	maxGen   uint64    // highest generation present on disk (damaged ones included)
 	lastSeal time.Time
+	// mappings holds every mapping this store ever opened; they are
+	// released only at Close — in-flight queries may still hold
+	// snapshots over superseded segments, and a compaction lineage is
+	// O(log n) mappings deep, so deferring unmap is bounded.
+	mappings []*Mapped
+	openDur  time.Duration // time Open spent loading/mapping live segments
 }
 
 // Open prepares a data directory for serving: creates it if missing,
@@ -158,7 +186,11 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating data dir: %w", err)
 	}
-	s := &Store{dir: dir, syncEvery: opts.syncEvery()}
+	openStart := time.Now()
+	s := &Store{dir: dir, syncEvery: opts.syncEvery(), mapSegs: opts.MapSegments}
+	if s.mapSegs {
+		s.cache = NewPostingsCache(opts.PostingsBudget)
+	}
 	if err := s.cleanOrphans(); err != nil {
 		return nil, err
 	}
@@ -179,7 +211,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	for _, gen := range s.loadManifest() {
 		tried[gen] = true
 		path := s.segmentPath(gen)
-		ix, size, err := LoadSegment(path)
+		ix, size, m, err := s.loadOrMap(path)
 		if err != nil {
 			if !IsCorrupt(err) && !errors.Is(err, os.ErrNotExist) {
 				return nil, err
@@ -188,7 +220,7 @@ func Open(dir string, opts Options) (*Store, error) {
 			continue
 		}
 		rec.Segments = append(rec.Segments, RecoveredSegment{Gen: gen, Index: ix})
-		s.segments = append(s.segments, segMeta{gen: gen, path: path, bytes: size, docs: ix.Len()})
+		s.segments = append(s.segments, segMeta{gen: gen, path: path, bytes: size, docs: ix.Len(), mapped: m})
 	}
 	if len(rec.Segments) == 0 {
 		// No manifest, or everything it named was unreadable: fall back
@@ -199,7 +231,7 @@ func Open(dir string, opts Options) (*Store, error) {
 				continue
 			}
 			path := s.segmentPath(gens[i])
-			ix, size, err := LoadSegment(path)
+			ix, size, m, err := s.loadOrMap(path)
 			if err != nil {
 				if !IsCorrupt(err) {
 					return nil, err
@@ -208,7 +240,7 @@ func Open(dir string, opts Options) (*Store, error) {
 				continue
 			}
 			rec.Segments = append(rec.Segments, RecoveredSegment{Gen: gens[i], Index: ix})
-			s.segments = append(s.segments, segMeta{gen: gens[i], path: path, bytes: size, docs: ix.Len()})
+			s.segments = append(s.segments, segMeta{gen: gens[i], path: path, bytes: size, docs: ix.Len(), mapped: m})
 			break
 		}
 	}
@@ -227,18 +259,25 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	rec.WALDropped = dropped
-	seen := map[string]bool{}
-	for _, seg := range rec.Segments {
-		for i := 0; i < seg.Index.Len(); i++ {
-			seen[seg.Index.Doc(i).ID] = true
+	if len(walDocs) > 0 {
+		// Dedup needs every segment document's ID (DocID — over a
+		// mapped segment that is a ref read per document, not a full
+		// decode). With an empty WAL — the common warm restart after a
+		// clean seal — skip it entirely, keeping mapped opens
+		// O(#postings lists).
+		seen := map[string]bool{}
+		for _, seg := range rec.Segments {
+			for i := 0; i < seg.Index.Len(); i++ {
+				seen[seg.Index.DocID(i)] = true
+			}
 		}
-	}
-	for _, d := range walDocs {
-		// A crash between segment rename and WAL reset leaves both
-		// holding the same documents; the segment wins.
-		if !seen[d.ID] {
-			seen[d.ID] = true
-			rec.WALDocs = append(rec.WALDocs, d)
+		for _, d := range walDocs {
+			// A crash between segment rename and WAL reset leaves both
+			// holding the same documents; the segment wins.
+			if !seen[d.ID] {
+				seen[d.ID] = true
+				rec.WALDocs = append(rec.WALDocs, d)
+			}
 		}
 	}
 	f, goodLen, err := openWALForAppend(walPath, goodLen)
@@ -247,7 +286,74 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.wal, s.walLen, s.walRecs = f, goodLen, len(walDocs)
 	s.rec = rec
+	s.openDur = time.Since(openStart)
 	return s, nil
+}
+
+// loadOrMap opens one segment file the way the store is configured:
+// mapped (zero-copy, lazy) when MapSegments is on, else materialized.
+// A file that cannot be mapped — a legacy version-1 segment, or
+// damage — falls back to the materializing loader, which re-validates
+// from scratch and yields the definitive IsCorrupt verdict; the
+// fallback can never serve different bytes because DecodeSegment
+// refuses any file whose offset directory disagrees with its body.
+// Called during Open (single-threaded) and from MapSegment (s.mu
+// must not be held — mapping does file I/O).
+func (s *Store) loadOrMap(path string) (*mining.Index, int64, *Mapped, error) {
+	if s.mapSegs {
+		m, err := OpenMapped(path, s.cache)
+		if err == nil {
+			ix := mining.FromBacking(m)
+			ix.Prepare()
+			s.mu.Lock()
+			s.mappings = append(s.mappings, m)
+			s.mu.Unlock()
+			return ix, m.Bytes(), m, nil
+		}
+		if !IsCorrupt(err) && !errors.Is(err, os.ErrNotExist) {
+			return nil, 0, nil, err
+		}
+	}
+	ix, size, err := LoadSegment(path)
+	return ix, size, nil, err
+}
+
+// MapSegment reopens a live generation through the mapped reader —
+// the compaction handoff: after ReplaceSegments persists a merged
+// segment, the serving layer swaps its heap-resident merged index for
+// the mapping so the materialized copy can be collected. Fails (and
+// the caller keeps the heap index) rather than ever serving a
+// generation that does not map cleanly.
+func (s *Store) MapSegment(gen uint64) (*mining.Index, error) {
+	if !s.mapSegs {
+		return nil, fmt.Errorf("store: MapSegment: store was opened without MapSegments")
+	}
+	s.mu.Lock()
+	live := false
+	for i := range s.segments {
+		if s.segments[i].gen == gen {
+			live = true
+		}
+	}
+	s.mu.Unlock()
+	if !live {
+		return nil, fmt.Errorf("store: MapSegment: generation %d is not live", gen)
+	}
+	m, err := OpenMapped(s.segmentPath(gen), s.cache)
+	if err != nil {
+		return nil, err
+	}
+	ix := mining.FromBacking(m)
+	ix.Prepare()
+	s.mu.Lock()
+	s.mappings = append(s.mappings, m)
+	for i := range s.segments {
+		if s.segments[i].gen == gen {
+			s.segments[i].mapped = m
+		}
+	}
+	s.mu.Unlock()
+	return ix, nil
 }
 
 // Recovered returns what Open reconstructed from disk.
@@ -615,13 +721,21 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		WALRecords: s.walRecs,
-		WALBytes:   s.walLen,
-		LastSeal:   s.lastSeal,
+		WALRecords:   s.walRecs,
+		WALBytes:     s.walLen,
+		LastSeal:     s.lastSeal,
+		OpenDuration: s.openDur,
 	}
 	for _, m := range s.segments {
 		st.Segments = append(st.Segments, SegmentStat{Gen: m.gen, Path: m.path, Bytes: m.bytes, Docs: m.docs})
 		st.SegmentDocs += m.docs
+		if m.mapped != nil {
+			st.MappedSegments++
+			st.MappedBytes += m.mapped.Bytes()
+		}
+	}
+	if s.cache != nil {
+		st.PostingsCache = s.cache.StatsSnapshot()
 	}
 	if n := len(s.segments); n > 0 {
 		newest := s.segments[n-1]
@@ -630,14 +744,25 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// Close syncs and closes the WAL. The store is unusable afterwards.
+// Close syncs and closes the WAL and releases every segment mapping.
+// The store — and every index served from a mapping — is unusable
+// afterwards; the serving layer must have stopped queries first.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.wal == nil {
-		return nil
+	var err error
+	for _, m := range s.mappings {
+		if merr := m.Close(); err == nil {
+			err = merr
+		}
 	}
-	err := s.wal.Sync()
+	s.mappings = nil
+	if s.wal == nil {
+		return err
+	}
+	if serr := s.wal.Sync(); err == nil {
+		err = serr
+	}
 	if cerr := s.wal.Close(); err == nil {
 		err = cerr
 	}
